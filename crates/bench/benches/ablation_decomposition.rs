@@ -1,0 +1,25 @@
+//! Ablation: cost of the common decomposition machinery — factoring n
+//! into d balanced factors and answering box-intersection queries — as n
+//! grows to the paper's scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diyblk::{factor_count, RegularDecomposer};
+use minih5::BBox;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_decomposition");
+    for n in [64usize, 256, 1024, 4096, 12288] {
+        g.bench_with_input(BenchmarkId::new("factor_count", n), &n, |b, &n| {
+            b.iter(|| factor_count(n, 3))
+        });
+        g.bench_with_input(BenchmarkId::new("blocks_intersecting", n), &n, |b, &n| {
+            let d = RegularDecomposer::new(&[1024, 1024, 1024], n);
+            let q = BBox::new(vec![100, 100, 100], vec![612, 612, 612]);
+            b.iter(|| d.blocks_intersecting(&q))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: per-rank metadata fetch vs collective fetch-and-broadcast
+//! (the §V-C synchronization-reduction extension).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lowfive::{DistVolBuilder, LowFiveProps};
+use minih5::{Dataspace, Datatype, Selection, Vol, H5};
+use simmpi::{TaskSpec, TaskWorld};
+
+const CONSUMERS: usize = 8;
+
+fn run(broadcast: bool) {
+    let specs = [TaskSpec::new("p", 2), TaskSpec::new("c", CONSUMERS)];
+    TaskWorld::run(&specs, move |tc| {
+        let producers: Vec<usize> = (0..2).collect();
+        let consumers: Vec<usize> = (2..2 + CONSUMERS).collect();
+        let mut props = LowFiveProps::new();
+        props.set_metadata_broadcast("*", broadcast);
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .produce("*", consumers.clone())
+                .build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("*", producers.clone())
+                .build()
+        };
+        let h5 = H5::with_vol(vol);
+        if tc.task_id == 0 {
+            let f = h5.create_file("bm.h5").unwrap();
+            // Wide metadata: many datasets make the blob non-trivial.
+            for i in 0..32 {
+                let d = f
+                    .create_dataset(
+                        &format!("d{i}"),
+                        Datatype::UInt64,
+                        Dataspace::simple(&[64]),
+                    )
+                    .unwrap();
+                if tc.local.rank() == 0 {
+                    d.write_selection(&Selection::block(&[0], &[64]), &vec![i as u64; 64])
+                        .unwrap();
+                }
+            }
+            f.close().unwrap();
+        } else {
+            let f = h5.open_file("bm.h5").unwrap();
+            let d = f.open_dataset("d0").unwrap();
+            let _ = d.read_all::<u64>().unwrap();
+            f.close().unwrap();
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_metadata_broadcast");
+    g.sample_size(10);
+    g.bench_function("per_rank_fetch", |b| b.iter(|| run(false)));
+    g.bench_function("fetch_and_broadcast", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: deep vs shallow (zero-copy) dataset ownership in the
+//! metadata VOL — the per-dataset configurable of §III-A.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lowfive::{LowFiveProps, MetadataVol};
+use minih5::{Dataspace, Datatype, Ownership, Selection, Vol};
+
+fn write_once(vol: &MetadataVol, n: u64, data: &Bytes, ownership: Ownership) {
+    let f = vol.file_create("o.h5").unwrap();
+    let d = vol
+        .dataset_create(f, "d", &Datatype::UInt8, &Dataspace::simple(&[n]))
+        .unwrap();
+    vol.dataset_write(d, &Selection::all(), data.clone(), ownership).unwrap();
+    vol.file_close(f).unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    const N: u64 = 8 << 20; // 8 MiB per write
+    let data = Bytes::from(vec![0xABu8; N as usize]);
+    let mut g = c.benchmark_group("ablation_ownership");
+    g.sample_size(20);
+    g.bench_function("deep_copy", |b| {
+        b.iter(|| {
+            let vol = MetadataVol::over_native(LowFiveProps::new());
+            write_once(&vol, N, &data, Ownership::Deep);
+        })
+    });
+    g.bench_function("shallow_zero_copy", |b| {
+        b.iter(|| {
+            let vol = MetadataVol::over_native(LowFiveProps::new());
+            write_once(&vol, N, &data, Ownership::Shallow);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation: contiguous-run serialization vs per-point serialization —
+//! the design choice the paper credits for beating hand-written MPI
+//! (§IV-B-c). Packs the same 2-d slab selection both ways.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minih5::selection::pack;
+use minih5::{Dataspace, Selection};
+
+fn per_point_pack(sel: &Selection, space: &Dataspace, es: usize, src: &[u8]) -> Vec<u8> {
+    // One element at a time, recomputing the offset per element.
+    let mut out = Vec::with_capacity((sel.npoints(space) as usize) * es);
+    for run in sel.runs(space) {
+        for i in 0..run.len {
+            let off = ((run.offset + i) as usize) * es;
+            out.extend_from_slice(&src[off..off + es]);
+        }
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let space = Dataspace::simple(&[256, 256, 64]);
+    let src = vec![7u8; (space.npoints() as usize) * 8];
+    // A y-slab: many medium-length runs — the shape redistribution sees.
+    let sel = Selection::block(&[0, 64, 0], &[256, 128, 64]);
+    let mut g = c.benchmark_group("ablation_serialization");
+    g.sample_size(20);
+    g.bench_function("contiguous_runs", |b| b.iter(|| pack(&sel, &space, 8, &src)));
+    g.bench_function("point_by_point", |b| b.iter(|| per_point_pack(&sel, &space, 8, &src)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation: DataSpaces `put_local` (index-only staging, data pulled from
+//! producers) vs `put` (full copies staged on the server) — the design
+//! choice the paper discusses in §IV-B-g ("we used dspaces_put_local …
+//! rather than a staging a full data copy").
+
+use baselines::boxes::BoxCoords;
+use baselines::dataspaces::{run_server, DsClient, DsConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use minih5::BBox;
+use simmpi::{TaskComm, TaskSpec, TaskWorld};
+
+const N: u64 = 64;
+
+fn grid_bytes(bb: &BBox) -> Vec<u8> {
+    BoxCoords::new(bb).flat_map(|c| (c[0] * N + c[1]).to_le_bytes()).collect()
+}
+
+fn run(staged: bool) {
+    let specs =
+        [TaskSpec::new("prod", 2), TaskSpec::new("staging", 1), TaskSpec::new("cons", 2)];
+    TaskWorld::run(&specs, move |tc: TaskComm| {
+        let cfg = DsConfig {
+            producers: (0..2).map(|r| tc.world_rank_of(0, r)).collect(),
+            servers: vec![tc.world_rank_of(1, 0)],
+            consumers: (0..2).map(|r| tc.world_rank_of(2, r)).collect(),
+        };
+        match tc.task_id {
+            0 => {
+                let client = DsClient::new(tc.world.clone(), cfg);
+                let r = tc.local.rank() as u64;
+                let bb = BBox::new(vec![r * N / 2, 0], vec![(r + 1) * N / 2, N]);
+                let data = grid_bytes(&bb);
+                if staged {
+                    client.put_staged("g", 0, bb, data.into());
+                    // No serving: producer is free immediately.
+                } else {
+                    client.put_local("g", 0, bb, data.into());
+                    client.serve_local();
+                }
+            }
+            1 => run_server(&tc.world, &cfg),
+            _ => {
+                let client = DsClient::new(tc.world.clone(), cfg);
+                let r = tc.local.rank() as u64;
+                let qbox = BBox::new(vec![0, r * N / 2], vec![N, (r + 1) * N / 2]);
+                let _ = client.get("g", 0, &qbox, 8).unwrap();
+                client.done();
+            }
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_staging");
+    g.sample_size(10);
+    g.bench_function("put_local_index_only", |b| b.iter(|| run(false)));
+    g.bench_function("put_staged_full_copy", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion micro-version of Fig. 11: the three fastest transports with
+//! 10× larger per-producer data.
+
+use bench::runners::{run_dataspaces, run_lowfive_memory, run_pure_mpi};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::paper_split(8, 80_000, 80_000);
+    let mut g = c.benchmark_group("fig11_large_data");
+    g.sample_size(10);
+    g.bench_function("lowfive_memory", |b| b.iter(|| run_lowfive_memory(&w)));
+    g.bench_function("dataspaces", |b| b.iter(|| run_dataspaces(&w, 1)));
+    g.bench_function("pure_mpi", |b| b.iter(|| run_pure_mpi(&w)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

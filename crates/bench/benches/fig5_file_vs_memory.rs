@@ -1,0 +1,20 @@
+//! Criterion micro-version of Fig. 5: LowFive file mode vs memory mode at
+//! a fixed small scale (the `figures` binary runs the full sweep).
+
+use bench::runners::{run_lowfive_file, run_lowfive_memory};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::paper_split(8, 4_096, 4_096);
+    let dir = std::env::temp_dir().join("bench-fig5");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut g = c.benchmark_group("fig5_transport_mode");
+    g.sample_size(10);
+    g.bench_function("lowfive_file_mode", |b| b.iter(|| run_lowfive_file(&w, &dir)));
+    g.bench_function("lowfive_memory_mode", |b| b.iter(|| run_lowfive_memory(&w)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion micro-version of Fig. 6: LowFive file mode vs pure HDF5 —
+//! the interception overhead of the VOL layer on the file path.
+
+use bench::runners::{run_lowfive_file, run_pure_hdf5};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::paper_split(8, 4_096, 4_096);
+    let d1 = std::env::temp_dir().join("bench-fig6-lf");
+    let d2 = std::env::temp_dir().join("bench-fig6-h5");
+    std::fs::create_dir_all(&d1).unwrap();
+    std::fs::create_dir_all(&d2).unwrap();
+    let mut g = c.benchmark_group("fig6_vol_overhead");
+    g.sample_size(10);
+    g.bench_function("lowfive_file_mode", |b| b.iter(|| run_lowfive_file(&w, &d1)));
+    g.bench_function("pure_hdf5", |b| b.iter(|| run_pure_hdf5(&w, &d2)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion micro-version of Fig. 7: LowFive memory mode vs the
+//! hand-written point-by-point MPI redistribution.
+
+use bench::runners::{run_lowfive_memory, run_pure_mpi};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::paper_split(8, 8_000, 8_000);
+    let mut g = c.benchmark_group("fig7_vs_pure_mpi");
+    g.sample_size(10);
+    g.bench_function("lowfive_memory", |b| b.iter(|| run_lowfive_memory(&w)));
+    g.bench_function("pure_mpi", |b| b.iter(|| run_pure_mpi(&w)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

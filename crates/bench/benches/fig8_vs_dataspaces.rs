@@ -1,0 +1,18 @@
+//! Criterion micro-version of Fig. 8: LowFive memory mode vs the
+//! DataSpaces staging service (with 1 extra staging rank).
+
+use bench::runners::{run_dataspaces, run_lowfive_memory};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::paper_split(8, 8_000, 8_000);
+    let mut g = c.benchmark_group("fig8_vs_dataspaces");
+    g.sample_size(10);
+    g.bench_function("lowfive_memory", |b| b.iter(|| run_lowfive_memory(&w)));
+    g.bench_function("dataspaces", |b| b.iter(|| run_dataspaces(&w, 1)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion micro-version of Fig. 9: LowFive memory mode vs Bredala
+//! (grid under the bounding-box policy, particles contiguous).
+
+use bench::runners::{run_bredala, run_lowfive_memory};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::paper_split(8, 8_000, 8_000);
+    let mut g = c.benchmark_group("fig9_vs_bredala");
+    g.sample_size(10);
+    g.bench_function("lowfive_memory", |b| b.iter(|| run_lowfive_memory(&w)));
+    g.bench_function("bredala", |b| b.iter(|| run_bredala(&w)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

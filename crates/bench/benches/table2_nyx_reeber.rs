@@ -1,0 +1,21 @@
+//! Criterion micro-version of Table II: the three I/O paths of the
+//! Nyx–Reeber workflow at a small grid.
+
+use bench::table2::{scenario_hdf5, scenario_lowfive, scenario_plotfiles, Table2Case};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut case = Table2Case::new(16, 4, 2);
+    case.particles_per_rank = 2_000;
+    let dir = std::env::temp_dir().join("bench-table2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut g = c.benchmark_group("table2_nyx_reeber");
+    g.sample_size(10);
+    g.bench_function("lowfive_in_situ", |b| b.iter(|| scenario_lowfive(&case)));
+    g.bench_function("baseline_hdf5", |b| b.iter(|| scenario_hdf5(&case, &dir)));
+    g.bench_function("plotfiles", |b| b.iter(|| scenario_plotfiles(&case, &dir)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

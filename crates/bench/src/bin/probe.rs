@@ -1,0 +1,11 @@
+use bench::runners::run_lowfive_memory;
+use bench::workload::Workload;
+fn main() {
+    for gpp in [27_000u64, 80_000, 160_000, 270_000] {
+        let w = Workload::paper_split(64, gpp, gpp);
+        let t0 = std::time::Instant::now();
+        let m = run_lowfive_memory(&w);
+        eprintln!("gpp={gpp}: inner={:.3}s wall={:.3}s msgs={} bytes={}",
+                  m.seconds, t0.elapsed().as_secs_f64(), m.messages, m.bytes);
+    }
+}

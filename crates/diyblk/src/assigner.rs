@@ -1,0 +1,148 @@
+//! Block-to-rank assignment.
+
+/// Maps block gids onto ranks and back.
+pub trait Assigner: Send + Sync {
+    /// Which rank owns block `gid`.
+    fn rank_of(&self, gid: usize) -> usize;
+    /// Blocks owned by `rank`, in gid order.
+    fn gids_of(&self, rank: usize) -> Vec<usize>;
+    /// Total block count.
+    fn nblocks(&self) -> usize;
+    /// Total rank count.
+    fn nranks(&self) -> usize;
+}
+
+/// Blocks `[k·b, (k+1)·b)` go to rank `k` (with the remainder spread over
+/// the leading ranks). With one block per rank — the paper's usage — gid
+/// equals rank.
+#[derive(Debug, Clone)]
+pub struct ContiguousAssigner {
+    nblocks: usize,
+    nranks: usize,
+}
+
+impl ContiguousAssigner {
+    pub fn new(nranks: usize, nblocks: usize) -> Self {
+        assert!(nranks > 0 && nblocks > 0);
+        ContiguousAssigner { nblocks, nranks }
+    }
+
+    fn start_of(&self, rank: usize) -> usize {
+        (self.nblocks * rank) / self.nranks
+    }
+}
+
+impl Assigner for ContiguousAssigner {
+    fn rank_of(&self, gid: usize) -> usize {
+        assert!(gid < self.nblocks);
+        let mut r = (gid * self.nranks) / self.nblocks;
+        while self.start_of(r + 1) <= gid {
+            r += 1;
+        }
+        while self.start_of(r) > gid {
+            r -= 1;
+        }
+        r
+    }
+
+    fn gids_of(&self, rank: usize) -> Vec<usize> {
+        (self.start_of(rank)..self.start_of(rank + 1)).collect()
+    }
+
+    fn nblocks(&self) -> usize {
+        self.nblocks
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+}
+
+/// Block `gid` goes to rank `gid % nranks`.
+#[derive(Debug, Clone)]
+pub struct RoundRobinAssigner {
+    nblocks: usize,
+    nranks: usize,
+}
+
+impl RoundRobinAssigner {
+    pub fn new(nranks: usize, nblocks: usize) -> Self {
+        assert!(nranks > 0 && nblocks > 0);
+        RoundRobinAssigner { nblocks, nranks }
+    }
+}
+
+impl Assigner for RoundRobinAssigner {
+    fn rank_of(&self, gid: usize) -> usize {
+        assert!(gid < self.nblocks);
+        gid % self.nranks
+    }
+
+    fn gids_of(&self, rank: usize) -> Vec<usize> {
+        (rank..self.nblocks).step_by(self.nranks).collect()
+    }
+
+    fn nblocks(&self) -> usize {
+        self.nblocks
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_consistency(a: &dyn Assigner) {
+        // Every gid is owned by exactly the rank whose gid list contains it.
+        for gid in 0..a.nblocks() {
+            let r = a.rank_of(gid);
+            assert!(r < a.nranks());
+            assert!(a.gids_of(r).contains(&gid));
+        }
+        // Lists partition the gids.
+        let total: usize = (0..a.nranks()).map(|r| a.gids_of(r).len()).sum();
+        assert_eq!(total, a.nblocks());
+    }
+
+    #[test]
+    fn contiguous_one_block_per_rank() {
+        let a = ContiguousAssigner::new(6, 6);
+        for g in 0..6 {
+            assert_eq!(a.rank_of(g), g);
+            assert_eq!(a.gids_of(g), vec![g]);
+        }
+    }
+
+    #[test]
+    fn contiguous_uneven() {
+        let a = ContiguousAssigner::new(3, 8);
+        check_consistency(&a);
+        // Block counts differ by at most one.
+        let counts: Vec<usize> = (0..3).map(|r| a.gids_of(r).len()).collect();
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+        // Contiguity.
+        for r in 0..3 {
+            let g = a.gids_of(r);
+            assert!(g.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+    }
+
+    #[test]
+    fn round_robin() {
+        let a = RoundRobinAssigner::new(3, 8);
+        check_consistency(&a);
+        assert_eq!(a.gids_of(0), vec![0, 3, 6]);
+        assert_eq!(a.gids_of(2), vec![2, 5]);
+    }
+
+    #[test]
+    fn more_ranks_than_blocks() {
+        let a = ContiguousAssigner::new(8, 3);
+        check_consistency(&a);
+        // Some ranks own nothing.
+        assert!((0..8).any(|r| a.gids_of(r).is_empty()));
+    }
+}

@@ -1,0 +1,93 @@
+//! Factoring a block count into per-dimension factors.
+
+/// Factor `n` into `d` factors that are as close to each other as possible
+/// (paper §III-B: "the decomposition is found by factoring n into d
+/// factors n1, …, nd that are as close to each other as possible").
+///
+/// Prime factors of `n` are distributed greedily, largest first, each onto
+/// the currently smallest accumulated factor. The result is sorted in
+/// non-increasing order (slowest-varying dimension gets the largest
+/// factor) and always multiplies back to exactly `n`.
+///
+/// # Panics
+/// Panics if `n == 0` or `d == 0`.
+pub fn factor_count(n: usize, d: usize) -> Vec<usize> {
+    assert!(n > 0, "cannot decompose zero blocks");
+    assert!(d > 0, "need at least one dimension");
+    let mut primes = prime_factors(n);
+    primes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut factors = vec![1usize; d];
+    for p in primes {
+        let i = factors
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .map(|(i, _)| i)
+            .expect("d ≥ 1");
+        factors[i] *= p;
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    factors
+}
+
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = 2usize;
+    while p * p <= n {
+        while n % p == 0 {
+            out.push(p);
+            n /= p;
+        }
+        p += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn products_are_exact() {
+        for n in 1..=64 {
+            for d in 1..=4 {
+                let f = factor_count(n, d);
+                assert_eq!(f.len(), d);
+                assert_eq!(f.iter().product::<usize>(), n, "n={n} d={d} f={f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn factors_are_balanced() {
+        assert_eq!(factor_count(6, 2), vec![3, 2]);
+        assert_eq!(factor_count(12, 2), vec![4, 3]);
+        assert_eq!(factor_count(8, 3), vec![2, 2, 2]);
+        assert_eq!(factor_count(64, 3), vec![4, 4, 4]);
+        assert_eq!(factor_count(4096, 3), vec![16, 16, 16]);
+    }
+
+    #[test]
+    fn primes_go_to_one_dimension() {
+        assert_eq!(factor_count(7, 2), vec![7, 1]);
+        assert_eq!(factor_count(1, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn sorted_non_increasing() {
+        for n in [6usize, 30, 48, 100, 768] {
+            let f = factor_count(n, 3);
+            assert!(f.windows(2).all(|w| w[0] >= w[1]), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn prime_factorization() {
+        assert_eq!(prime_factors(360), vec![2, 2, 2, 3, 3, 5]);
+        assert_eq!(prime_factors(97), vec![97]);
+        assert!(prime_factors(1).is_empty());
+    }
+}

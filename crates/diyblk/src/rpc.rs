@@ -1,0 +1,233 @@
+//! A minimal remote-procedure-call abstraction over the message substrate.
+//!
+//! The paper: "the index, serve, and query functions are written using a
+//! custom remote procedure call (RPC) abstraction implemented over MPI."
+//! Here a *server* rank sits in a [`RpcServer::serve`] loop handling
+//! requests from any rank of a (typically world) communicator; a *client*
+//! issues blocking calls and fire-and-forget notifications. Requests carry
+//! a method id so one loop can multiplex many procedures, and the server's
+//! handler decides when the loop terminates (e.g. when every consumer has
+//! said "done").
+
+use bytes::{BufMut, Bytes, BytesMut};
+use simmpi::{Comm, SrcSel, ANY_SOURCE};
+
+/// Tags used by the RPC layer (ordinary user tags, below the collective
+/// range; chosen high to stay clear of application traffic).
+const TAG_REQUEST: u32 = 0x7F00_0001;
+const TAG_REPLY: u32 = 0x7F00_0002;
+
+fn encode_request(method: u32, args: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + args.len());
+    b.put_u32_le(method);
+    b.put_slice(args);
+    b.freeze()
+}
+
+fn decode_request(payload: &Bytes) -> (u32, Bytes) {
+    let method = u32::from_le_bytes(payload[..4].try_into().expect("4-byte method id"));
+    (method, payload.slice(4..))
+}
+
+/// What the server should do after handling one request.
+pub enum ServeOutcome {
+    /// Send this reply to the caller and keep serving.
+    Reply(Bytes),
+    /// No reply (the request was a notification); keep serving.
+    Continue,
+    /// Send this reply (if `Some`) and exit the serve loop.
+    Stop(Option<Bytes>),
+}
+
+/// Server side: a loop dispatching incoming requests to a handler.
+pub struct RpcServer<'a> {
+    comm: &'a Comm,
+}
+
+impl<'a> RpcServer<'a> {
+    pub fn new(comm: &'a Comm) -> Self {
+        RpcServer { comm }
+    }
+
+    /// Handle requests until the handler returns [`ServeOutcome::Stop`].
+    /// The handler receives `(caller rank, method id, argument bytes)`.
+    pub fn serve<F>(&self, mut handler: F)
+    where
+        F: FnMut(usize, u32, Bytes) -> ServeOutcome,
+    {
+        loop {
+            let env = self.comm.recv(ANY_SOURCE, TAG_REQUEST.into());
+            let (method, args) = decode_request(&env.payload);
+            match handler(env.src, method, args) {
+                ServeOutcome::Reply(reply) => self.comm.send(env.src, TAG_REPLY, reply),
+                ServeOutcome::Continue => {}
+                ServeOutcome::Stop(reply) => {
+                    if let Some(r) = reply {
+                        self.comm.send(env.src, TAG_REPLY, r);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Handle at most one pending request without blocking; returns whether
+    /// the handler asked to stop. Useful for servers that interleave
+    /// serving with other work.
+    pub fn poll<F>(&self, mut handler: F) -> Option<bool>
+    where
+        F: FnMut(usize, u32, Bytes) -> ServeOutcome,
+    {
+        let env = self.comm.try_recv(ANY_SOURCE, TAG_REQUEST.into())?;
+        let (method, args) = decode_request(&env.payload);
+        Some(match handler(env.src, method, args) {
+            ServeOutcome::Reply(reply) => {
+                self.comm.send(env.src, TAG_REPLY, reply);
+                false
+            }
+            ServeOutcome::Continue => false,
+            ServeOutcome::Stop(reply) => {
+                if let Some(r) = reply {
+                    self.comm.send(env.src, TAG_REPLY, r);
+                }
+                true
+            }
+        })
+    }
+}
+
+/// Send a reply outside the normal handler return path. Servers that
+/// defer a request (returning [`ServeOutcome::Continue`] and remembering
+/// the caller) use this to answer later — e.g. a staging server holding a
+/// query until the data version is complete.
+pub fn send_reply(comm: &Comm, dest: usize, reply: Bytes) {
+    comm.send(dest, TAG_REPLY, reply);
+}
+
+/// Client side: blocking calls and notifications to server ranks.
+pub struct RpcClient<'a> {
+    comm: &'a Comm,
+}
+
+impl<'a> RpcClient<'a> {
+    pub fn new(comm: &'a Comm) -> Self {
+        RpcClient { comm }
+    }
+
+    /// Call `method` on `server` and block for the reply.
+    pub fn call(&self, server: usize, method: u32, args: &[u8]) -> Bytes {
+        self.comm.send(server, TAG_REQUEST, encode_request(method, args));
+        self.comm.recv(SrcSel::Rank(server), TAG_REPLY.into()).payload
+    }
+
+    /// Send a request without waiting for (or expecting) a reply.
+    pub fn notify(&self, server: usize, method: u32, args: &[u8]) {
+        self.comm.send(server, TAG_REQUEST, encode_request(method, args));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::World;
+
+    const M_ECHO: u32 = 1;
+    const M_ADD: u32 = 2;
+    const M_DONE: u32 = 3;
+
+    #[test]
+    fn echo_and_stateful_server() {
+        World::run(3, |c| {
+            if c.rank() == 0 {
+                // Server: echoes, accumulates, stops after 2 DONEs.
+                let mut sum = 0u64;
+                let mut done = 0;
+                RpcServer::new(&c).serve(|_src, method, args| match method {
+                    M_ECHO => ServeOutcome::Reply(args),
+                    M_ADD => {
+                        sum += u64::from_le_bytes(args[..8].try_into().unwrap());
+                        ServeOutcome::Reply(Bytes::copy_from_slice(&sum.to_le_bytes()))
+                    }
+                    M_DONE => {
+                        done += 1;
+                        if done == 2 {
+                            ServeOutcome::Stop(None)
+                        } else {
+                            ServeOutcome::Continue
+                        }
+                    }
+                    m => panic!("unknown method {m}"),
+                });
+                sum
+            } else {
+                let rpc = RpcClient::new(&c);
+                let echoed = rpc.call(0, M_ECHO, b"ping");
+                assert_eq!(&echoed[..], b"ping");
+                let v = (c.rank() as u64) * 10;
+                let _ = rpc.call(0, M_ADD, &v.to_le_bytes());
+                rpc.notify(0, M_DONE, &[]);
+                0
+            }
+        })
+        .into_iter()
+        .take(1)
+        .for_each(|sum| assert_eq!(sum, 30));
+    }
+
+    #[test]
+    fn many_clients_one_server() {
+        World::run(8, |c| {
+            if c.rank() == 0 {
+                let mut remaining = 7;
+                RpcServer::new(&c).serve(|src, method, _args| match method {
+                    M_ECHO => ServeOutcome::Reply(Bytes::copy_from_slice(
+                        &(src as u64).to_le_bytes(),
+                    )),
+                    M_DONE => {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            ServeOutcome::Stop(None)
+                        } else {
+                            ServeOutcome::Continue
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+            } else {
+                let rpc = RpcClient::new(&c);
+                for _ in 0..5 {
+                    let r = rpc.call(0, M_ECHO, &[]);
+                    assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), c.rank() as u64);
+                }
+                rpc.notify(0, M_DONE, &[]);
+            }
+        });
+    }
+
+    #[test]
+    fn poll_serves_when_ready() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                let server = RpcServer::new(&c);
+                assert!(server.poll(|_, _, _| unreachable!()).is_none());
+                c.barrier();
+                // After the barrier the request is definitely queued.
+                loop {
+                    if let Some(stopped) = server.poll(|_, m, args| {
+                        assert_eq!(m, M_ECHO);
+                        ServeOutcome::Stop(Some(args))
+                    }) {
+                        assert!(stopped);
+                        break;
+                    }
+                }
+            } else {
+                let rpc = RpcClient::new(&c);
+                rpc.notify(0, M_ECHO, b"x");
+                c.barrier();
+                let reply = c.recv(SrcSel::Rank(0), TAG_REPLY.into());
+                assert_eq!(&reply.payload[..], b"x");
+            }
+        });
+    }
+}

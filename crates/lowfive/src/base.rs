@@ -1,0 +1,159 @@
+//! The base VOL layer: catch everything, pass through to storage.
+//!
+//! Paper §III-A(a): "Any HDF5 functions that are not redefined in the
+//! subsequent layers are caught at this base layer and pass through to
+//! native HDF5 file I/O." `BaseVol` is exactly that: a transparent wrapper
+//! around an inner connector (normally [`minih5::native::NativeVol`]).
+//! The metadata layer composes over it and overrides what it needs.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use minih5::{Dataspace, Datatype, H5Result, ObjId, ObjKind, Ownership, Selection, Vol};
+
+/// Transparent passthrough connector.
+pub struct BaseVol {
+    inner: Arc<dyn Vol>,
+}
+
+impl BaseVol {
+    /// Wrap an inner storage connector.
+    pub fn new(inner: Arc<dyn Vol>) -> Self {
+        BaseVol { inner }
+    }
+
+    /// A base layer over a serial native connector.
+    pub fn native() -> Self {
+        BaseVol { inner: Arc::new(minih5::native::NativeVol::serial()) }
+    }
+
+    /// The wrapped connector.
+    pub fn inner(&self) -> &Arc<dyn Vol> {
+        &self.inner
+    }
+}
+
+impl Vol for BaseVol {
+    fn vol_name(&self) -> &'static str {
+        "lowfive-base"
+    }
+
+    fn file_create(&self, name: &str) -> H5Result<ObjId> {
+        self.inner.file_create(name)
+    }
+
+    fn file_open(&self, name: &str) -> H5Result<ObjId> {
+        self.inner.file_open(name)
+    }
+
+    fn file_close(&self, file: ObjId) -> H5Result<()> {
+        self.inner.file_close(file)
+    }
+
+    fn group_create(&self, parent: ObjId, name: &str) -> H5Result<ObjId> {
+        self.inner.group_create(parent, name)
+    }
+
+    fn open_path(&self, parent: ObjId, path: &str) -> H5Result<ObjId> {
+        self.inner.open_path(parent, path)
+    }
+
+    fn dataset_create(
+        &self,
+        parent: ObjId,
+        name: &str,
+        dtype: &Datatype,
+        space: &Dataspace,
+    ) -> H5Result<ObjId> {
+        self.inner.dataset_create(parent, name, dtype, space)
+    }
+
+    fn dataset_create_chunked(
+        &self,
+        parent: ObjId,
+        name: &str,
+        dtype: &Datatype,
+        space: &Dataspace,
+        chunk: &[u64],
+    ) -> H5Result<ObjId> {
+        self.inner.dataset_create_chunked(parent, name, dtype, space, chunk)
+    }
+
+    fn dataset_extend(&self, dset: ObjId, new_dims: &[u64]) -> H5Result<()> {
+        self.inner.dataset_extend(dset, new_dims)
+    }
+
+    fn dataset_chunk(&self, dset: ObjId) -> H5Result<Option<Vec<u64>>> {
+        self.inner.dataset_chunk(dset)
+    }
+
+    fn dataset_meta(&self, dset: ObjId) -> H5Result<(Datatype, Dataspace)> {
+        self.inner.dataset_meta(dset)
+    }
+
+    fn dataset_write(
+        &self,
+        dset: ObjId,
+        file_sel: &Selection,
+        data: Bytes,
+        ownership: Ownership,
+    ) -> H5Result<()> {
+        self.inner.dataset_write(dset, file_sel, data, ownership)
+    }
+
+    fn dataset_read(&self, dset: ObjId, file_sel: &Selection) -> H5Result<Bytes> {
+        self.inner.dataset_read(dset, file_sel)
+    }
+
+    fn attr_write(&self, obj: ObjId, name: &str, dtype: &Datatype, data: Bytes) -> H5Result<()> {
+        self.inner.attr_write(obj, name, dtype, data)
+    }
+
+    fn attr_read(&self, obj: ObjId, name: &str) -> H5Result<(Datatype, Bytes)> {
+        self.inner.attr_read(obj, name)
+    }
+
+    fn list(&self, obj: ObjId) -> H5Result<Vec<(String, ObjKind)>> {
+        self.inner.list(obj)
+    }
+
+    fn obj_kind(&self, obj: ObjId) -> H5Result<ObjKind> {
+        self.inner.obj_kind(obj)
+    }
+
+    fn object_close(&self, obj: ObjId) -> H5Result<()> {
+        self.inner.object_close(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minih5::H5;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("lowfive-base-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn base_layer_is_transparent() {
+        let h5 = H5::with_vol(Arc::new(BaseVol::native()));
+        assert_eq!(h5.vol_name(), "lowfive-base");
+        let path = tmp("passthrough.nh5");
+        let f = h5.create_file(&path).unwrap();
+        let d = f
+            .create_dataset("d", Datatype::UInt64, Dataspace::simple(&[4]))
+            .unwrap();
+        d.write_all(&[9u64, 8, 7, 6]).unwrap();
+        f.close().unwrap();
+
+        // The file is a normal native file, readable without LowFive.
+        let plain = H5::native();
+        let f = plain.open_file(&path).unwrap();
+        let d = f.open_dataset("d").unwrap();
+        assert_eq!(d.read_all::<u64>().unwrap(), vec![9, 8, 7, 6]);
+        f.close().unwrap();
+    }
+}

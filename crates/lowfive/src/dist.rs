@@ -1,0 +1,951 @@
+//! The distributed metadata VOL: in situ transport between tasks.
+//!
+//! Paper §III-A(c): "the distributed metadata VOL class … redefine[s] HDF5
+//! functions that potentially access remote processes, e.g., in order to
+//! transfer data over MPI from the processes of a producer task to the
+//! processes of a consumer task. … We implement distributed client-server
+//! connections between the processes of a consumer task reading data and a
+//! producer task writing data."
+//!
+//! Lifecycle on the producer side: writes accumulate in the metadata
+//! layer's tree; `file_close` triggers **index** (Algorithm 1 — producers
+//! exchange region bounding boxes according to the common decomposition)
+//! and then **serve** (Algorithm 2 — answer consumer queries until every
+//! consumer rank reports done).
+//!
+//! Lifecycle on the consumer side: `file_open` fetches the serialized
+//! metadata tree from a producer rank; `dataset_read` runs **query**
+//! (Algorithm 3 — redirect via the common decomposition, then fetch data
+//! from the owning producers); `file_close` notifies the producers.
+//!
+//! Fan-in and fan-out are expressed as [`Link`]s: a task may produce some
+//! file patterns and consume others, with any number of peer tasks.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use diyblk::rpc::{RpcClient, RpcServer, ServeOutcome};
+use diyblk::RegularDecomposer;
+use minih5::format::import_meta;
+use minih5::selection::overlap_runs;
+use minih5::{
+    BBox, Dataspace, Datatype, H5Error, H5Result, Hierarchy, NodeId, ObjId, ObjKind, Ownership,
+    Selection, Vol,
+};
+use simmpi::Comm;
+
+use crate::metadata::MetadataVol;
+use crate::props::{glob_match, LowFiveProps};
+use crate::protocol::*;
+
+/// Direction of a workflow link, from this task's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// This task writes files matching the pattern; the remote ranks
+    /// consume them.
+    Produce,
+    /// This task reads files matching the pattern; the remote ranks
+    /// produce them.
+    Consume,
+}
+
+/// One edge of the workflow task graph.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// File-name glob selecting which files travel on this link.
+    pub pattern: String,
+    pub dir: LinkDir,
+    /// World ranks of the remote task's processes.
+    pub remote_ranks: Vec<usize>,
+}
+
+/// Ids of objects opened over a Consume link carry this bit; all other ids
+/// belong to the local metadata layer.
+const REMOTE_BIT: ObjId = 1 << 63;
+
+struct RemoteFileInfo {
+    producers: Vec<usize>,
+}
+
+#[derive(Clone)]
+struct RemoteEntry {
+    node: NodeId,
+    filename: Arc<str>,
+    path: String,
+}
+
+#[derive(Default)]
+struct RemoteState {
+    hier: Hierarchy,
+    files: HashMap<String, RemoteFileInfo>,
+    entries: HashMap<ObjId, RemoteEntry>,
+    next: ObjId,
+}
+
+impl RemoteState {
+    fn mint(&mut self) -> ObjId {
+        self.next += 1;
+        self.next | REMOTE_BIT
+    }
+
+    fn entry(&self, id: ObjId) -> H5Result<&RemoteEntry> {
+        self.entries.get(&id).ok_or(H5Error::InvalidHandle(id))
+    }
+}
+
+/// Fine-grained transport profile (paper §V-C: "profiling our
+/// communication at finer grain"). Producer-side phases (index, serve)
+/// and consumer-side phases (open, redirect, fetch) are timed and counted
+/// separately; snapshot with [`DistMetadataVol::profile`].
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TransportProfile {
+    /// Seconds spent in the index exchange (Algorithm 1).
+    pub index_seconds: f64,
+    /// Bounding boxes recorded in the serve index.
+    pub index_boxes: u64,
+    /// Seconds spent serving consumers (Algorithm 2), including waiting.
+    pub serve_seconds: f64,
+    /// Completed serve sessions (one per produced file).
+    pub serve_sessions: u64,
+    /// Requests answered, by kind.
+    pub metadata_requests: u64,
+    pub intersect_requests: u64,
+    pub data_requests: u64,
+    /// Payload bytes shipped in data replies.
+    pub bytes_served: u64,
+    /// Consumer: seconds blocked in remote file opens.
+    pub open_seconds: f64,
+    /// Consumer: seconds in redirect queries (Algorithm 3 step 1).
+    pub redirect_seconds: f64,
+    /// Consumer: seconds fetching and scattering data (step 2).
+    pub fetch_seconds: f64,
+    /// Payload bytes received in data replies.
+    pub bytes_fetched: u64,
+}
+
+/// Book-keeping for the asynchronous serve loop (one background thread
+/// multiplexing all open serve sessions).
+#[derive(Default)]
+struct AsyncSessions {
+    /// filename → consumer DONEs still outstanding.
+    open: HashMap<String, usize>,
+    /// Files fully served (safe to keep answering reads for).
+    completed: std::collections::HashSet<String>,
+    /// drain() was requested: exit once `open` empties.
+    draining: bool,
+}
+
+#[derive(Default)]
+struct ServeIndex {
+    /// `(file, dataset) → [(bounding box, producer local rank)]` — the
+    /// paper's `boxes[file, dset]` of Algorithm 1 line 11.
+    boxes: HashMap<(String, String), Vec<(BBox, usize)>>,
+}
+
+/// The distributed metadata connector.
+pub struct DistMetadataVol {
+    meta: MetadataVol,
+    props: LowFiveProps,
+    world: Comm,
+    local: Comm,
+    links: Vec<Link>,
+    remote: Mutex<RemoteState>,
+    serve_index: Mutex<ServeIndex>,
+    profile: Mutex<TransportProfile>,
+    /// Overlap mode (paper §V-C: "consume data as soon as it is
+    /// available, and overlap reading and writing"): file_close returns
+    /// immediately and a single background thread serves all sessions.
+    async_serve: bool,
+    sessions: Mutex<AsyncSessions>,
+    serve_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    self_weak: std::sync::Weak<DistMetadataVol>,
+    /// Metadata requests for files this task will produce but has not
+    /// closed yet (a consumer may run ahead and open snapshot *t+1* while
+    /// we still serve *t*). Answered when the file's serve session opens.
+    pending_meta: Mutex<Vec<(usize, String)>>,
+}
+
+/// Builder for [`DistMetadataVol`].
+pub struct DistVolBuilder {
+    world: Comm,
+    local: Comm,
+    props: LowFiveProps,
+    links: Vec<Link>,
+    storage: Option<Arc<dyn Vol>>,
+    async_serve: bool,
+}
+
+impl DistVolBuilder {
+    /// `world` spans all tasks; `local` spans this task's ranks.
+    pub fn new(world: Comm, local: Comm) -> Self {
+        DistVolBuilder {
+            world,
+            local,
+            props: LowFiveProps::new(),
+            links: Vec::new(),
+            storage: None,
+            async_serve: false,
+        }
+    }
+
+    /// Enable overlap mode: producer `file_close` indexes, registers a
+    /// serve session, and returns immediately; a background thread answers
+    /// consumers while the producer computes the next step. Call
+    /// [`DistMetadataVol::drain`] before the producer task exits.
+    pub fn async_serve(mut self, on: bool) -> Self {
+        self.async_serve = on;
+        self
+    }
+
+    /// Set the transport properties.
+    pub fn props(mut self, props: LowFiveProps) -> Self {
+        self.props = props;
+        self
+    }
+
+    /// Declare that this task produces files matching `pattern` for the
+    /// consumer task whose processes are `consumer_world_ranks`.
+    pub fn produce(mut self, pattern: &str, consumer_world_ranks: Vec<usize>) -> Self {
+        self.links.push(Link {
+            pattern: pattern.to_string(),
+            dir: LinkDir::Produce,
+            remote_ranks: consumer_world_ranks,
+        });
+        self
+    }
+
+    /// Declare that this task consumes files matching `pattern` from the
+    /// producer task whose processes are `producer_world_ranks`.
+    pub fn consume(mut self, pattern: &str, producer_world_ranks: Vec<usize>) -> Self {
+        self.links.push(Link {
+            pattern: pattern.to_string(),
+            dir: LinkDir::Consume,
+            remote_ranks: producer_world_ranks,
+        });
+        self
+    }
+
+    /// Override the storage connector used for passthrough (defaults to a
+    /// parallel native connector coordinated over `local`).
+    pub fn storage(mut self, vol: Arc<dyn Vol>) -> Self {
+        self.storage = Some(vol);
+        self
+    }
+
+    pub fn build(self) -> Arc<DistMetadataVol> {
+        let storage = self.storage.unwrap_or_else(|| {
+            let c = self.local.clone();
+            Arc::new(minih5::native::NativeVol::parallel(self.local.rank(), move || c.barrier()))
+        });
+        Arc::new_cyclic(|weak| DistMetadataVol {
+            meta: MetadataVol::new(storage, self.props.clone()),
+            props: self.props,
+            world: self.world,
+            local: self.local,
+            links: self.links,
+            remote: Mutex::default(),
+            serve_index: Mutex::default(),
+            profile: Mutex::default(),
+            async_serve: self.async_serve,
+            sessions: Mutex::default(),
+            serve_thread: Mutex::default(),
+            self_weak: weak.clone(),
+            pending_meta: Mutex::default(),
+        })
+    }
+}
+
+impl DistMetadataVol {
+    /// Access the wrapped metadata layer (tests, diagnostics).
+    pub fn metadata(&self) -> &MetadataVol {
+        &self.meta
+    }
+
+    /// Snapshot the accumulated transport profile.
+    pub fn profile(&self) -> TransportProfile {
+        self.profile.lock().clone()
+    }
+
+    /// Zero the transport profile (e.g. between timesteps).
+    pub fn reset_profile(&self) {
+        *self.profile.lock() = TransportProfile::default();
+    }
+
+    fn consume_link_for(&self, name: &str) -> Option<&Link> {
+        self.links
+            .iter()
+            .find(|l| l.dir == LinkDir::Consume && glob_match(&l.pattern, name))
+    }
+
+    /// All consumer world ranks subscribed to `name` (fan-out: multiple
+    /// Produce links can match).
+    fn consumers_for(&self, name: &str) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for l in &self.links {
+            if l.dir == LinkDir::Produce && glob_match(&l.pattern, name) {
+                for &r in &l.remote_ranks {
+                    if !out.contains(&r) {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Producer: index (Algorithm 1)
+    // -----------------------------------------------------------------
+
+    fn index(&self, filename: &str) -> H5Result<()> {
+        let t0 = std::time::Instant::now();
+        let n = self.local.size();
+        let dsets = self.meta.datasets_of_file(filename)?;
+        let mut bundles: Vec<Vec<(String, String, BBox)>> = vec![Vec::new(); n];
+        for dset in &dsets {
+            let (_dtype, space) = self.meta.dataset_meta_by_path(filename, dset)?;
+            let dims = effective_dims(&space);
+            let decomp = RegularDecomposer::new(&dims, n);
+            for region in self.meta.dataset_regions(filename, dset)? {
+                let bb = effective_bbox(&region.selection, &space);
+                if bb.is_empty() {
+                    continue;
+                }
+                // Algorithm 1 lines 6-9: send the bounding box to every
+                // producer whose common-decomposition block it intersects.
+                for gid in decomp.blocks_intersecting(&bb) {
+                    bundles[gid].push((filename.to_string(), dset.clone(), bb.clone()));
+                }
+            }
+        }
+        // One (possibly empty) bundle to every peer gives each producer a
+        // deterministic receive count — the termination condition the
+        // paper's nonblocking sends need anyway. The exchange is a
+        // personalized all-to-all.
+        let parts: Vec<bytes::Bytes> = bundles.iter().map(|b| enc_index_bundle(b)).collect();
+        let received = self.local.alltoall_bytes(parts);
+        let mut idx = self.serve_index.lock();
+        idx.boxes.retain(|(f, _), _| f != filename);
+        let mut nboxes = 0u64;
+        for (src, payload) in received.iter().enumerate() {
+            for (f, d, bb) in dec_index_bundle(payload)? {
+                idx.boxes.entry((f, d)).or_default().push((bb, src));
+                nboxes += 1;
+            }
+        }
+        drop(idx);
+        let mut p = self.profile.lock();
+        p.index_seconds += t0.elapsed().as_secs_f64();
+        p.index_boxes += nboxes;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Producer: serve (Algorithm 2)
+    // -----------------------------------------------------------------
+
+    fn serve(&self, filename: &str, expected_dones: usize) {
+        let t0 = std::time::Instant::now();
+        // Answer metadata requests that arrived for this file before we
+        // closed it (consumers running ahead to the next snapshot).
+        {
+            let mut pending = self.pending_meta.lock();
+            let (now, later): (Vec<_>, Vec<_>) =
+                pending.drain(..).partition(|(_, f)| f == filename);
+            *pending = later;
+            for (src, file) in now {
+                let reply = self.meta.file_meta(&file).map(|m| enc_metadata_reply(&m));
+                diyblk::rpc::send_reply(&self.world, src, enc_result(reply));
+            }
+        }
+        let server = RpcServer::new(&self.world);
+        let mut dones = 0usize;
+        server.serve(|src, method, args| match method {
+            M_METADATA => {
+                self.profile.lock().metadata_requests += 1;
+                let file = match dec_metadata_req(&args) {
+                    Ok(f) => f,
+                    Err(e) => return ServeOutcome::Reply(enc_result(Err(e))),
+                };
+                match self.meta.file_meta(&file) {
+                    Ok(meta) => ServeOutcome::Reply(enc_result(Ok(enc_metadata_reply(&meta)))),
+                    Err(H5Error::NotFound(_))
+                        if self.links.iter().any(|l| {
+                            l.dir == LinkDir::Produce && glob_match(&l.pattern, &file)
+                        }) =>
+                    {
+                        // A future snapshot of ours: hold the request until
+                        // its serve session opens.
+                        self.pending_meta.lock().push((src, file));
+                        ServeOutcome::Continue
+                    }
+                    Err(e) => ServeOutcome::Reply(enc_result(Err(e))),
+                }
+            }
+            M_INTERSECT => {
+                self.profile.lock().intersect_requests += 1;
+                let reply = dec_intersect_req(&args).map(|(file, dset, qbb)| {
+                    let idx = self.serve_index.lock();
+                    let mut ranks: Vec<u64> = Vec::new();
+                    if let Some(list) = idx.boxes.get(&(file, dset)) {
+                        for (bb, rank) in list {
+                            if bb.intersects(&qbb) && !ranks.contains(&(*rank as u64)) {
+                                ranks.push(*rank as u64);
+                            }
+                        }
+                    }
+                    enc_intersect_reply(&ranks)
+                });
+                ServeOutcome::Reply(enc_result(reply))
+            }
+            M_DATA => {
+                let reply = dec_data_req(&args).and_then(|(file, dset, sel)| {
+                    self.answer_data_query(&file, &dset, &sel)
+                });
+                {
+                    let mut p = self.profile.lock();
+                    p.data_requests += 1;
+                    if let Ok(b) = &reply {
+                        p.bytes_served += b.len() as u64;
+                    }
+                }
+                ServeOutcome::Reply(enc_result(reply))
+            }
+            M_DONE => {
+                let file = dec_done_req(&args).unwrap_or_default();
+                if file == filename {
+                    dones += 1;
+                }
+                if dones == expected_dones {
+                    ServeOutcome::Stop(None)
+                } else {
+                    ServeOutcome::Continue
+                }
+            }
+            m => ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
+                "unknown RPC method {m}"
+            ))))),
+        });
+        let mut p = self.profile.lock();
+        p.serve_seconds += t0.elapsed().as_secs_f64();
+        p.serve_sessions += 1;
+    }
+
+    /// Algorithm 2 lines 9-14: stream the intersection of the local data
+    /// regions with the consumer's selection, as contiguous segments
+    /// addressed in the consumer's packed buffer.
+    fn answer_data_query(&self, file: &str, dset: &str, sel: &Selection) -> H5Result<Bytes> {
+        let (dtype, space) = self.meta.dataset_meta_by_path(file, dset)?;
+        sel.validate(&space)?;
+        let es = dtype.size();
+        let sel_runs = sel.runs(&space);
+        let mut segs: Vec<(u64, u64)> = Vec::new();
+        let mut blob: Vec<u8> = Vec::new();
+        for region in self.meta.dataset_regions(file, dset)? {
+            let reg_runs = region.selection.runs(&space);
+            for ov in overlap_runs(&reg_runs, &sel_runs) {
+                segs.push((ov.b_off, ov.len));
+                let s = (ov.a_off as usize) * es;
+                blob.extend_from_slice(&region.data[s..s + (ov.len as usize) * es]);
+            }
+        }
+        Ok(enc_data_reply(&segs, &blob))
+    }
+
+    fn producer_close(&self, filename: &str) -> H5Result<()> {
+        let consumers = self.consumers_for(filename);
+        if consumers.is_empty() {
+            return Ok(());
+        }
+        // Index is collective over the producer task, so it always runs on
+        // the caller (one index per close, in program order on every
+        // rank).
+        self.index(filename)?;
+        if !self.async_serve {
+            self.serve(filename, consumers.len());
+            return Ok(());
+        }
+        // Overlap mode: register the session, release any consumers that
+        // asked early, make sure the serve thread runs, and return.
+        self.sessions.lock().open.insert(filename.to_string(), consumers.len());
+        {
+            let mut pending = self.pending_meta.lock();
+            let (now, later): (Vec<_>, Vec<_>) =
+                pending.drain(..).partition(|(_, f)| f == filename);
+            *pending = later;
+            for (src, file) in now {
+                let reply = self.meta.file_meta(&file).map(|m| enc_metadata_reply(&m));
+                diyblk::rpc::send_reply(&self.world, src, enc_result(reply));
+            }
+        }
+        let mut guard = self.serve_thread.lock();
+        if guard.is_none() {
+            let me = self.self_weak.upgrade().expect("self is alive during close");
+            *guard = Some(
+                std::thread::Builder::new()
+                    .name(format!("lowfive-serve-{}", self.world.rank()))
+                    .spawn(move || me.serve_async_loop())
+                    .expect("spawn serve thread"),
+            );
+        }
+        Ok(())
+    }
+
+    /// Block until every outstanding async serve session completes and
+    /// stop the background thread. Producers in overlap mode must call
+    /// this before leaving their task (the `orchestra` runner does it
+    /// automatically).
+    pub fn drain(&self) {
+        let handle = {
+            let mut guard = self.serve_thread.lock();
+            match guard.take() {
+                Some(h) => h,
+                None => return,
+            }
+        };
+        // Wake the loop so it can observe the drain request.
+        RpcClient::new(&self.world).notify(self.world.rank(), M_SHUTDOWN, &[]);
+        handle.join().expect("serve thread panicked");
+    }
+
+    /// The multiplexed serve loop of overlap mode: one thread answers
+    /// queries for every open (or completed) session and exits once a
+    /// drain is requested and no session remains open.
+    fn serve_async_loop(&self) {
+        let t0 = std::time::Instant::now();
+        let server = RpcServer::new(&self.world);
+        server.serve(|src, method, args| match method {
+            M_METADATA => {
+                self.profile.lock().metadata_requests += 1;
+                let file = match dec_metadata_req(&args) {
+                    Ok(f) => f,
+                    Err(e) => return ServeOutcome::Reply(enc_result(Err(e))),
+                };
+                let known = {
+                    let s = self.sessions.lock();
+                    s.open.contains_key(&file) || s.completed.contains(&file)
+                };
+                if known {
+                    let reply = self.meta.file_meta(&file).map(|m| enc_metadata_reply(&m));
+                    ServeOutcome::Reply(enc_result(reply))
+                } else if self
+                    .links
+                    .iter()
+                    .any(|l| l.dir == LinkDir::Produce && glob_match(&l.pattern, &file))
+                {
+                    // Not closed yet (or never produced): hold the request.
+                    self.pending_meta.lock().push((src, file));
+                    ServeOutcome::Continue
+                } else {
+                    ServeOutcome::Reply(enc_result(Err(H5Error::NotFound(file))))
+                }
+            }
+            M_INTERSECT => {
+                self.profile.lock().intersect_requests += 1;
+                let reply = dec_intersect_req(&args).map(|(file, dset, qbb)| {
+                    let idx = self.serve_index.lock();
+                    let mut ranks: Vec<u64> = Vec::new();
+                    if let Some(list) = idx.boxes.get(&(file, dset)) {
+                        for (bb, rank) in list {
+                            if bb.intersects(&qbb) && !ranks.contains(&(*rank as u64)) {
+                                ranks.push(*rank as u64);
+                            }
+                        }
+                    }
+                    enc_intersect_reply(&ranks)
+                });
+                ServeOutcome::Reply(enc_result(reply))
+            }
+            M_DATA => {
+                let reply = dec_data_req(&args).and_then(|(file, dset, sel)| {
+                    self.answer_data_query(&file, &dset, &sel)
+                });
+                {
+                    let mut p = self.profile.lock();
+                    p.data_requests += 1;
+                    if let Ok(b) = &reply {
+                        p.bytes_served += b.len() as u64;
+                    }
+                }
+                ServeOutcome::Reply(enc_result(reply))
+            }
+            M_DONE => {
+                let file = dec_done_req(&args).unwrap_or_default();
+                let mut s = self.sessions.lock();
+                if let Some(remaining) = s.open.get_mut(&file) {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        s.open.remove(&file);
+                        s.completed.insert(file);
+                        self.profile.lock().serve_sessions += 1;
+                    }
+                }
+                if s.draining && s.open.is_empty() {
+                    ServeOutcome::Stop(None)
+                } else {
+                    ServeOutcome::Continue
+                }
+            }
+            M_SHUTDOWN => {
+                let mut s = self.sessions.lock();
+                s.draining = true;
+                if s.open.is_empty() {
+                    ServeOutcome::Stop(None)
+                } else {
+                    ServeOutcome::Continue
+                }
+            }
+            m => ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
+                "unknown RPC method {m}"
+            ))))),
+        });
+        self.profile.lock().serve_seconds += t0.elapsed().as_secs_f64();
+    }
+
+    // -----------------------------------------------------------------
+    // Consumer: open / query (Algorithm 3) / close
+    // -----------------------------------------------------------------
+
+    fn consumer_open(&self, name: &str, link: &Link) -> H5Result<ObjId> {
+        let t0 = std::time::Instant::now();
+        let meta = if self.props.metadata_broadcast_for(name) {
+            // Collective variant (paper §V-C): one rank fetches, the task
+            // broadcasts — m−1 fewer round trips to the producers.
+            // Broadcast the raw reply (including any error) so that a
+            // remote failure propagates to every rank instead of leaving
+            // peers stuck in the collective.
+            let reply = if self.local.rank() == 0 {
+                let home = link.remote_ranks[0];
+                let reply =
+                    RpcClient::new(&self.world).call(home, M_METADATA, &enc_metadata_req(name));
+                self.local.bcast_bytes(0, Some(reply))
+            } else {
+                self.local.bcast_bytes(0, None)
+            };
+            dec_metadata_reply(&dec_result(&reply)?)?
+        } else {
+            // Each consumer rank has a "home" producer for metadata
+            // requests, spreading the load across the producer task.
+            let home = link.remote_ranks[self.local.rank() % link.remote_ranks.len()];
+            let rpc = RpcClient::new(&self.world);
+            let reply = rpc.call(home, M_METADATA, &enc_metadata_req(name));
+            dec_metadata_reply(&dec_result(&reply)?)?
+        };
+        let mut rs = self.remote.lock();
+        if rs.hier.file(name).is_some() {
+            rs.hier.remove_file(name)?;
+        }
+        let root = rs.hier.create_file(name)?;
+        import_meta(&mut rs.hier, root, &meta)?;
+        rs.files
+            .insert(name.to_string(), RemoteFileInfo { producers: link.remote_ranks.clone() });
+        let id = rs.mint();
+        rs.entries
+            .insert(id, RemoteEntry { node: root, filename: Arc::from(name), path: String::new() });
+        drop(rs);
+        self.profile.lock().open_seconds += t0.elapsed().as_secs_f64();
+        Ok(id)
+    }
+
+    fn remote_read(&self, dset: ObjId, sel: &Selection) -> H5Result<Bytes> {
+        let (node, filename, path, producers) = {
+            let rs = self.remote.lock();
+            let e = rs.entry(dset)?.clone();
+            let info = rs
+                .files
+                .get(e.filename.as_ref())
+                .ok_or_else(|| H5Error::NotFound(e.filename.to_string()))?;
+            (e.node, e.filename.clone(), e.path.clone(), info.producers.clone())
+        };
+        let (dtype, space) = self.remote.lock().hier.dataset_meta(node)?;
+        sel.validate(&space)?;
+        let es = dtype.size();
+        let total = (sel.npoints(&space) as usize) * es;
+        let mut out = vec![0u8; total];
+        if total == 0 {
+            return Ok(Bytes::from(out));
+        }
+        let n = producers.len();
+        let rpc = RpcClient::new(&self.world);
+
+        // Step 1 (redirect): ask the producers responsible for the blocks
+        // of the common decomposition intersected by our bounding box
+        // which producers actually hold intersecting data.
+        let t_redirect = std::time::Instant::now();
+        let owners: Vec<usize> = {
+            let dims = effective_dims(&space);
+            let decomp = RegularDecomposer::new(&dims, n);
+            let bb = effective_bbox(sel, &space);
+            let mut owners = BTreeSet::new();
+            for gid in decomp.blocks_intersecting(&bb) {
+                let reply =
+                    rpc.call(producers[gid], M_INTERSECT, &enc_intersect_req(&filename, &path, &bb));
+                for r in dec_intersect_reply(&dec_result(&reply)?)? {
+                    owners.insert(r as usize);
+                }
+            }
+            owners.into_iter().collect()
+        };
+        self.profile.lock().redirect_seconds += t_redirect.elapsed().as_secs_f64();
+
+        // Step 2: fetch the data from each owner and scatter the segments
+        // straight into our packed read buffer.
+        let t_fetch = std::time::Instant::now();
+        let mut fetched = 0u64;
+        for p in owners {
+            let reply = rpc.call(producers[p], M_DATA, &enc_data_req(&filename, &path, sel));
+            fetched += reply.len() as u64;
+            let dr = dec_data_reply(&dec_result(&reply)?)?;
+            let mut cum = 0usize;
+            for (off, len) in dr.segs {
+                let nb = (len as usize) * es;
+                let dst = (off as usize) * es;
+                out[dst..dst + nb].copy_from_slice(&dr.blob[cum..cum + nb]);
+                cum += nb;
+            }
+        }
+        {
+            let mut p = self.profile.lock();
+            p.fetch_seconds += t_fetch.elapsed().as_secs_f64();
+            p.bytes_fetched += fetched;
+        }
+        Ok(Bytes::from(out))
+    }
+
+    fn consumer_close(&self, file: ObjId) -> H5Result<()> {
+        let (filename, producers) = {
+            let mut rs = self.remote.lock();
+            let e = rs.entry(file)?.clone();
+            let producers = rs
+                .files
+                .get(e.filename.as_ref())
+                .map(|i| i.producers.clone())
+                .unwrap_or_default();
+            rs.entries.remove(&file);
+            (e.filename, producers)
+        };
+        let rpc = RpcClient::new(&self.world);
+        for p in producers {
+            rpc.notify(p, M_DONE, &enc_done_req(&filename));
+        }
+        Ok(())
+    }
+}
+
+/// Dimensions used for decomposition: scalar spaces act as 1-element 1-d.
+fn effective_dims(space: &Dataspace) -> Vec<u64> {
+    if space.rank() == 0 {
+        vec![1]
+    } else {
+        space.dims().to_vec()
+    }
+}
+
+/// Bounding box used for decomposition, lifted to 1-d for scalar spaces.
+fn effective_bbox(sel: &Selection, space: &Dataspace) -> BBox {
+    if space.rank() == 0 {
+        BBox::new(vec![0], vec![1])
+    } else {
+        sel.bbox(space)
+    }
+}
+
+impl Vol for DistMetadataVol {
+    fn vol_name(&self) -> &'static str {
+        "lowfive-distributed"
+    }
+
+    fn file_create(&self, name: &str) -> H5Result<ObjId> {
+        // A recreated file is no longer safe to serve from old state.
+        if self.async_serve {
+            self.sessions.lock().completed.remove(name);
+        }
+        self.meta.file_create(name)
+    }
+
+    fn file_open(&self, name: &str) -> H5Result<ObjId> {
+        if let Some(link) = self.consume_link_for(name) {
+            if self.props.memory_for(name) {
+                let link = link.clone();
+                return self.consumer_open(name, &link);
+            }
+            // File mode on a consume link: the file comes from a peer task
+            // that may still be writing it. Poll until it opens as a
+            // complete file (bounded), mirroring the blocking semantics of
+            // the in-memory open.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+            loop {
+                match self.meta.file_open(name) {
+                    Ok(id) => return Ok(id),
+                    Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                    Err(H5Error::Io(_)) | Err(H5Error::Format(_)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        self.meta.file_open(name)
+    }
+
+    fn file_close(&self, file: ObjId) -> H5Result<()> {
+        if file & REMOTE_BIT != 0 {
+            return self.consumer_close(file);
+        }
+        let filename = self.meta.filename_of(file)?;
+        // Only a write session's close triggers index+serve; closing a
+        // re-opened (read) handle must not re-serve the file.
+        let created = self.meta.was_created(file)?;
+        self.meta.file_close(file)?;
+        if created && self.props.memory_for(&filename) {
+            self.producer_close(&filename)?;
+        }
+        Ok(())
+    }
+
+    fn group_create(&self, parent: ObjId, name: &str) -> H5Result<ObjId> {
+        if parent & REMOTE_BIT != 0 {
+            return Err(H5Error::Vol("consumed files are read-only".into()));
+        }
+        self.meta.group_create(parent, name)
+    }
+
+    fn open_path(&self, parent: ObjId, path: &str) -> H5Result<ObjId> {
+        if parent & REMOTE_BIT == 0 {
+            return self.meta.open_path(parent, path);
+        }
+        let mut rs = self.remote.lock();
+        let e = rs.entry(parent)?.clone();
+        let node = rs.hier.resolve(e.node, path)?;
+        let joined = path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .fold(e.path.clone(), |acc, part| {
+                if acc.is_empty() {
+                    part.to_string()
+                } else {
+                    format!("{acc}/{part}")
+                }
+            });
+        let id = rs.mint();
+        rs.entries.insert(id, RemoteEntry { node, filename: e.filename, path: joined });
+        Ok(id)
+    }
+
+    fn dataset_create(
+        &self,
+        parent: ObjId,
+        name: &str,
+        dtype: &Datatype,
+        space: &Dataspace,
+    ) -> H5Result<ObjId> {
+        if parent & REMOTE_BIT != 0 {
+            return Err(H5Error::Vol("consumed files are read-only".into()));
+        }
+        self.meta.dataset_create(parent, name, dtype, space)
+    }
+
+    fn dataset_create_chunked(
+        &self,
+        parent: ObjId,
+        name: &str,
+        dtype: &Datatype,
+        space: &Dataspace,
+        chunk: &[u64],
+    ) -> H5Result<ObjId> {
+        if parent & REMOTE_BIT != 0 {
+            return Err(H5Error::Vol("consumed files are read-only".into()));
+        }
+        self.meta.dataset_create_chunked(parent, name, dtype, space, chunk)
+    }
+
+    fn dataset_extend(&self, dset: ObjId, new_dims: &[u64]) -> H5Result<()> {
+        if dset & REMOTE_BIT != 0 {
+            return Err(H5Error::Vol("consumed files are read-only".into()));
+        }
+        self.meta.dataset_extend(dset, new_dims)
+    }
+
+    fn dataset_chunk(&self, dset: ObjId) -> H5Result<Option<Vec<u64>>> {
+        if dset & REMOTE_BIT != 0 {
+            let rs = self.remote.lock();
+            let node = rs.entry(dset)?.node;
+            return rs.hier.dataset_chunk(node);
+        }
+        self.meta.dataset_chunk(dset)
+    }
+
+    fn dataset_meta(&self, dset: ObjId) -> H5Result<(Datatype, Dataspace)> {
+        if dset & REMOTE_BIT != 0 {
+            let rs = self.remote.lock();
+            let node = rs.entry(dset)?.node;
+            return rs.hier.dataset_meta(node);
+        }
+        self.meta.dataset_meta(dset)
+    }
+
+    fn dataset_write(
+        &self,
+        dset: ObjId,
+        file_sel: &Selection,
+        data: Bytes,
+        ownership: Ownership,
+    ) -> H5Result<()> {
+        if dset & REMOTE_BIT != 0 {
+            return Err(H5Error::Vol("consumed files are read-only".into()));
+        }
+        self.meta.dataset_write(dset, file_sel, data, ownership)
+    }
+
+    fn dataset_read(&self, dset: ObjId, file_sel: &Selection) -> H5Result<Bytes> {
+        if dset & REMOTE_BIT != 0 {
+            return self.remote_read(dset, file_sel);
+        }
+        self.meta.dataset_read(dset, file_sel)
+    }
+
+    fn attr_write(&self, obj: ObjId, name: &str, dtype: &Datatype, data: Bytes) -> H5Result<()> {
+        if obj & REMOTE_BIT != 0 {
+            return Err(H5Error::Vol("consumed files are read-only".into()));
+        }
+        self.meta.attr_write(obj, name, dtype, data)
+    }
+
+    fn attr_read(&self, obj: ObjId, name: &str) -> H5Result<(Datatype, Bytes)> {
+        if obj & REMOTE_BIT != 0 {
+            let rs = self.remote.lock();
+            let node = rs.entry(obj)?.node;
+            return rs.hier.attr(node, name);
+        }
+        self.meta.attr_read(obj, name)
+    }
+
+    fn list(&self, obj: ObjId) -> H5Result<Vec<(String, ObjKind)>> {
+        if obj & REMOTE_BIT != 0 {
+            let rs = self.remote.lock();
+            let node = rs.entry(obj)?.node;
+            return Ok(rs.hier.children_of(node));
+        }
+        self.meta.list(obj)
+    }
+
+    fn obj_kind(&self, obj: ObjId) -> H5Result<ObjKind> {
+        if obj & REMOTE_BIT != 0 {
+            let rs = self.remote.lock();
+            let node = rs.entry(obj)?.node;
+            return Ok(rs.hier.node(node).obj_kind());
+        }
+        self.meta.obj_kind(obj)
+    }
+
+    fn object_close(&self, obj: ObjId) -> H5Result<()> {
+        if obj & REMOTE_BIT != 0 {
+            self.remote.lock().entries.remove(&obj);
+            return Ok(());
+        }
+        self.meta.object_close(obj)
+    }
+}

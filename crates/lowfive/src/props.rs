@@ -1,0 +1,216 @@
+//! LowFive configuration properties.
+//!
+//! Real LowFive is configured per (file pattern, dataset pattern):
+//! `set_memory`, `set_passthru`, and `set_zerocopy` select, at per-dataset
+//! granularity, whether data flow in memory, to physical storage, or both,
+//! and whether the in-memory copy is deep or shallow. This module
+//! reproduces that surface with simple `*`/`?` glob patterns; the last
+//! matching rule wins.
+
+use minih5::Ownership;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Memory(bool),
+    Passthrough(bool),
+    Zerocopy(bool),
+    MetadataBroadcast(bool),
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    file_pat: String,
+    dset_pat: String,
+    action: Action,
+}
+
+/// Per-file / per-dataset transport configuration.
+///
+/// Defaults: memory mode **on**, passthrough (file I/O) **off**, deep
+/// copies.
+#[derive(Debug, Clone, Default)]
+pub struct LowFiveProps {
+    rules: Vec<Rule>,
+}
+
+impl LowFiveProps {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable/disable in-memory transport for files matching `file_pat`.
+    pub fn set_memory(&mut self, file_pat: &str, on: bool) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::Memory(on),
+        });
+        self
+    }
+
+    /// Enable/disable passthrough to physical storage for files matching
+    /// `file_pat`.
+    pub fn set_passthrough(&mut self, file_pat: &str, on: bool) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::Passthrough(on),
+        });
+        self
+    }
+
+    /// Enable/disable zero-copy (shallow) in-memory regions for datasets
+    /// matching `(file_pat, dset_pat)`.
+    pub fn set_zerocopy(&mut self, file_pat: &str, dset_pat: &str, on: bool) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: dset_pat.to_string(),
+            action: Action::Zerocopy(on),
+        });
+        self
+    }
+
+    /// Fetch file metadata once per consumer *task* (local rank 0 queries
+    /// a producer, then broadcasts) instead of once per consumer *rank*.
+    ///
+    /// This implements the paper's future-work direction of replacing
+    /// point-to-point exchanges with collectives where profitable
+    /// (§V-C). When enabled, `file_open` on a consume link becomes a
+    /// collective call over the consumer task.
+    pub fn set_metadata_broadcast(&mut self, file_pat: &str, on: bool) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::MetadataBroadcast(on),
+        });
+        self
+    }
+
+    /// Should consumers of `file` broadcast metadata instead of each rank
+    /// fetching it?
+    pub fn metadata_broadcast_for(&self, file: &str) -> bool {
+        let mut on = false;
+        for r in &self.rules {
+            if let Action::MetadataBroadcast(v) = r.action {
+                if glob_match(&r.file_pat, file) {
+                    on = v;
+                }
+            }
+        }
+        on
+    }
+
+    /// Should `file` use in-memory transport?
+    pub fn memory_for(&self, file: &str) -> bool {
+        let mut on = true;
+        for r in &self.rules {
+            if let Action::Memory(v) = r.action {
+                if glob_match(&r.file_pat, file) {
+                    on = v;
+                }
+            }
+        }
+        on
+    }
+
+    /// Should `file` also (or instead) go to physical storage?
+    pub fn passthrough_for(&self, file: &str) -> bool {
+        let mut on = false;
+        for r in &self.rules {
+            if let Action::Passthrough(v) = r.action {
+                if glob_match(&r.file_pat, file) {
+                    on = v;
+                }
+            }
+        }
+        on
+    }
+
+    /// Ownership for a write into `(file, dset)`; `requested` is what the
+    /// caller passed through the API and is used when no rule matches.
+    pub fn ownership_for(&self, file: &str, dset: &str, requested: Ownership) -> Ownership {
+        let mut own = requested;
+        for r in &self.rules {
+            if let Action::Zerocopy(v) = r.action {
+                if glob_match(&r.file_pat, file) && glob_match(&r.dset_pat, dset) {
+                    own = if v { Ownership::Shallow } else { Ownership::Deep };
+                }
+            }
+        }
+        own
+    }
+}
+
+/// Glob match supporting `*` (any sequence) and `?` (any one char).
+pub fn glob_match(pattern: &str, s: &str) -> bool {
+    fn inner(p: &[u8], s: &[u8]) -> bool {
+        match (p.first(), s.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => inner(&p[1..], s) || (!s.is_empty() && inner(p, &s[1..])),
+            (Some(b'?'), Some(_)) => inner(&p[1..], &s[1..]),
+            (Some(a), Some(b)) if a == b => inner(&p[1..], &s[1..]),
+            _ => false,
+        }
+    }
+    inner(pattern.as_bytes(), s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("*.h5", "step1.h5"));
+        assert!(!glob_match("*.h5", "step1.nh5x"));
+        assert!(glob_match("step?.h5", "step3.h5"));
+        assert!(!glob_match("step?.h5", "step12.h5"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+    }
+
+    #[test]
+    fn defaults() {
+        let p = LowFiveProps::new();
+        assert!(p.memory_for("f.h5"));
+        assert!(!p.passthrough_for("f.h5"));
+        assert_eq!(p.ownership_for("f.h5", "d", Ownership::Deep), Ownership::Deep);
+        assert_eq!(p.ownership_for("f.h5", "d", Ownership::Shallow), Ownership::Shallow);
+    }
+
+    #[test]
+    fn last_matching_rule_wins() {
+        let mut p = LowFiveProps::new();
+        p.set_memory("*", false).set_memory("outputs/*", true);
+        assert!(!p.memory_for("scratch.h5"));
+        assert!(p.memory_for("outputs/step1.h5"));
+    }
+
+    #[test]
+    fn file_mode_configuration() {
+        // The paper's "file mode": memory off, passthrough on.
+        let mut p = LowFiveProps::new();
+        p.set_memory("*", false).set_passthrough("*", true);
+        assert!(!p.memory_for("x.h5"));
+        assert!(p.passthrough_for("x.h5"));
+    }
+
+    #[test]
+    fn zerocopy_per_dataset() {
+        let mut p = LowFiveProps::new();
+        p.set_zerocopy("*", "group2/particles", true);
+        assert_eq!(
+            p.ownership_for("a.h5", "group2/particles", Ownership::Deep),
+            Ownership::Shallow
+        );
+        assert_eq!(p.ownership_for("a.h5", "group1/grid", Ownership::Deep), Ownership::Deep);
+        // Later rule can turn it back off.
+        p.set_zerocopy("*", "*", false);
+        assert_eq!(
+            p.ownership_for("a.h5", "group2/particles", Ownership::Shallow),
+            Ownership::Deep
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Wire protocol of the index–serve–query redistribution.
+//!
+//! Four RPC methods run between consumer ranks (clients) and producer
+//! ranks (servers) over the world communicator:
+//!
+//! * `M_METADATA` — fetch the serialized metadata tree of a file
+//!   (consumer `file_open`),
+//! * `M_INTERSECT` — the *redirect* query of Algorithm 3 step 1: which
+//!   producer ranks hold data intersecting this bounding box,
+//! * `M_DATA` — the data query of Algorithm 3 step 2: returns the
+//!   intersection of the producer's local regions with the consumer's
+//!   selection as contiguous segments, each tagged with its element offset
+//!   in the **consumer's** packed buffer, so the consumer applies a reply
+//!   with straight `memcpy`s,
+//! * `M_DONE` — consumer `file_close` notification; producers exit their
+//!   serve loop when every consumer has reported done.
+//!
+//! The index exchange among producers (Algorithm 1) uses a plain tagged
+//! message (`TAG_INDEX`) on the producer task's local communicator.
+
+use bytes::Bytes;
+use minih5::codec::{Decode, Encode, Reader, Writer};
+use minih5::format::FileMeta;
+use minih5::{BBox, H5Error, H5Result, Selection};
+
+pub const M_METADATA: u32 = 1;
+pub const M_INTERSECT: u32 = 2;
+pub const M_DATA: u32 = 3;
+pub const M_DONE: u32 = 4;
+/// Producer-internal: ask the async serve loop to drain and exit.
+pub const M_SHUTDOWN: u32 = 5;
+
+/// Tag for the producer-local index exchange (Algorithm 1).
+pub const TAG_INDEX: u32 = 0x7F10_0001;
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+pub fn enc_metadata_req(file: &str) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(file);
+    w.finish()
+}
+
+pub fn dec_metadata_req(b: &[u8]) -> H5Result<String> {
+    Reader::new(b).get_str()
+}
+
+pub fn enc_intersect_req(file: &str, dset: &str, bb: &BBox) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(file);
+    w.put_str(dset);
+    w.put(bb);
+    w.finish()
+}
+
+pub fn dec_intersect_req(b: &[u8]) -> H5Result<(String, String, BBox)> {
+    let mut r = Reader::new(b);
+    Ok((r.get_str()?, r.get_str()?, r.get()?))
+}
+
+pub fn enc_data_req(file: &str, dset: &str, sel: &Selection) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(file);
+    w.put_str(dset);
+    w.put(sel);
+    w.finish()
+}
+
+pub fn dec_data_req(b: &[u8]) -> H5Result<(String, String, Selection)> {
+    let mut r = Reader::new(b);
+    Ok((r.get_str()?, r.get_str()?, r.get()?))
+}
+
+pub fn enc_done_req(file: &str) -> Bytes {
+    enc_metadata_req(file)
+}
+
+pub fn dec_done_req(b: &[u8]) -> H5Result<String> {
+    dec_metadata_req(b)
+}
+
+// ---------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------
+
+/// Replies carry an ok/err discriminant so protocol errors propagate to
+/// the consumer instead of deadlocking it.
+pub fn enc_result(r: H5Result<Bytes>) -> Bytes {
+    let mut w = Writer::new();
+    match r {
+        Ok(body) => {
+            w.put_u8(1);
+            w.put_raw(&body);
+        }
+        Err(e) => {
+            w.put_u8(0);
+            w.put_str(&e.to_string());
+        }
+    }
+    w.finish()
+}
+
+pub fn dec_result(b: &Bytes) -> H5Result<Bytes> {
+    let mut r = Reader::new(b);
+    match r.get_u8()? {
+        1 => Ok(b.slice(1..)),
+        0 => Err(H5Error::Vol(format!("remote error: {}", r.get_str()?))),
+        t => Err(H5Error::Format(format!("bad reply discriminant {t}"))),
+    }
+}
+
+pub fn enc_metadata_reply(meta: &FileMeta) -> Bytes {
+    meta.to_bytes()
+}
+
+pub fn dec_metadata_reply(b: &[u8]) -> H5Result<FileMeta> {
+    FileMeta::from_bytes(b)
+}
+
+pub fn enc_intersect_reply(ranks: &[u64]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u64s(ranks);
+    w.finish()
+}
+
+pub fn dec_intersect_reply(b: &[u8]) -> H5Result<Vec<u64>> {
+    Reader::new(b).get_u64s()
+}
+
+/// A data reply: `segs` are `(element offset in the consumer's packed
+/// buffer, element length)`, and `blob` is the concatenated payload in
+/// segment order.
+pub struct DataReply {
+    pub segs: Vec<(u64, u64)>,
+    pub blob: Bytes,
+}
+
+pub fn enc_data_reply(segs: &[(u64, u64)], blob: &[u8]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u64(segs.len() as u64);
+    for &(off, len) in segs {
+        w.put_u64(off);
+        w.put_u64(len);
+    }
+    w.put_bytes(blob);
+    w.finish()
+}
+
+pub fn dec_data_reply(b: &[u8]) -> H5Result<DataReply> {
+    let mut r = Reader::new(b);
+    let n = r.get_u64()? as usize;
+    let mut segs = Vec::with_capacity(n);
+    for _ in 0..n {
+        segs.push((r.get_u64()?, r.get_u64()?));
+    }
+    let blob = Bytes::copy_from_slice(r.get_bytes()?);
+    Ok(DataReply { segs, blob })
+}
+
+// ---------------------------------------------------------------------
+// Index exchange payloads (producer-local)
+// ---------------------------------------------------------------------
+
+/// One producer's contribution to another producer's index: per dataset,
+/// the bounding boxes of the regions the sender holds that fall in the
+/// receiver's block of the common decomposition.
+pub fn enc_index_bundle(entries: &[(String, String, BBox)]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u64(entries.len() as u64);
+    for (file, dset, bb) in entries {
+        w.put_str(file);
+        w.put_str(dset);
+        w.put(bb);
+    }
+    w.finish()
+}
+
+pub fn dec_index_bundle(b: &[u8]) -> H5Result<Vec<(String, String, BBox)>> {
+    let mut r = Reader::new(b);
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((r.get_str()?, r.get_str()?, r.get()?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        assert_eq!(dec_metadata_req(&enc_metadata_req("a.h5")).unwrap(), "a.h5");
+        let bb = BBox::new(vec![1, 2], vec![3, 4]);
+        let (f, d, b2) = dec_intersect_req(&enc_intersect_req("f", "g/d", &bb)).unwrap();
+        assert_eq!((f.as_str(), d.as_str()), ("f", "g/d"));
+        assert_eq!(b2, bb);
+        let sel = Selection::block(&[0, 0], &[2, 2]);
+        let (_, _, s2) = dec_data_req(&enc_data_req("f", "d", &sel)).unwrap();
+        assert_eq!(s2, sel);
+    }
+
+    #[test]
+    fn result_wrapper() {
+        let ok = enc_result(Ok(Bytes::from_static(b"payload")));
+        assert_eq!(&dec_result(&ok).unwrap()[..], b"payload");
+        let err = enc_result(Err(H5Error::NotFound("x".into())));
+        let e = dec_result(&err).unwrap_err();
+        assert!(e.to_string().contains("object not found: x"));
+    }
+
+    #[test]
+    fn data_reply_roundtrip() {
+        let segs = vec![(0u64, 3u64), (10, 2)];
+        let blob = vec![1u8, 2, 3, 4, 5];
+        let enc = enc_data_reply(&segs, &blob);
+        let dec = dec_data_reply(&enc).unwrap();
+        assert_eq!(dec.segs, segs);
+        assert_eq!(&dec.blob[..], &blob[..]);
+    }
+
+    #[test]
+    fn index_bundle_roundtrip() {
+        let entries = vec![
+            ("f.h5".to_string(), "g/grid".to_string(), BBox::new(vec![0], vec![5])),
+            ("f.h5".to_string(), "g/p".to_string(), BBox::new(vec![5], vec![9])),
+        ];
+        assert_eq!(dec_index_bundle(&enc_index_bundle(&entries)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_data_reply() {
+        let dec = dec_data_reply(&enc_data_reply(&[], &[])).unwrap();
+        assert!(dec.segs.is_empty());
+        assert!(dec.blob.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Semantics of overlapping writes through the transport.
+//!
+//! Within one producer rank, later writes win (HDF5 program order).
+//! Across ranks, overlapping writes are unordered (as in parallel HDF5),
+//! but every element must come from *some* write — never garbage, never
+//! fill — and disjoint elements must be exact.
+
+use std::sync::Arc;
+
+use lowfive::DistVolBuilder;
+use minih5::{Dataspace, Datatype, Selection, Vol, H5};
+use simmpi::{TaskComm, TaskSpec, TaskWorld};
+
+fn world_ranks(tc: &TaskComm, task_id: usize) -> Vec<usize> {
+    (0..tc.task_size(task_id)).map(|r| tc.world_rank_of(task_id, r)).collect()
+}
+
+#[test]
+fn same_rank_overlaps_resolve_in_program_order() {
+    let specs = [TaskSpec::new("p", 1), TaskSpec::new("c", 1)];
+    TaskWorld::run(&specs, |tc| {
+        let producers = world_ranks(&tc, 0);
+        let consumers = world_ranks(&tc, 1);
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone()).produce("*", consumers).build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone()).consume("*", producers).build()
+        };
+        let h5 = H5::with_vol(vol);
+        if tc.task_id == 0 {
+            let f = h5.create_file("ow.h5").unwrap();
+            let d = f
+                .create_dataset("x", Datatype::UInt8, Dataspace::simple(&[8]))
+                .unwrap();
+            d.write_all(&[1u8; 8]).unwrap();
+            d.write_selection(&Selection::block(&[2], &[4]), &[2u8; 4]).unwrap();
+            d.write_selection(&Selection::block(&[4], &[2]), &[3u8; 2]).unwrap();
+            f.close().unwrap();
+        } else {
+            let f = h5.open_file("ow.h5").unwrap();
+            let got = f.open_dataset("x").unwrap().read_all::<u8>().unwrap();
+            assert_eq!(got, vec![1, 1, 2, 2, 3, 3, 1, 1]);
+            f.close().unwrap();
+        }
+    });
+}
+
+#[test]
+fn cross_rank_overlaps_yield_one_of_the_writes() {
+    const N: u64 = 32;
+    let specs = [TaskSpec::new("p", 2), TaskSpec::new("c", 1)];
+    TaskWorld::run(&specs, |tc| {
+        let producers = world_ranks(&tc, 0);
+        let consumers = world_ranks(&tc, 1);
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone()).produce("*", consumers).build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone()).consume("*", producers).build()
+        };
+        let h5 = H5::with_vol(vol);
+        if tc.task_id == 0 {
+            // Rank 0 writes [0, 20) with 100+i; rank 1 writes [12, 32)
+            // with 200+i: overlap on [12, 20).
+            let f = h5.create_file("xr.h5").unwrap();
+            let d = f
+                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
+                .unwrap();
+            if tc.local.rank() == 0 {
+                let vals: Vec<u64> = (0..20).map(|i| 100 + i).collect();
+                d.write_selection(&Selection::block(&[0], &[20]), &vals).unwrap();
+            } else {
+                let vals: Vec<u64> = (12..32).map(|i| 200 + i).collect();
+                d.write_selection(&Selection::block(&[12], &[20]), &vals).unwrap();
+            }
+            f.close().unwrap();
+        } else {
+            let f = h5.open_file("xr.h5").unwrap();
+            let got = f.open_dataset("x").unwrap().read_all::<u64>().unwrap();
+            for (i, &v) in got.iter().enumerate() {
+                let i = i as u64;
+                match i {
+                    0..=11 => assert_eq!(v, 100 + i, "rank-0-only region"),
+                    12..=19 => assert!(
+                        v == 100 + i || v == 200 + i,
+                        "overlap element {i} = {v} is neither write"
+                    ),
+                    _ => assert_eq!(v, 200 + i, "rank-1-only region"),
+                }
+            }
+            f.close().unwrap();
+        }
+    });
+}

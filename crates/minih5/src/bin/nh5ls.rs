@@ -1,0 +1,140 @@
+//! `nh5ls` — list the contents of a `.nh5` file (the `h5ls`/`h5dump -H`
+//! analogue for the native format).
+//!
+//! ```text
+//! cargo run -p minih5 --bin nh5ls -- file.nh5 [file2.nh5 …]
+//! ```
+
+use minih5::{Dataset, Datatype, Group, H5File, ObjKind, H5};
+
+fn dtype_name(t: &Datatype) -> String {
+    match t {
+        Datatype::Int8 => "i8".into(),
+        Datatype::Int16 => "i16".into(),
+        Datatype::Int32 => "i32".into(),
+        Datatype::Int64 => "i64".into(),
+        Datatype::UInt8 => "u8".into(),
+        Datatype::UInt16 => "u16".into(),
+        Datatype::UInt32 => "u32".into(),
+        Datatype::UInt64 => "u64".into(),
+        Datatype::Float32 => "f32".into(),
+        Datatype::Float64 => "f64".into(),
+        Datatype::FixedString(n) => format!("str[{n}]"),
+        Datatype::Compound(fields) => {
+            let inner: Vec<String> =
+                fields.iter().map(|f| format!("{}: {}", f.name, dtype_name(&f.dtype))).collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+        Datatype::Array(inner, dims) => format!("{}{dims:?}", dtype_name(inner)),
+    }
+}
+
+fn print_dataset(d: &Dataset, name: &str, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match d.meta() {
+        Ok((dtype, space)) => {
+            let layout = match d.chunk() {
+                Ok(Some(c)) => format!(", chunked {c:?}"),
+                _ => String::new(),
+            };
+            let max = match space.maxdims() {
+                Some(m) => {
+                    let pretty: Vec<String> = m
+                        .iter()
+                        .map(|&v| {
+                            if v == minih5::space::UNLIMITED {
+                                "∞".to_string()
+                            } else {
+                                v.to_string()
+                            }
+                        })
+                        .collect();
+                    format!(" (max [{}])", pretty.join(", "))
+                }
+                None => String::new(),
+            };
+            println!(
+                "{pad}{name}  dataset {} {:?}{max}{layout}  [{} elements, {} bytes]",
+                dtype_name(&dtype),
+                space.dims(),
+                space.npoints(),
+                space.npoints() * dtype.size() as u64,
+            );
+        }
+        Err(e) => println!("{pad}{name}  dataset <error: {e}>"),
+    }
+}
+
+fn walk_group(g: &Group, indent: usize) {
+    let children = match g.list() {
+        Ok(c) => c,
+        Err(e) => {
+            println!("{}<error listing: {e}>", "  ".repeat(indent));
+            return;
+        }
+    };
+    for (name, kind) in children {
+        match kind {
+            ObjKind::Group | ObjKind::File => {
+                println!("{}{name}/", "  ".repeat(indent));
+                if let Ok(sub) = g.open_group(&name) {
+                    walk_group(&sub, indent + 1);
+                }
+            }
+            ObjKind::Dataset => {
+                if let Ok(d) = g.open_dataset(&name) {
+                    print_dataset(&d, &name, indent);
+                }
+            }
+        }
+    }
+}
+
+fn walk_file(f: &H5File) {
+    let children = match f.list() {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  <error listing: {e}>");
+            return;
+        }
+    };
+    for (name, kind) in children {
+        match kind {
+            ObjKind::Group | ObjKind::File => {
+                println!("  {name}/");
+                if let Ok(sub) = f.open_group(&name) {
+                    walk_group(&sub, 2);
+                }
+            }
+            ObjKind::Dataset => {
+                if let Ok(d) = f.open_dataset(&name) {
+                    print_dataset(&d, &name, 1);
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: nh5ls <file.nh5> [more files…]");
+        std::process::exit(2);
+    }
+    let h5 = H5::native();
+    let mut status = 0;
+    for path in &args {
+        match h5.open_file(path) {
+            Ok(f) => {
+                println!("{path}:");
+                walk_file(&f);
+                let _ = f.close();
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                status = 1;
+            }
+        }
+    }
+    std::process::exit(status);
+}

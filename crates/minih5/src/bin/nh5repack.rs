@@ -1,0 +1,102 @@
+//! `nh5repack` — rewrite a `.nh5` file, optionally changing dataset
+//! layouts (the `h5repack` analogue).
+//!
+//! ```text
+//! cargo run -p minih5 --bin nh5repack -- <in.nh5> <out.nh5> [--chunk N,..]
+//! ```
+//!
+//! Without `--chunk`, datasets are copied with contiguous layout (useful
+//! to compact a grown, chunk-fragmented file). With `--chunk d0,d1,…`,
+//! every dataset whose rank matches gets that chunk shape.
+
+use minih5::{Dataset, Group, H5File, ObjKind, Selection, H5};
+
+fn copy_dataset(
+    src: &Dataset,
+    dst_parent_create: &dyn Fn(
+        &str,
+        minih5::Datatype,
+        minih5::Dataspace,
+    ) -> minih5::H5Result<Dataset>,
+    name: &str,
+) {
+    let (dtype, space) = src.meta().expect("source dataset meta");
+    let dst = dst_parent_create(name, dtype, space).expect("create destination dataset");
+    let data = src.read_bytes(&Selection::all()).expect("read source");
+    dst.write_bytes(&Selection::all(), data, minih5::Ownership::Deep).expect("write destination");
+}
+
+fn walk(src: &Group, dst: &Group, chunk: &Option<Vec<u64>>) {
+    for (name, kind) in src.list().expect("list source group") {
+        match kind {
+            ObjKind::Group | ObjKind::File => {
+                let s = src.open_group(&name).expect("open source group");
+                let d = dst.create_group(&name).expect("create destination group");
+                walk(&s, &d, chunk);
+            }
+            ObjKind::Dataset => {
+                let s = src.open_dataset(&name).expect("open source dataset");
+                let make = |n: &str, t: minih5::Datatype, sp: minih5::Dataspace| match chunk {
+                    Some(c) if c.len() == sp.rank() => dst.create_dataset_chunked(n, t, sp, c),
+                    _ => dst.create_dataset(n, t, sp),
+                };
+                copy_dataset(&s, &make, &name);
+            }
+        }
+    }
+}
+
+fn walk_root(src: &H5File, dst: &H5File, chunk: &Option<Vec<u64>>) {
+    for (name, kind) in src.list().expect("list source file") {
+        match kind {
+            ObjKind::Group | ObjKind::File => {
+                let s = src.open_group(&name).expect("open source group");
+                let d = dst.create_group(&name).expect("create destination group");
+                walk(&s, &d, chunk);
+            }
+            ObjKind::Dataset => {
+                let s = src.open_dataset(&name).expect("open source dataset");
+                let make = |n: &str, t: minih5::Datatype, sp: minih5::Dataspace| match chunk {
+                    Some(c) if c.len() == sp.rank() => dst.create_dataset_chunked(n, t, sp, c),
+                    _ => dst.create_dataset(n, t, sp),
+                };
+                copy_dataset(&s, &make, &name);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: nh5repack <in.nh5> <out.nh5> [--chunk d0,d1,..]");
+        std::process::exit(2);
+    }
+    let mut chunk: Option<Vec<u64>> = None;
+    if let Some(i) = args.iter().position(|a| a == "--chunk") {
+        let spec = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--chunk needs a value like 64,64");
+            std::process::exit(2);
+        });
+        chunk = Some(
+            spec.split(',')
+                .map(|s| s.parse::<u64>().expect("chunk dims must be integers"))
+                .collect(),
+        );
+    }
+    let h5 = H5::native();
+    let src = h5.open_file(&args[0]).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", args[0]);
+        std::process::exit(1);
+    });
+    let dst = h5.create_file(&args[1]).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", args[1]);
+        std::process::exit(1);
+    });
+    walk_root(&src, &dst, &chunk);
+    dst.close().expect("close destination");
+    let _ = src.close();
+    let before = std::fs::metadata(&args[0]).map(|m| m.len()).unwrap_or(0);
+    let after = std::fs::metadata(&args[1]).map(|m| m.len()).unwrap_or(0);
+    println!("repacked {} ({} B) -> {} ({} B)", args[0], before, args[1], after);
+}

@@ -1,0 +1,79 @@
+//! Error type shared by the whole data-model stack.
+
+use std::fmt;
+
+/// Result alias used across `minih5` and its VOL plugins.
+pub type H5Result<T> = Result<T, H5Error>;
+
+/// Errors surfaced by the data model, the native file backend, and VOL
+/// plugins.
+#[derive(Debug)]
+pub enum H5Error {
+    /// A named object (group, dataset, attribute, file) does not exist.
+    NotFound(String),
+    /// An object with that name already exists at the target location.
+    AlreadyExists(String),
+    /// The operation does not apply to this kind of object.
+    WrongKind { expected: &'static str, found: &'static str },
+    /// A selection or buffer does not fit the dataset's space or type.
+    ShapeMismatch(String),
+    /// The handle has been closed or was never valid.
+    InvalidHandle(u64),
+    /// The file's on-disk structure is corrupt or not a minih5 file.
+    Format(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A VOL plugin rejected or failed the operation.
+    Vol(String),
+}
+
+impl fmt::Display for H5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H5Error::NotFound(n) => write!(f, "object not found: {n}"),
+            H5Error::AlreadyExists(n) => write!(f, "object already exists: {n}"),
+            H5Error::WrongKind { expected, found } => {
+                write!(f, "wrong object kind: expected {expected}, found {found}")
+            }
+            H5Error::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            H5Error::InvalidHandle(h) => write!(f, "invalid or closed handle: {h}"),
+            H5Error::Format(m) => write!(f, "file format error: {m}"),
+            H5Error::Io(e) => write!(f, "I/O error: {e}"),
+            H5Error::Vol(m) => write!(f, "VOL plugin error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            H5Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for H5Error {
+    fn from(e: std::io::Error) -> Self {
+        H5Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(H5Error::NotFound("g/x".into()).to_string(), "object not found: g/x");
+        let e = H5Error::WrongKind { expected: "dataset", found: "group" };
+        assert!(e.to_string().contains("expected dataset"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error;
+        let e = H5Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,75 @@
+//! # minih5 — an HDF5-like hierarchical data model with a virtual object layer
+//!
+//! `minih5` is the from-scratch HDF5 substitute that the LowFive
+//! reproduction is built on. It provides the pieces of HDF5 that the paper
+//! relies on:
+//!
+//! * a **typed, hierarchical data model**: files contain groups, groups
+//!   contain datasets and attributes; datasets have a [`Datatype`]
+//!   (integers, floats, fixed strings, compounds, arrays) and a
+//!   [`Dataspace`] (n-dimensional extent),
+//! * **partial I/O through selections**: [`Selection`] expresses HDF5-style
+//!   hyperslabs (start/stride/count/block) and point sets, with the algebra
+//!   LowFive needs — bounding boxes, intersection, linearized contiguous
+//!   [`selection::Run`]s and run overlaps for efficient packing,
+//! * a **virtual object layer**: every public API call dispatches through
+//!   the [`vol::Vol`] trait, exactly as HDF5 ≥ 1.12 routes every operation
+//!   through a VOL plugin. The built-in [`native::NativeVol`] performs real
+//!   file I/O in the crate's own binary format; the `lowfive` crate plugs
+//!   in its metadata and distributed-metadata VOLs without any change to
+//!   the calling application,
+//! * a **thread-scoped plugin registry** ([`vol::set_thread_vol`]): the
+//!   orchestration layer installs a VOL for a task's thread and the task's
+//!   unmodified `H5::open_default()` calls pick it up — the reproduction of
+//!   the paper's "no source-code modification, set two environment
+//!   variables" deployment story.
+//!
+//! The user-facing entry points are [`H5`], [`H5File`], [`Group`], and
+//! [`Dataset`] in [`api`].
+//!
+//! ## Example
+//!
+//! ```
+//! use minih5::{Datatype, Dataspace, Selection, H5};
+//!
+//! let dir = std::env::temp_dir().join("minih5-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("doc.nh5");
+//!
+//! // Write a 2-D dataset through the native VOL.
+//! let h5 = H5::native();
+//! let f = h5.create_file(path.to_str().unwrap()).unwrap();
+//! let g = f.create_group("group1").unwrap();
+//! let d = g
+//!     .create_dataset("grid", Datatype::UInt64, Dataspace::simple(&[4, 6]))
+//!     .unwrap();
+//! let data: Vec<u64> = (0..24).collect();
+//! d.write_all(&data).unwrap();
+//! f.close().unwrap();
+//!
+//! // Read back a 2x3 hyperslab.
+//! let f = h5.open_file(path.to_str().unwrap()).unwrap();
+//! let d = f.open_dataset("group1/grid").unwrap();
+//! let sel = Selection::block(&[1, 2], &[2, 3]);
+//! let part: Vec<u64> = d.read_selection(&sel).unwrap();
+//! assert_eq!(part, vec![8, 9, 10, 14, 15, 16]);
+//! ```
+
+pub mod api;
+pub mod codec;
+pub mod datatype;
+pub mod error;
+pub mod format;
+pub mod native;
+pub mod selection;
+pub mod space;
+pub mod tree;
+pub mod vol;
+
+pub use api::{Dataset, Group, H5File, H5};
+pub use datatype::Datatype;
+pub use error::{H5Error, H5Result};
+pub use selection::{BBox, Run, Selection};
+pub use space::Dataspace;
+pub use tree::{DataRegion, Hierarchy, NodeId, ObjKind, Ownership};
+pub use vol::{ObjId, Vol};

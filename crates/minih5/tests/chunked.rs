@@ -1,0 +1,170 @@
+//! Chunked storage layout and extensible (appendable) datasets — the
+//! HDF5 unlimited-dimension time-series pattern, through the native file
+//! connector.
+
+use minih5::space::UNLIMITED;
+use minih5::{Dataspace, Datatype, H5Error, Selection, H5};
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("minih5-chunked-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+#[test]
+fn chunked_roundtrip_fixed_shape() {
+    let h5 = H5::native();
+    let path = tmp("fixed.nh5");
+    let f = h5.create_file(&path).unwrap();
+    // 6x8 grid stored as 4x3 chunks (ragged coverage on both axes).
+    let d = f
+        .create_dataset_chunked("g", Datatype::UInt64, Dataspace::simple(&[6, 8]), &[4, 3])
+        .unwrap();
+    assert_eq!(d.chunk().unwrap(), Some(vec![4, 3]));
+    let vals: Vec<u64> = (0..48).collect();
+    d.write_all(&vals).unwrap();
+    f.close().unwrap();
+
+    let f = h5.open_file(&path).unwrap();
+    let d = f.open_dataset("g").unwrap();
+    assert_eq!(d.chunk().unwrap(), Some(vec![4, 3]));
+    assert_eq!(d.read_all::<u64>().unwrap(), vals);
+    // Cross-chunk hyperslab.
+    let part: Vec<u64> = d.read_selection(&Selection::block(&[2, 1], &[3, 5])).unwrap();
+    let expect: Vec<u64> =
+        (2..5).flat_map(|r| (1..6).map(move |c| r * 8 + c)).collect();
+    assert_eq!(part, expect);
+    f.close().unwrap();
+}
+
+#[test]
+fn append_grows_first_dimension() {
+    let h5 = H5::native();
+    let path = tmp("append.nh5");
+    let f = h5.create_file(&path).unwrap();
+    let d = f
+        .create_dataset_chunked(
+            "series",
+            Datatype::Float64,
+            Dataspace::extensible(&[2, 4], &[UNLIMITED, 4]),
+            &[2, 4],
+        )
+        .unwrap();
+    d.write_all(&[0.0f64, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+    // Append two more timesteps.
+    d.extend(&[4, 4]).unwrap();
+    let step: Vec<f64> = (8..16).map(|v| v as f64).collect();
+    d.write_selection(&Selection::block(&[2, 0], &[2, 4]), &step).unwrap();
+    let (_, sp) = d.meta().unwrap();
+    assert_eq!(sp.dims(), &[4, 4]);
+    f.close().unwrap();
+
+    let f = h5.open_file(&path).unwrap();
+    let d = f.open_dataset("series").unwrap();
+    let all: Vec<f64> = d.read_all().unwrap();
+    assert_eq!(all, (0..16).map(|v| v as f64).collect::<Vec<_>>());
+    f.close().unwrap();
+}
+
+#[test]
+fn repeated_extension_many_chunks() {
+    let h5 = H5::native();
+    let path = tmp("grow.nh5");
+    let f = h5.create_file(&path).unwrap();
+    let d = f
+        .create_dataset_chunked(
+            "log",
+            Datatype::UInt32,
+            Dataspace::extensible(&[0], &[UNLIMITED]),
+            &[7], // deliberately unaligned chunk size
+        )
+        .unwrap();
+    let mut written = 0u64;
+    for round in 0..10u32 {
+        let add = 5 + (round as u64 % 3);
+        d.extend(&[written + add]).unwrap();
+        let vals: Vec<u32> = (written..written + add).map(|v| v as u32).collect();
+        d.write_selection(&Selection::block(&[written], &[add]), &vals).unwrap();
+        written += add;
+    }
+    f.close().unwrap();
+
+    let f = h5.open_file(&path).unwrap();
+    let d = f.open_dataset("log").unwrap();
+    let all: Vec<u32> = d.read_all().unwrap();
+    assert_eq!(all.len() as u64, written);
+    assert!(all.iter().enumerate().all(|(i, &v)| v == i as u32));
+    f.close().unwrap();
+}
+
+#[test]
+fn unwritten_chunks_read_as_fill() {
+    let h5 = H5::native();
+    let path = tmp("sparse.nh5");
+    let f = h5.create_file(&path).unwrap();
+    let d = f
+        .create_dataset_chunked("s", Datatype::UInt8, Dataspace::simple(&[8]), &[4])
+        .unwrap();
+    d.write_selection(&Selection::block(&[5], &[2]), &[9u8, 9]).unwrap();
+    f.close().unwrap();
+    let f = h5.open_file(&path).unwrap();
+    let d = f.open_dataset("s").unwrap();
+    // Note: dense chunk allocation zero-fills on ext4/tmpfs via sparse
+    // writes — untouched bytes read back as 0.
+    assert_eq!(d.read_all::<u8>().unwrap(), vec![0, 0, 0, 0, 0, 9, 9, 0]);
+    f.close().unwrap();
+}
+
+#[test]
+fn extension_errors() {
+    let h5 = H5::native();
+    let path = tmp("errors.nh5");
+    let f = h5.create_file(&path).unwrap();
+    // Contiguous dataset cannot extend.
+    let c = f
+        .create_dataset("c", Datatype::UInt8, Dataspace::extensible(&[2], &[8]))
+        .unwrap();
+    assert!(matches!(c.extend(&[4]), Err(H5Error::Vol(_))));
+    // Fixed-shape chunked dataset cannot extend either.
+    let k = f
+        .create_dataset_chunked("k", Datatype::UInt8, Dataspace::simple(&[4]), &[2])
+        .unwrap();
+    assert!(matches!(k.extend(&[8]), Err(H5Error::ShapeMismatch(_))));
+    // Bad chunk shape.
+    assert!(f
+        .create_dataset_chunked("bad", Datatype::UInt8, Dataspace::simple(&[4]), &[2, 2])
+        .is_err());
+    assert!(f
+        .create_dataset_chunked("bad0", Datatype::UInt8, Dataspace::simple(&[4]), &[0])
+        .is_err());
+    f.close().unwrap();
+}
+
+#[test]
+fn parallel_chunked_writes_shared_file() {
+    use simmpi::World;
+    let path = tmp("parallel.nh5");
+    let path2 = path.clone();
+    World::run(4, move |c| {
+        use std::sync::Arc;
+        let cb = c.clone();
+        let vol: Arc<dyn minih5::Vol> =
+            Arc::new(minih5::native::NativeVol::parallel(c.rank(), move || cb.barrier()));
+        let h5 = H5::with_vol(vol);
+        let f = h5.create_file(&path2).unwrap();
+        // Collective metadata: every rank creates identically.
+        let d = f
+            .create_dataset_chunked("g", Datatype::UInt64, Dataspace::simple(&[8, 8]), &[3, 8])
+            .unwrap();
+        // Each rank writes its 2-row slab (crossing chunk boundaries).
+        let r0 = c.rank() as u64 * 2;
+        let vals: Vec<u64> = (0..16).map(|i| r0 * 8 + i).collect();
+        d.write_selection(&Selection::block(&[r0, 0], &[2, 8]), &vals).unwrap();
+        f.close().unwrap();
+    });
+    let h5 = H5::native();
+    let f = h5.open_file(&path).unwrap();
+    let d = f.open_dataset("g").unwrap();
+    assert_eq!(d.read_all::<u64>().unwrap(), (0..64).collect::<Vec<u64>>());
+    f.close().unwrap();
+}

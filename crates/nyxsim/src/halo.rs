@@ -1,0 +1,235 @@
+//! The Reeber substitute: merge-tree-flavored halo finding.
+//!
+//! Reeber identifies "regions of high density, called halos" via
+//! distributed merge trees. This substitute keeps the algorithmic flavor
+//! at laptop scale: cells above a density threshold are processed in
+//! **decreasing density order**, each union-finding with already-processed
+//! (i.e. denser) face neighbors — exactly the sweep that builds a merge
+//! tree's super-level sets. Each resulting component is a halo rooted at
+//! its density peak.
+
+/// One halo: a connected super-level-set component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halo {
+    /// Number of cells in the component.
+    pub cells: u64,
+    /// Total deposited mass (sum of density over the component).
+    pub mass: f64,
+    /// Grid coordinates of the density peak.
+    pub peak: [u64; 3],
+    /// Density at the peak.
+    pub peak_density: f64,
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+        ra
+    }
+}
+
+/// Find all halos in a `dims`-shaped density field (row-major) with
+/// density `> threshold`, keeping only components of at least `min_cells`
+/// cells. Halos are returned in decreasing mass order.
+pub fn find_halos(dims: [u64; 3], rho: &[f64], threshold: f64, min_cells: u64) -> Vec<Halo> {
+    let (nx, ny, nz) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    assert_eq!(rho.len(), nx * ny * nz, "field size matches dims");
+    // Candidate cells above threshold, densest first — the merge-tree
+    // sweep order.
+    let mut candidates: Vec<u32> = (0..rho.len() as u32)
+        .filter(|&i| rho[i as usize] > threshold)
+        .collect();
+    candidates.sort_unstable_by(|&a, &b| {
+        rho[b as usize].partial_cmp(&rho[a as usize]).expect("finite densities").then(a.cmp(&b))
+    });
+
+    let mut uf = UnionFind::new(rho.len());
+    let mut in_set = vec![false; rho.len()];
+    for &c in &candidates {
+        in_set[c as usize] = true;
+        let i = c as usize;
+        let (x, y, z) = (i / (ny * nz), (i / nz) % ny, i % nz);
+        // Union with already-seen (denser) face neighbors.
+        let mut try_join = |j: usize| {
+            if in_set[j] && j != i {
+                uf.union(c, j as u32);
+            }
+        };
+        if x > 0 {
+            try_join(i - ny * nz);
+        }
+        if x + 1 < nx {
+            try_join(i + ny * nz);
+        }
+        if y > 0 {
+            try_join(i - nz);
+        }
+        if y + 1 < ny {
+            try_join(i + nz);
+        }
+        if z > 0 {
+            try_join(i - 1);
+        }
+        if z + 1 < nz {
+            try_join(i + 1);
+        }
+    }
+
+    // Aggregate component statistics.
+    use std::collections::HashMap;
+    let mut stats: HashMap<u32, Halo> = HashMap::new();
+    for &c in &candidates {
+        let root = uf.find(c);
+        let i = c as usize;
+        let coord = [
+            (i / (ny * nz)) as u64,
+            ((i / nz) % ny) as u64,
+            (i % nz) as u64,
+        ];
+        let e = stats.entry(root).or_insert(Halo {
+            cells: 0,
+            mass: 0.0,
+            peak: coord,
+            peak_density: f64::NEG_INFINITY,
+        });
+        e.cells += 1;
+        e.mass += rho[i];
+        if rho[i] > e.peak_density {
+            e.peak_density = rho[i];
+            e.peak = coord;
+        }
+    }
+    let mut halos: Vec<Halo> =
+        stats.into_values().filter(|h| h.cells >= min_cells).collect();
+    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite masses"));
+    halos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(dims: [u64; 3]) -> Vec<f64> {
+        vec![0.0; (dims[0] * dims[1] * dims[2]) as usize]
+    }
+
+    fn set(rho: &mut [f64], dims: [u64; 3], c: [u64; 3], v: f64) {
+        let i = (c[0] * dims[1] * dims[2] + c[1] * dims[2] + c[2]) as usize;
+        rho[i] = v;
+    }
+
+    #[test]
+    fn empty_field_has_no_halos() {
+        let dims = [8, 8, 8];
+        assert!(find_halos(dims, &field(dims), 0.5, 1).is_empty());
+    }
+
+    #[test]
+    fn two_separated_blobs() {
+        let dims = [16, 16, 16];
+        let mut rho = field(dims);
+        // Blob A: 2x2x2 at (2,2,2) with peak 10.
+        for x in 2..4 {
+            for y in 2..4 {
+                for z in 2..4 {
+                    set(&mut rho, dims, [x, y, z], 5.0);
+                }
+            }
+        }
+        set(&mut rho, dims, [2, 2, 2], 10.0);
+        // Blob B: single hot cell far away.
+        set(&mut rho, dims, [12, 12, 12], 8.0);
+        let halos = find_halos(dims, &rho, 1.0, 1);
+        assert_eq!(halos.len(), 2);
+        // Mass-ordered: blob A first (7*5 + 10 = 45).
+        assert_eq!(halos[0].cells, 8);
+        assert_eq!(halos[0].mass, 45.0);
+        assert_eq!(halos[0].peak, [2, 2, 2]);
+        assert_eq!(halos[0].peak_density, 10.0);
+        assert_eq!(halos[1].cells, 1);
+        assert_eq!(halos[1].peak, [12, 12, 12]);
+    }
+
+    #[test]
+    fn touching_cells_merge_into_one_halo() {
+        let dims = [8, 8, 8];
+        let mut rho = field(dims);
+        // An L-shaped face-connected component.
+        for c in [[1, 1, 1], [1, 1, 2], [1, 2, 2], [2, 2, 2]] {
+            set(&mut rho, dims, c, 3.0);
+        }
+        let halos = find_halos(dims, &rho, 1.0, 1);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].cells, 4);
+    }
+
+    #[test]
+    fn diagonal_cells_do_not_merge() {
+        let dims = [8, 8, 8];
+        let mut rho = field(dims);
+        set(&mut rho, dims, [1, 1, 1], 3.0);
+        set(&mut rho, dims, [2, 2, 2], 3.0); // corner-adjacent only
+        assert_eq!(find_halos(dims, &rho, 1.0, 1).len(), 2);
+    }
+
+    #[test]
+    fn threshold_filters_background() {
+        let dims = [8, 8, 8];
+        let mut rho = vec![0.4; 512];
+        set(&mut rho, dims, [4, 4, 4], 2.0);
+        let halos = find_halos(dims, &rho, 0.5, 1);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].cells, 1);
+    }
+
+    #[test]
+    fn min_cells_filters_specks() {
+        let dims = [8, 8, 8];
+        let mut rho = field(dims);
+        set(&mut rho, dims, [0, 0, 0], 5.0); // speck
+        for z in 0..4 {
+            set(&mut rho, dims, [4, 4, z], 5.0); // 4-cell rod
+        }
+        let halos = find_halos(dims, &rho, 1.0, 2);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].cells, 4);
+    }
+
+    #[test]
+    fn finds_sim_halos() {
+        // End-to-end with the particle-mesh sim: the deposited field's
+        // components above a high threshold match the seeded centers to
+        // within reason (some centers can merge or sit in one slab).
+        use crate::sim::{NyxSim, SimConfig};
+        let cfg =
+            SimConfig { grid: 32, nranks: 1, particles_per_rank: 100_000, centers: 3, seed: 11 };
+        let sim = NyxSim::new(cfg, 0);
+        let rho = sim.deposit();
+        let mean = 100_000.0 / rho.len() as f64;
+        let halos = find_halos([32, 32, 32], &rho, 8.0 * mean, 2);
+        assert!(!halos.is_empty(), "no halos found");
+        assert!(halos.len() <= 6, "too many components: {}", halos.len());
+        // The heaviest halo should contain a decent share of the mass.
+        assert!(halos[0].mass > 1000.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # nyxsim — a cosmology-workflow stand-in for Nyx + Reeber
+//!
+//! The paper's science use case (§IV-C) couples the Nyx cosmological
+//! simulation (an AMReX adaptive-mesh code) in situ with the Reeber halo
+//! finder, comparing three I/O paths: a single shared HDF5 file, AMReX
+//! *plotfiles*, and LowFive in-memory transport. None of those codes are
+//! available here, so this crate rebuilds the workload from scratch with
+//! the properties Table II actually exercises:
+//!
+//! * [`sim`] — a particle-mesh dark-matter toy: seeded particles cluster
+//!   around halo centers, deposit density onto a slab-decomposed 3-d
+//!   grid, and drift toward the centers each step, producing a field with
+//!   pronounced overdensities (halos) that grow over time,
+//! * [`amr`] — a two-level AMReX-style mesh: cells above a refinement
+//!   threshold get 2× refined patches, mirroring the multi-resolution
+//!   structure whose *metadata-aware filtering* motivates the paper's
+//!   introduction (the analysis reads one variable at one resolution),
+//! * [`halo`] — a Reeber substitute: a merge-tree-flavored sweep
+//!   (cells processed in decreasing density order, union-find over
+//!   already-seen neighbors) that segments the field into halos above a
+//!   density threshold and reports count/mass/peak per halo,
+//! * [`plotfile`] — AMReX-style plotfiles: a text header plus one binary
+//!   data file per group of ranks, written concurrently,
+//! * a writer ([`sim::write_snapshot`]) that emits snapshots **through the
+//!   `minih5` H5 API**, so the same unmodified code writes to disk or
+//!   streams through LowFive depending on the installed VOL — the paper's
+//!   zero-code-change claim, reproduced structurally. The AMReX behavior
+//!   of *repacking* data before writing (which defeats LowFive's
+//!   zero-copy; see the paper's "Lessons Learned") is reproduced with
+//!   [`sim::WriteOptions::repack`].
+
+pub mod amr;
+pub mod analysis;
+pub mod halo;
+pub mod halo_dist;
+pub mod plotfile;
+pub mod sim;
+
+pub use amr::AmrHierarchy;
+pub use halo::{find_halos, Halo};
+pub use halo_dist::find_halos_distributed;
+pub use sim::{Deposits, NyxSim, SimConfig, WriteOptions};

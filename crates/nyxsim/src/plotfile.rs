@@ -1,0 +1,201 @@
+//! AMReX-style plotfiles.
+//!
+//! The paper's third I/O path: "plotfiles, a binary format specifically
+//! designed by AMReX developers to be optimized for large-scale
+//! simulations. Here the data are split into separate files among groups
+//! of simulation processes." A plotfile here is a directory:
+//!
+//! ```text
+//! plt00001/
+//!   Header              — text: dims, rank count, group size, slab table
+//!   Level_0/Cell_D_00000 — binary f64 data of ranks in group 0
+//!   Level_0/Cell_D_00001 — … group 1, etc.
+//! ```
+//!
+//! Within a group file each rank writes at a deterministic offset, so all
+//! ranks of a group write concurrently without coordination beyond the
+//! initial directory-creation barrier.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// Per-rank x-slab `[lo, hi)` table; index = rank.
+pub type SlabTable = Vec<(u64, u64)>;
+
+fn group_file(dir: &Path, group: usize) -> PathBuf {
+    dir.join("Level_0").join(format!("Cell_D_{group:05}"))
+}
+
+fn slab_bytes(slab: (u64, u64), dims: [u64; 3]) -> u64 {
+    (slab.1 - slab.0) * dims[1] * dims[2] * 8
+}
+
+/// Write one rank's slab into the plotfile.
+///
+/// `barrier` must synchronize all writer ranks (rank 0 creates the
+/// directory tree and header before anyone writes). Returns bytes
+/// written by this rank.
+pub fn write_plotfile(
+    dir: &Path,
+    dims: [u64; 3],
+    slabs: &SlabTable,
+    rank: usize,
+    group_size: usize,
+    data: &[f64],
+    barrier: impl Fn(),
+) -> io::Result<u64> {
+    assert!(group_size > 0);
+    assert_eq!(data.len() as u64 * 8, slab_bytes(slabs[rank], dims), "slab data size");
+    if rank == 0 {
+        std::fs::create_dir_all(dir.join("Level_0"))?;
+        let mut h = File::create(dir.join("Header"))?;
+        writeln!(h, "NyxSimPlotfile-v1")?;
+        writeln!(h, "{} {} {}", dims[0], dims[1], dims[2])?;
+        writeln!(h, "{} {}", slabs.len(), group_size)?;
+        for (lo, hi) in slabs {
+            writeln!(h, "{lo} {hi}")?;
+        }
+        h.sync_data()?;
+    }
+    barrier();
+    let group = rank / group_size;
+    // Offset of this rank inside its group file.
+    let group_start = group * group_size;
+    let offset: u64 =
+        (group_start..rank).map(|r| slab_bytes(slabs[r], dims)).sum();
+    let f = OpenOptions::new().write(true).create(true).open(group_file(dir, group))?;
+    let bytes: &[u8] = unsafe {
+        // SAFETY: f64 slab exposed as bytes for I/O; plain data.
+        std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), data.len() * 8)
+    };
+    f.write_all_at(bytes, offset)?;
+    f.sync_data()?;
+    barrier();
+    Ok(bytes.len() as u64)
+}
+
+/// Read an entire plotfile (serial). Returns `(dims, slab table, fields)`
+/// where `fields[rank]` is that rank's slab data.
+///
+/// The paper deliberately excluded plotfile *read* time from Table II
+/// ("code for reading plotfiles was not optimized"); this reader is the
+/// straightforward serial loop and is likewise excluded from the speedup
+/// columns in the bench harness.
+pub fn read_plotfile(dir: &Path) -> io::Result<([u64; 3], SlabTable, Vec<Vec<f64>>)> {
+    let mut text = String::new();
+    File::open(dir.join("Header"))?.read_to_string(&mut text)?;
+    let mut lines = text.lines();
+    let magic = lines.next().unwrap_or_default();
+    if magic != "NyxSimPlotfile-v1" {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad plotfile magic"));
+    }
+    let parse_err = || io::Error::new(io::ErrorKind::InvalidData, "malformed plotfile header");
+    let dims_line = lines.next().ok_or_else(parse_err)?;
+    let mut it = dims_line.split_whitespace().map(|s| s.parse::<u64>());
+    let dims = [
+        it.next().ok_or_else(parse_err)?.map_err(|_| parse_err())?,
+        it.next().ok_or_else(parse_err)?.map_err(|_| parse_err())?,
+        it.next().ok_or_else(parse_err)?.map_err(|_| parse_err())?,
+    ];
+    let counts = lines.next().ok_or_else(parse_err)?;
+    let mut it = counts.split_whitespace().map(|s| s.parse::<usize>());
+    let nranks = it.next().ok_or_else(parse_err)?.map_err(|_| parse_err())?;
+    let group_size = it.next().ok_or_else(parse_err)?.map_err(|_| parse_err())?;
+    let mut slabs = SlabTable::with_capacity(nranks);
+    for _ in 0..nranks {
+        let line = lines.next().ok_or_else(parse_err)?;
+        let mut it = line.split_whitespace().map(|s| s.parse::<u64>());
+        slabs.push((
+            it.next().ok_or_else(parse_err)?.map_err(|_| parse_err())?,
+            it.next().ok_or_else(parse_err)?.map_err(|_| parse_err())?,
+        ));
+    }
+    let mut fields = Vec::with_capacity(nranks);
+    for rank in 0..nranks {
+        let group = rank / group_size;
+        let group_start = group * group_size;
+        let offset: u64 = (group_start..rank).map(|r| slab_bytes(slabs[r], dims)).sum();
+        let nbytes = slab_bytes(slabs[rank], dims) as usize;
+        let f = File::open(group_file(dir, group))?;
+        let mut buf = vec![0u8; nbytes];
+        f.read_exact_at(&mut buf, offset)?;
+        let vals: Vec<f64> = buf
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        fields.push(vals);
+    }
+    Ok((dims, slabs, fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::World;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join("nyxsim-plotfile-test").join(name);
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn parallel_write_serial_read_roundtrip() {
+        let dims = [8u64, 4, 4];
+        let nranks = 4;
+        let slabs: SlabTable = (0..nranks).map(|r| (r as u64 * 2, r as u64 * 2 + 2)).collect();
+        let dir = tmpdir("roundtrip");
+        let dir2 = dir.clone();
+        let slabs2 = slabs.clone();
+        World::run(nranks, move |c| {
+            let rank = c.rank();
+            let n = slab_bytes(slabs2[rank], dims) as usize / 8;
+            let data: Vec<f64> = (0..n).map(|i| (rank * 1000 + i) as f64).collect();
+            let cb = c.clone();
+            write_plotfile(&dir2, dims, &slabs2, rank, 2, &data, move || cb.barrier()).unwrap();
+        });
+        let (rdims, rslabs, fields) = read_plotfile(&dir).unwrap();
+        assert_eq!(rdims, dims);
+        assert_eq!(rslabs, slabs);
+        assert_eq!(fields.len(), nranks);
+        for (rank, field) in fields.iter().enumerate() {
+            assert_eq!(field.len(), 32);
+            assert_eq!(field[0], (rank * 1000) as f64);
+            assert_eq!(field[31], (rank * 1000 + 31) as f64);
+        }
+        // Two groups of two ranks → two data files.
+        assert!(group_file(&dir, 0).exists());
+        assert!(group_file(&dir, 1).exists());
+        assert!(!group_file(&dir, 2).exists());
+    }
+
+    #[test]
+    fn uneven_slabs() {
+        let dims = [7u64, 2, 2];
+        let slabs: SlabTable = vec![(0, 3), (3, 7)];
+        let dir = tmpdir("uneven");
+        let dir2 = dir.clone();
+        let slabs2 = slabs.clone();
+        World::run(2, move |c| {
+            let rank = c.rank();
+            let n = slab_bytes(slabs2[rank], dims) as usize / 8;
+            let data = vec![rank as f64 + 0.5; n];
+            let cb = c.clone();
+            write_plotfile(&dir2, dims, &slabs2, rank, 4, &data, move || cb.barrier()).unwrap();
+        });
+        let (_, _, fields) = read_plotfile(&dir).unwrap();
+        assert_eq!(fields[0].len(), 12);
+        assert_eq!(fields[1].len(), 16);
+        assert!(fields[1].iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        let dir = tmpdir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("Header"), "not a plotfile\n").unwrap();
+        assert!(read_plotfile(&dir).is_err());
+    }
+}

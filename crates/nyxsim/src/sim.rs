@@ -1,0 +1,440 @@
+//! The particle-mesh dark-matter toy simulation.
+//!
+//! Physics fidelity is not the point — Table II measures I/O — but the
+//! field must be *shaped* like a cosmology snapshot: large, slab-
+//! decomposed, and carrying halo-like overdensities that an analysis task
+//! genuinely has to work to find. Particles are seeded around shared
+//! cluster centers plus a uniform background, deposited with
+//! nearest-grid-point (NGP) weighting, and drift toward their nearest
+//! center each step so halos sharpen over time.
+
+use bytes::Bytes;
+use minih5::{Dataspace, Datatype, Ownership, Selection, H5};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use minih5::H5Result;
+
+/// Simulation parameters shared by all ranks.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Grid cells per side (the paper sweeps 256³ … 2048³; scaled here).
+    pub grid: u64,
+    /// Number of producer ranks; the grid is slab-decomposed along x.
+    pub nranks: usize,
+    /// Particles per rank.
+    pub particles_per_rank: usize,
+    /// Number of cluster centers (halo seeds) in the global domain.
+    pub centers: usize,
+    /// PRNG seed; centers derive from it identically on every rank.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// x-slab `[lo, hi)` owned by `rank`.
+    pub fn slab(&self, rank: usize) -> (u64, u64) {
+        let n = self.nranks as u64;
+        (self.grid * rank as u64 / n, self.grid * (rank as u64 + 1) / n)
+    }
+}
+
+/// One rank's share of the simulation.
+pub struct NyxSim {
+    cfg: SimConfig,
+    rank: usize,
+    /// Particle positions in grid units, x within this rank's slab.
+    particles: Vec<[f64; 3]>,
+    /// Particle velocities (grid units per step).
+    velocities: Vec<[f64; 3]>,
+    /// Cluster centers (identical on every rank).
+    centers: Vec<[f64; 3]>,
+    step: u64,
+}
+
+impl NyxSim {
+    /// Initialize rank `rank`'s particles: 70% clustered around the
+    /// centers whose x falls in this slab, 30% uniform background.
+    pub fn new(cfg: SimConfig, rank: usize) -> Self {
+        assert!(rank < cfg.nranks);
+        let mut crng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let g = cfg.grid as f64;
+        let centers: Vec<[f64; 3]> = (0..cfg.centers)
+            .map(|_| [crng.gen::<f64>() * g, crng.gen::<f64>() * g, crng.gen::<f64>() * g])
+            .collect();
+        let (lo, hi) = cfg.slab(rank);
+        let (lo_f, hi_f) = (lo as f64, hi as f64);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+        let my_centers: Vec<[f64; 3]> =
+            centers.iter().copied().filter(|c| c[0] >= lo_f && c[0] < hi_f).collect();
+        let mut particles = Vec::with_capacity(cfg.particles_per_rank);
+        for _ in 0..cfg.particles_per_rank {
+            let p = if !my_centers.is_empty() && rng.gen::<f64>() < 0.7 {
+                // Gaussian-ish blob around a random local center
+                // (sum of uniforms ≈ normal; cheap and seedable).
+                let c = my_centers[rng.gen_range(0..my_centers.len())];
+                let spread = g / 32.0;
+                let mut coord = [0.0f64; 3];
+                for (i, x) in coord.iter_mut().enumerate() {
+                    let jitter: f64 =
+                        (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() / 2.0 * spread;
+                    *x = c[i] + jitter;
+                }
+                coord
+            } else {
+                [
+                    lo_f + rng.gen::<f64>() * (hi_f - lo_f),
+                    rng.gen::<f64>() * g,
+                    rng.gen::<f64>() * g,
+                ]
+            };
+            particles.push(clamp_to_slab(p, lo_f, hi_f, g));
+        }
+        let velocities = vec![[0.0; 3]; particles.len()];
+        NyxSim { cfg, rank, particles, velocities, centers, step: 0 }
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn step_number(&self) -> u64 {
+        self.step
+    }
+
+    /// Advance one timestep: every particle drifts 10% of the way toward
+    /// its nearest cluster center (a crude stand-in for gravity), clamped
+    /// to the slab.
+    pub fn step(&mut self) {
+        let centers = &self.centers;
+        let g = self.cfg.grid as f64;
+        let (lo, hi) = self.cfg.slab(self.rank);
+        let (lo_f, hi_f) = (lo as f64, hi as f64);
+        self.particles
+            .par_iter_mut()
+            .zip(self.velocities.par_iter_mut())
+            .for_each(|(p, v)| {
+                let nearest = centers
+                    .iter()
+                    .min_by(|a, b| {
+                        dist2(p, a).partial_cmp(&dist2(p, b)).expect("finite distances")
+                    })
+                    .expect("at least one center");
+                for i in 0..3 {
+                    v[i] = (nearest[i] - p[i]) * 0.1;
+                    p[i] += v[i];
+                }
+                *p = clamp_to_slab(*p, lo_f, hi_f, g);
+            });
+        self.step += 1;
+    }
+
+    /// Deposit the local particles onto this rank's x-slab with NGP
+    /// weighting. Returns the slab density field, row-major over
+    /// `(slab_len, grid, grid)`.
+    pub fn deposit(&self) -> Vec<f64> {
+        self.deposit_all().density
+    }
+
+    /// Deposit all per-cell field variables at once: density (particle
+    /// count), momentum magnitude (Σ|v|), and kinetic energy (Σ½|v|²).
+    /// Real cosmology snapshots carry "a dozen variables"; these three
+    /// let the benchmarks show that an analysis consuming only `density`
+    /// never moves the others.
+    pub fn deposit_all(&self) -> Deposits {
+        let (lo, hi) = self.cfg.slab(self.rank);
+        let g = self.cfg.grid;
+        let slab_len = (hi - lo) as usize;
+        let ncells = slab_len * (g * g) as usize;
+        let mut out = Deposits {
+            density: vec![0.0f64; ncells],
+            momentum: vec![0.0f64; ncells],
+            energy: vec![0.0f64; ncells],
+        };
+        for (p, v) in self.particles.iter().zip(&self.velocities) {
+            let x = (p[0] as u64).min(self.cfg.grid - 1).max(lo).min(hi - 1);
+            let y = (p[1] as u64).min(g - 1);
+            let z = (p[2] as u64).min(g - 1);
+            let idx = ((x - lo) * g * g + y * g + z) as usize;
+            let speed2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+            out.density[idx] += 1.0;
+            out.momentum[idx] += speed2.sqrt();
+            out.energy[idx] += 0.5 * speed2;
+        }
+        out
+    }
+}
+
+/// The per-cell field variables of one snapshot slab.
+pub struct Deposits {
+    pub density: Vec<f64>,
+    pub momentum: Vec<f64>,
+    pub energy: Vec<f64>,
+}
+
+fn dist2(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    (0..3).map(|i| (a[i] - b[i]) * (a[i] - b[i])).sum()
+}
+
+fn clamp_to_slab(mut p: [f64; 3], lo: f64, hi: f64, g: f64) -> [f64; 3] {
+    p[0] = p[0].clamp(lo, hi - 1e-9);
+    p[1] = p[1].rem_euclid(g);
+    p[2] = p[2].rem_euclid(g);
+    p
+}
+
+/// How a snapshot is written.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOptions {
+    /// Repack (copy) the slab into a fresh I/O buffer before writing,
+    /// as the AMReX HDF5 writer does — this is what forced LowFive to
+    /// deep-copy in the paper and allowed "up to three copies of the same
+    /// data" to coexist.
+    pub repack: bool,
+    /// Request zero-copy (shallow) handoff of the write buffer. Only
+    /// effective when `repack` is false; a repacked buffer is transient
+    /// and must be deep-copied by the transport.
+    pub zero_copy: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { repack: true, zero_copy: false }
+    }
+}
+
+/// Write one snapshot through the H5 API (whatever VOL is installed):
+///
+/// ```text
+/// <name>
+/// └── level_0
+///     └── density   (f64, [grid, grid, grid]), attrs: step, time
+/// ```
+///
+/// Every rank writes its slab selection; metadata calls are collective.
+/// Returns the bytes written by this rank.
+pub fn write_snapshot(
+    h5: &H5,
+    name: &str,
+    sim: &NyxSim,
+    rho: &[f64],
+    opts: WriteOptions,
+) -> H5Result<u64> {
+    let g = sim.cfg.grid;
+    let (lo, hi) = sim.cfg.slab(sim.rank);
+    let f = h5.create_file(name)?;
+    let level0 = f.create_group("level_0")?;
+    let d = level0.create_dataset("density", Datatype::Float64, Dataspace::simple(&[g, g, g]))?;
+    d.set_attr("step", sim.step)?;
+    d.set_attr("time", sim.step as f64 * 0.05)?;
+    let sel = Selection::block(&[lo, 0, 0], &[hi - lo, g, g]);
+    let nbytes = (rho.len() * 8) as u64;
+    if opts.repack {
+        // AMReX-style repack: copy into a fresh, transient I/O buffer.
+        let repacked: Vec<f64> = rho.to_vec();
+        d.write_selection(&sel, &repacked)?;
+    } else if opts.zero_copy {
+        let bytes = Bytes::copy_from_slice(minih5::datatype::elems_as_bytes(rho));
+        // The Bytes buffer above is the canonical allocation handed to the
+        // transport; Shallow keeps a reference instead of another copy.
+        d.write_bytes(&sel, bytes, Ownership::Shallow)?;
+    } else {
+        d.write_selection(&sel, rho)?;
+    }
+    f.close()?;
+    Ok(nbytes)
+}
+
+/// Write a multi-variable snapshot: `level_0/{density, momentum, energy}`
+/// plus attributes. An analysis that opens only `level_0/density` never
+/// causes the other variables to move through the transport.
+pub fn write_snapshot_multi(
+    h5: &H5,
+    name: &str,
+    sim: &NyxSim,
+    fields: &Deposits,
+    opts: WriteOptions,
+) -> H5Result<u64> {
+    let g = sim.cfg.grid;
+    let (lo, hi) = sim.cfg.slab(sim.rank);
+    let f = h5.create_file(name)?;
+    let level0 = f.create_group("level_0")?;
+    let sel = Selection::block(&[lo, 0, 0], &[hi - lo, g, g]);
+    let mut written = 0u64;
+    for (var, data) in
+        [("density", &fields.density), ("momentum", &fields.momentum), ("energy", &fields.energy)]
+    {
+        let d =
+            level0.create_dataset(var, Datatype::Float64, Dataspace::simple(&[g, g, g]))?;
+        d.set_attr("step", sim.step)?;
+        if opts.repack {
+            let repacked: Vec<f64> = data.to_vec();
+            d.write_selection(&sel, &repacked)?;
+        } else {
+            let bytes = Bytes::copy_from_slice(minih5::datatype::elems_as_bytes(data));
+            let own = if opts.zero_copy { Ownership::Shallow } else { Ownership::Deep };
+            d.write_bytes(&sel, bytes, own)?;
+        }
+        written += (data.len() * 8) as u64;
+    }
+    f.close()?;
+    Ok(written)
+}
+
+/// Read one snapshot slab through the H5 API: returns the density values
+/// of x-rows `[lo, hi)`.
+pub fn read_snapshot_slab(h5: &H5, name: &str, lo: u64, hi: u64) -> H5Result<(u64, Vec<f64>)> {
+    let f = h5.open_file(name)?;
+    let d = f.open_dataset("level_0/density")?;
+    let (_, space) = d.meta()?;
+    let g = space.dims()[0];
+    let sel = Selection::block(&[lo, 0, 0], &[hi - lo, g, g]);
+    let data = d.read_selection::<f64>(&sel)?;
+    let step = d.attr::<u64>("step")?;
+    f.close()?;
+    Ok((step, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig { grid: 32, nranks: 4, particles_per_rank: 5000, centers: 4, seed: 42 }
+    }
+
+    #[test]
+    fn slabs_partition_grid() {
+        let c = cfg();
+        let mut total = 0;
+        for r in 0..c.nranks {
+            let (lo, hi) = c.slab(r);
+            total += hi - lo;
+            if r > 0 {
+                assert_eq!(c.slab(r - 1).1, lo);
+            }
+        }
+        assert_eq!(total, c.grid);
+    }
+
+    #[test]
+    fn deposit_conserves_mass() {
+        let c = cfg();
+        for r in 0..c.nranks {
+            let sim = NyxSim::new(c.clone(), r);
+            let rho = sim.deposit();
+            let mass: f64 = rho.iter().sum();
+            assert_eq!(mass as usize, c.particles_per_rank, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = cfg();
+        let a = NyxSim::new(c.clone(), 1).deposit();
+        let b = NyxSim::new(c.clone(), 1).deposit();
+        assert_eq!(a, b);
+        // Different ranks differ.
+        let other = NyxSim::new(c, 2).deposit();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn stepping_sharpens_halos() {
+        let c = cfg();
+        let mut sim = NyxSim::new(c, 0);
+        let before = sim.deposit();
+        let max_before = before.iter().cloned().fold(0.0f64, f64::max);
+        for _ in 0..5 {
+            sim.step();
+        }
+        let after = sim.deposit();
+        let max_after = after.iter().cloned().fold(0.0f64, f64::max);
+        // Drift toward centers concentrates mass.
+        assert!(max_after >= max_before, "{max_after} vs {max_before}");
+        assert_eq!(sim.step_number(), 5);
+    }
+
+    #[test]
+    fn field_is_clustered_not_uniform() {
+        let c = SimConfig { grid: 32, nranks: 1, particles_per_rank: 50_000, centers: 3, seed: 7 };
+        let sim = NyxSim::new(c, 0);
+        let rho = sim.deposit();
+        let mean = 50_000.0 / rho.len() as f64;
+        let max = rho.iter().cloned().fold(0.0f64, f64::max);
+        // A clustered field has peaks far above the mean.
+        assert!(max > 20.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_through_native_vol() {
+        let dir = std::env::temp_dir().join("nyxsim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.nh5").to_str().unwrap().to_string();
+        let c = SimConfig { grid: 16, nranks: 1, particles_per_rank: 1000, centers: 2, seed: 1 };
+        let sim = NyxSim::new(c, 0);
+        let rho = sim.deposit();
+        let h5 = H5::native();
+        write_snapshot(&h5, &path, &sim, &rho, WriteOptions::default()).unwrap();
+        let (step, back) = read_snapshot_slab(&h5, &path, 0, 16).unwrap();
+        assert_eq!(step, 0);
+        assert_eq!(back, rho);
+        // Partial slab too.
+        let (_, part) = read_snapshot_slab(&h5, &path, 4, 8).unwrap();
+        assert_eq!(part.len(), 4 * 16 * 16);
+        assert_eq!(&part[..], &rho[4 * 256..8 * 256]);
+    }
+}
+
+#[cfg(test)]
+mod multivar_tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig { grid: 16, nranks: 2, particles_per_rank: 3000, centers: 3, seed: 5 }
+    }
+
+    #[test]
+    fn velocities_start_cold_then_heat_up() {
+        let mut sim = NyxSim::new(cfg(), 0);
+        let d0 = sim.deposit_all();
+        assert_eq!(d0.energy.iter().sum::<f64>(), 0.0);
+        assert_eq!(d0.momentum.iter().sum::<f64>(), 0.0);
+        sim.step();
+        let d1 = sim.deposit_all();
+        assert!(d1.energy.iter().sum::<f64>() > 0.0);
+        assert!(d1.momentum.iter().sum::<f64>() > 0.0);
+        // Density still conserves mass.
+        assert_eq!(d1.density.iter().sum::<f64>() as usize, 3000);
+    }
+
+    #[test]
+    fn multivar_snapshot_roundtrip() {
+        let dir = std::env::temp_dir().join("nyxsim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("multi.nh5").to_str().unwrap().to_string();
+        let c = SimConfig { grid: 8, nranks: 1, particles_per_rank: 500, centers: 2, seed: 9 };
+        let mut sim = NyxSim::new(c, 0);
+        sim.step();
+        let fields = sim.deposit_all();
+        let h5 = H5::native();
+        let written =
+            write_snapshot_multi(&h5, &path, &sim, &fields, WriteOptions::default()).unwrap();
+        assert_eq!(written, 3 * 512 * 8);
+        let f = h5.open_file(&path).unwrap();
+        for (var, expect) in [
+            ("density", &fields.density),
+            ("momentum", &fields.momentum),
+            ("energy", &fields.energy),
+        ] {
+            let d = f.open_dataset(&format!("level_0/{var}")).unwrap();
+            assert_eq!(&d.read_all::<f64>().unwrap(), expect);
+            assert_eq!(d.attr::<u64>("step").unwrap(), 1);
+        }
+        f.close().unwrap();
+    }
+}

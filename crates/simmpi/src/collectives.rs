@@ -1,0 +1,454 @@
+//! Collective operations over a [`Comm`].
+//!
+//! All collectives are built from point-to-point messages on reserved tags
+//! (top bit set), so they share the pairwise-FIFO guarantees of the
+//! transport. Algorithms are the classic ones: dissemination barrier,
+//! binomial-tree broadcast, linear gather/scatter (variable-length payloads
+//! make every gather a gatherv). Sizes here are at most a few hundred
+//! ranks, so linear collectives at the root are not a bottleneck; the
+//! broadcast and barrier are logarithmic because they sit on the critical
+//! path of every LowFive file-close synchronization.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::comm::Comm;
+use crate::envelope::Tag;
+use crate::pod::{self, Pod};
+
+/// Tags at or above this value are reserved for collective internals.
+pub(crate) const COLLECTIVE_TAG_BASE: Tag = 0x8000_0000;
+
+const TAG_BARRIER: Tag = COLLECTIVE_TAG_BASE; // + round number (≤ 64)
+const TAG_BCAST: Tag = COLLECTIVE_TAG_BASE + 0x100;
+const TAG_GATHER: Tag = COLLECTIVE_TAG_BASE + 0x101;
+const TAG_SCATTER: Tag = COLLECTIVE_TAG_BASE + 0x102;
+const TAG_ALLTOALL: Tag = COLLECTIVE_TAG_BASE + 0x103;
+
+impl Comm {
+    /// Dissemination barrier: every rank blocks until all ranks arrive.
+    pub fn barrier(&self) {
+        let n = self.size();
+        if n == 1 {
+            return;
+        }
+        let mut k = 0u32;
+        let mut dist = 1usize;
+        while dist < n {
+            let to = (self.rank() + dist) % n;
+            let from = (self.rank() + n - dist) % n;
+            self.send_internal(to, TAG_BARRIER + k, Bytes::new());
+            let _ = self.recv(from.into(), (TAG_BARRIER + k).into());
+            dist <<= 1;
+            k += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast. `root` passes `Some(data)`; everyone
+    /// receives the broadcast value.
+    pub fn bcast_bytes(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        let n = self.size();
+        let vrank = (self.rank() + n - root) % n;
+        let mut buf = if vrank == 0 {
+            data.expect("broadcast root must supply data")
+        } else {
+            // Find my parent: clear the lowest set bit of vrank.
+            let mut mask = 1usize;
+            while vrank & mask == 0 {
+                mask <<= 1;
+            }
+            let vparent = vrank & !mask;
+            let parent = (vparent + root) % n;
+            self.recv(parent.into(), TAG_BCAST.into()).payload
+        };
+        // Forward to children: vrank + mask for masks above my lowest set
+        // bit boundary.
+        let mut mask = match vrank {
+            0 => {
+                // Root forwards on all masks up to n.
+                let mut m = 1usize;
+                while m < n {
+                    m <<= 1;
+                }
+                m >> 1
+            }
+            v => {
+                let mut m = 1usize;
+                while v & m == 0 {
+                    m <<= 1;
+                }
+                m >> 1
+            }
+        };
+        while mask > 0 {
+            let vchild = vrank + mask;
+            if vchild < n {
+                let child = (vchild + root) % n;
+                self.send_internal(child, TAG_BCAST, buf.clone());
+            }
+            mask >>= 1;
+        }
+        // Make `buf` used uniformly.
+        if vrank == 0 {
+            buf = buf.clone();
+        }
+        buf
+    }
+
+    /// Broadcast a typed value from `root`.
+    pub fn bcast_one<T: Pod>(&self, root: usize, value: Option<T>) -> T {
+        let payload = value.map(|v| pod::to_bytes(&[v]));
+        pod::from_bytes::<T>(&self.bcast_bytes(root, payload))[0]
+    }
+
+    /// Gather every rank's payload at `root` (variable lengths allowed).
+    /// Returns `Some(vec indexed by rank)` at root, `None` elsewhere.
+    pub fn gather_bytes(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
+        if self.rank() != root {
+            self.send_internal(root, TAG_GATHER, data);
+            return None;
+        }
+        let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
+        out[root] = data;
+        for r in 0..self.size() {
+            if r == root {
+                continue;
+            }
+            out[r] = self.recv(r.into(), TAG_GATHER.into()).payload;
+        }
+        Some(out)
+    }
+
+    /// Scatter one payload to each rank from `root`; returns this rank's
+    /// piece. `parts` must be `Some` (length = size) at root.
+    pub fn scatter_bytes(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
+        if self.rank() == root {
+            let parts = parts.expect("scatter root must supply parts");
+            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
+            let mut mine = Bytes::new();
+            for (r, p) in parts.into_iter().enumerate() {
+                if r == root {
+                    mine = p;
+                } else {
+                    self.send_internal(r, TAG_SCATTER, p);
+                }
+            }
+            mine
+        } else {
+            self.recv(root.into(), TAG_SCATTER.into()).payload
+        }
+    }
+
+    /// Personalized all-to-all: send `parts[i]` to rank `i`, receive one
+    /// payload from every rank (variable lengths — `MPI_Alltoallv`).
+    /// Returns payloads indexed by source rank.
+    pub fn alltoall_bytes(&self, parts: Vec<Bytes>) -> Vec<Bytes> {
+        assert_eq!(parts.len(), self.size(), "one part per rank");
+        let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
+        for (dest, p) in parts.into_iter().enumerate() {
+            if dest == self.rank() {
+                out[dest] = p;
+            } else {
+                self.send_internal(dest, TAG_ALLTOALL, p);
+            }
+        }
+        for src in 0..self.size() {
+            if src == self.rank() {
+                continue;
+            }
+            out[src] = self.recv(src.into(), TAG_ALLTOALL.into()).payload;
+        }
+        out
+    }
+
+    /// All ranks obtain every rank's payload, indexed by rank.
+    pub fn allgather_bytes(&self, data: Bytes) -> Vec<Bytes> {
+        let gathered = self.gather_bytes(0, data);
+        let framed = if self.rank() == 0 {
+            Some(frame(gathered.expect("rank 0 gathered")))
+        } else {
+            None
+        };
+        unframe(&self.bcast_bytes(0, framed))
+    }
+
+    /// All-gather a single typed value per rank.
+    pub fn allgather_one<T: Pod>(&self, value: T) -> Vec<T> {
+        self.allgather_bytes(pod::to_bytes(&[value]))
+            .iter()
+            .map(|b| pod::from_bytes::<T>(b)[0])
+            .collect()
+    }
+
+    /// Reduce one typed value per rank with `op`; result at `root`.
+    pub fn reduce_one<T: Pod, F: Fn(T, T) -> T>(&self, root: usize, value: T, op: F) -> Option<T> {
+        let gathered = self.gather_bytes(root, pod::to_bytes(&[value]))?;
+        let mut it = gathered.iter().map(|b| pod::from_bytes::<T>(b)[0]);
+        let first = it.next().expect("at least one rank");
+        Some(it.fold(first, op))
+    }
+
+    /// All-reduce one typed value per rank with `op`.
+    pub fn allreduce_one<T: Pod, F: Fn(T, T) -> T>(&self, value: T, op: F) -> T {
+        let reduced = self.reduce_one(0, value, op);
+        self.bcast_one(0, reduced)
+    }
+
+    /// Exclusive prefix sum of `value` over ranks (rank 0 gets 0).
+    pub fn exscan_u64(&self, value: u64) -> u64 {
+        let all = self.allgather_one::<u64>(value);
+        all[..self.rank()].iter().sum()
+    }
+
+    /// Element-wise all-reduce of equal-length typed vectors
+    /// (`MPI_Allreduce` on an array): every rank gets
+    /// `op(v₀[i], v₁[i], …)` per element.
+    pub fn allreduce_vec<T: Pod, F: Fn(T, T) -> T>(&self, values: &[T], op: F) -> Vec<T> {
+        let gathered = self.allgather_bytes(pod::to_bytes(values));
+        let mut acc: Vec<T> = pod::from_bytes(&gathered[0]);
+        for b in &gathered[1..] {
+            let v: Vec<T> = pod::from_bytes(b);
+            assert_eq!(v.len(), acc.len(), "allreduce_vec length mismatch across ranks");
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a = op(*a, x);
+            }
+        }
+        acc
+    }
+
+    /// Combined send and receive (`MPI_Sendrecv`): ship `payload` to
+    /// `dest` and return the message received from `src`, deadlock-free
+    /// under any pairing because sends are buffered.
+    pub fn sendrecv<B: Into<Bytes>>(
+        &self,
+        dest: usize,
+        src: usize,
+        tag: Tag,
+        payload: B,
+    ) -> Bytes {
+        self.send(dest, tag, payload);
+        self.recv(src.into(), tag.into()).payload
+    }
+}
+
+fn frame(parts: Vec<Bytes>) -> Bytes {
+    let total: usize = 8 + parts.iter().map(|p| 8 + p.len()).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(total);
+    buf.put_u64_le(parts.len() as u64);
+    for p in &parts {
+        buf.put_u64_le(p.len() as u64);
+        buf.put_slice(p);
+    }
+    buf.freeze()
+}
+
+fn unframe(data: &Bytes) -> Vec<Bytes> {
+    let mut off = 0usize;
+    let read_u64 = |off: &mut usize| {
+        let v = u64::from_le_bytes(data[*off..*off + 8].try_into().expect("8 bytes"));
+        *off += 8;
+        v
+    };
+    let count = read_u64(&mut off) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = read_u64(&mut off) as usize;
+        out.push(data.slice(off..off + len));
+        off += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn barrier_all_sizes() {
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            World::run(n, |c| {
+                for _ in 0..3 {
+                    c.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for n in [1usize, 2, 5, 9] {
+            for root in 0..n {
+                World::run(n, move |c| {
+                    let data = if c.rank() == root {
+                        Some(Bytes::from(format!("hello-{root}")))
+                    } else {
+                        None
+                    };
+                    let got = c.bcast_bytes(root, data);
+                    assert_eq!(&got[..], format!("hello-{root}").as_bytes());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order_and_lengths() {
+        World::run(5, |c| {
+            let mine = Bytes::from(vec![c.rank() as u8; c.rank() + 1]);
+            if let Some(all) = c.gather_bytes(2, mine) {
+                assert_eq!(c.rank(), 2);
+                for (r, b) in all.iter().enumerate() {
+                    assert_eq!(b.len(), r + 1);
+                    assert!(b.iter().all(|&x| x == r as u8));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_delivers_each_part() {
+        World::run(4, |c| {
+            let parts = (c.rank() == 1)
+                .then(|| (0..4).map(|r| Bytes::from(vec![r as u8; 3])).collect());
+            let mine = c.scatter_bytes(1, parts);
+            assert_eq!(&mine[..], &[c.rank() as u8; 3]);
+        });
+    }
+
+    #[test]
+    fn allgather_matches_ranks() {
+        World::run(6, |c| {
+            let all = c.allgather_one::<u64>(c.rank() as u64 * 7);
+            assert_eq!(all, (0..6).map(|r| r * 7).collect::<Vec<u64>>());
+        });
+    }
+
+    #[test]
+    fn reductions() {
+        World::run(7, |c| {
+            let sum = c.allreduce_one::<u64, _>(c.rank() as u64, |a, b| a + b);
+            assert_eq!(sum, 21);
+            let max = c.allreduce_one::<u64, _>(c.rank() as u64, std::cmp::max);
+            assert_eq!(max, 6);
+            let min_at_3 = c.reduce_one::<u64, _>(3, c.rank() as u64 + 10, std::cmp::min);
+            if c.rank() == 3 {
+                assert_eq!(min_at_3, Some(10));
+            } else {
+                assert!(min_at_3.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn exscan_is_exclusive_prefix_sum() {
+        World::run(5, |c| {
+            let v = (c.rank() as u64 + 1) * 2; // 2,4,6,8,10
+            let pre = c.exscan_u64(v);
+            let expect: u64 = (0..c.rank()).map(|r| (r as u64 + 1) * 2).sum();
+            assert_eq!(pre, expect);
+        });
+    }
+
+    #[test]
+    fn collectives_on_split_comms() {
+        World::run(8, |c| {
+            let sub = c.split(c.rank() % 2, c.rank());
+            let sum = sub.allreduce_one::<u64, _>(c.rank() as u64, |a, b| a + b);
+            let expect: u64 = (0..8).filter(|r| r % 2 == c.rank() % 2).sum::<usize>() as u64;
+            assert_eq!(sum, expect);
+        });
+    }
+
+    #[test]
+    fn alltoall_exchanges_personalized_payloads() {
+        World::run(5, |c| {
+            // parts[d] = [my_rank, d] as bytes.
+            let parts: Vec<Bytes> = (0..5)
+                .map(|d| Bytes::from(vec![c.rank() as u8, d as u8]))
+                .collect();
+            let got = c.alltoall_bytes(parts);
+            for (src, b) in got.iter().enumerate() {
+                assert_eq!(&b[..], &[src as u8, c.rank() as u8]);
+            }
+        });
+    }
+
+    #[test]
+    fn alltoall_with_empty_parts() {
+        World::run(3, |c| {
+            let parts: Vec<Bytes> = (0..3)
+                .map(|d| {
+                    if d == 0 {
+                        Bytes::new()
+                    } else {
+                        Bytes::from(vec![d as u8; d])
+                    }
+                })
+                .collect();
+            let got = c.alltoall_bytes(parts);
+            // Every source sent me the part destined to my rank: empty for
+            // rank 0, `rank` bytes of value `rank` otherwise.
+            if c.rank() == 0 {
+                assert!(got.iter().all(|b| b.is_empty()));
+            } else {
+                assert!(got
+                    .iter()
+                    .all(|b| b.len() == c.rank() && b.iter().all(|&x| x == c.rank() as u8)));
+            }
+        });
+    }
+
+    #[test]
+    fn repeated_alltoalls_do_not_cross() {
+        World::run(4, |c| {
+            for round in 0..10u8 {
+                let parts: Vec<Bytes> =
+                    (0..4).map(|_| Bytes::from(vec![round, c.rank() as u8])).collect();
+                let got = c.alltoall_bytes(parts);
+                for (src, b) in got.iter().enumerate() {
+                    assert_eq!(&b[..], &[round, src as u8]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        World::run(4, |c| {
+            let mine: Vec<u64> = (0..6).map(|i| (c.rank() as u64 + 1) * (i + 1)).collect();
+            let sums = c.allreduce_vec(&mine, |a: u64, b| a + b);
+            // Σ_r (r+1)(i+1) = 10(i+1) for 4 ranks.
+            assert_eq!(sums, (0..6).map(|i| 10 * (i + 1)).collect::<Vec<u64>>());
+            let maxs = c.allreduce_vec(&mine, std::cmp::max::<u64>);
+            assert_eq!(maxs, (0..6).map(|i| 4 * (i + 1)).collect::<Vec<u64>>());
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        World::run(5, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            let got =
+                c.sendrecv(next, prev, 3, Bytes::from(vec![c.rank() as u8]));
+            assert_eq!(&got[..], &[prev as u8]);
+        });
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let parts = vec![Bytes::from_static(b"a"), Bytes::new(), Bytes::from_static(b"xyz")];
+        let framed = frame(parts.clone());
+        assert_eq!(unframe(&framed), parts);
+    }
+
+    #[test]
+    fn bcast_large_payload() {
+        World::run(4, |c| {
+            let data = (c.rank() == 0).then(|| Bytes::from(vec![0xAB; 1 << 20]));
+            let got = c.bcast_bytes(0, data);
+            assert_eq!(got.len(), 1 << 20);
+            assert!(got.iter().all(|&b| b == 0xAB));
+        });
+    }
+}

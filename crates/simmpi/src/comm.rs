@@ -1,0 +1,433 @@
+//! Communicators: rank identity, point-to-point messaging, and splitting.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::envelope::{make_wire_tag, Envelope, SrcSel, Tag, TagSel, WireEnvelope};
+use crate::mailbox::Matcher;
+use crate::pod::{self, Pod};
+use crate::stats::StatsSnapshot;
+use crate::world::WorldInner;
+
+/// A communicator: a rank's handle onto a group of ranks.
+///
+/// Cloning a `Comm` is cheap (Arc bumps) but note a clone still refers to
+/// the *same* rank; to talk on an independent channel use [`Comm::dup`].
+#[derive(Clone)]
+pub struct Comm {
+    inner: Arc<WorldInner>,
+    /// Context id namespacing this communicator's messages.
+    ctx: u32,
+    /// This rank's index within the communicator.
+    rank: usize,
+    /// Member world ranks, indexed by communicator-local rank.
+    members: Arc<Vec<usize>>,
+    /// Inverse of `members`, indexed by world rank.
+    local_of_world: Arc<Vec<Option<usize>>>,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("ctx", &self.ctx)
+            .field("rank", &self.rank)
+            .field("size", &self.members.len())
+            .finish()
+    }
+}
+
+impl Comm {
+    pub(crate) fn world(inner: Arc<WorldInner>, rank: usize, size: usize) -> Self {
+        let members: Vec<usize> = (0..size).collect();
+        let local_of_world: Vec<Option<usize>> = (0..size).map(Some).collect();
+        Comm {
+            inner,
+            ctx: 0,
+            rank,
+            members: Arc::new(members),
+            local_of_world: Arc::new(local_of_world),
+        }
+    }
+
+    pub(crate) fn derived(
+        inner: Arc<WorldInner>,
+        ctx: u32,
+        rank: usize,
+        members: Vec<usize>,
+    ) -> Self {
+        let world_size = inner.mailboxes.len();
+        let mut local_of_world = vec![None; world_size];
+        for (local, &w) in members.iter().enumerate() {
+            local_of_world[w] = Some(local);
+        }
+        Comm { inner, ctx, rank, members: Arc::new(members), local_of_world: Arc::new(local_of_world) }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's index in the underlying world.
+    pub fn world_rank(&self) -> usize {
+        self.members[self.rank]
+    }
+
+    /// Translate a communicator-local rank to its world rank.
+    pub fn to_world_rank(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    /// Translate a world rank to a local rank, if it is a member.
+    pub fn to_local_rank(&self, world: usize) -> Option<usize> {
+        self.local_of_world.get(world).copied().flatten()
+    }
+
+    /// Snapshot run-wide transport statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    // ---------------------------------------------------------------
+    // Point-to-point
+    // ---------------------------------------------------------------
+
+    /// Send `payload` to local rank `dest` under `tag`. Never blocks
+    /// (buffered semantics, like `MPI_Bsend` with unlimited buffer).
+    ///
+    /// # Panics
+    /// Panics if `tag` has the top bit set (reserved for collectives) or
+    /// `dest` is out of range.
+    pub fn send<B: Into<Bytes>>(&self, dest: usize, tag: Tag, payload: B) {
+        assert!(tag < crate::collectives::COLLECTIVE_TAG_BASE, "tag {tag:#x} is reserved");
+        self.send_internal(dest, tag, payload.into());
+    }
+
+    pub(crate) fn send_internal(&self, dest: usize, tag: Tag, payload: Bytes) {
+        let world_dest = self.members[dest];
+        self.inner.stats.record_send(payload.len());
+        self.inner.mailboxes[world_dest].push(WireEnvelope {
+            world_src: self.members[self.rank],
+            wire_tag: make_wire_tag(self.ctx, tag),
+            payload,
+        });
+    }
+
+    /// Nonblocking send. Identical to [`Comm::send`] because sends are
+    /// always buffered; provided so ported MPI code reads naturally.
+    pub fn isend<B: Into<Bytes>>(&self, dest: usize, tag: Tag, payload: B) {
+        self.send(dest, tag, payload);
+    }
+
+    /// Send a typed slice (copied into the message).
+    pub fn send_slice<T: Pod>(&self, dest: usize, tag: Tag, data: &[T]) {
+        self.send(dest, tag, pod::to_bytes(data));
+    }
+
+    /// Convenience alias for `send_slice::<u64>`.
+    pub fn send_u64s(&self, dest: usize, tag: Tag, data: &[u64]) {
+        self.send_slice(dest, tag, data);
+    }
+
+    fn matcher(&self, src: SrcSel, tag: TagSel) -> Matcher {
+        let world_src = match src {
+            SrcSel::Rank(local) => SrcSel::Rank(self.members[local]),
+            SrcSel::Any => SrcSel::Any,
+        };
+        Matcher { ctx: self.ctx, src: world_src, tag }
+    }
+
+    fn localize(&self, wire: WireEnvelope) -> Envelope {
+        if let Some(cm) = &self.inner.cost {
+            std::thread::sleep(cm.delay(wire.payload.len()));
+        }
+        let (_, tag) = crate::envelope::split_wire_tag(wire.wire_tag);
+        let src = self.local_of_world[wire.world_src]
+            .expect("message arrived from a non-member world rank on this context");
+        Envelope { src, tag, payload: wire.payload }
+    }
+
+    /// Blocking receive matching `(src, tag)`.
+    pub fn recv(&self, src: SrcSel, tag: TagSel) -> Envelope {
+        let m = self.matcher(src, tag);
+        let wire = self.my_mailbox().pop_matching(&m);
+        self.localize(wire)
+    }
+
+    /// Nonblocking receive: returns a matching message if one is queued.
+    pub fn try_recv(&self, src: SrcSel, tag: TagSel) -> Option<Envelope> {
+        let m = self.matcher(src, tag);
+        let wire = self.my_mailbox().try_pop_matching(&m)?;
+        Some(self.localize(wire))
+    }
+
+    /// Post a receive to complete later (`MPI_Irecv` analogue). Matching
+    /// happens when the request is waited/tested, which is equivalent under
+    /// buffered sends.
+    pub fn irecv(&self, src: SrcSel, tag: TagSel) -> RecvRequest {
+        RecvRequest { comm: self.clone(), src, tag }
+    }
+
+    /// Receive a typed vector; returns `(source local rank, data)`.
+    pub fn recv_vec<T: Pod>(&self, src: SrcSel, tag: TagSel) -> (usize, Vec<T>) {
+        let env = self.recv(src, tag);
+        (env.src, pod::from_bytes(&env.payload))
+    }
+
+    /// Convenience alias for `recv_vec::<u64>`.
+    pub fn recv_u64s(&self, src: SrcSel, tag: TagSel) -> (usize, Vec<u64>) {
+        self.recv_vec(src, tag)
+    }
+
+    /// Blocking probe: `(source local rank, tag, payload length)` of the
+    /// next matching message, without consuming it.
+    pub fn probe(&self, src: SrcSel, tag: TagSel) -> (usize, Tag, usize) {
+        let m = self.matcher(src, tag);
+        let (world_src, tag, len) = self.my_mailbox().wait_matching(&m);
+        (self.local_of_world[world_src].expect("non-member source"), tag, len)
+    }
+
+    /// Nonblocking probe.
+    pub fn iprobe(&self, src: SrcSel, tag: TagSel) -> Option<(usize, Tag, usize)> {
+        let m = self.matcher(src, tag);
+        let (world_src, tag, len) = self.my_mailbox().peek_matching(&m)?;
+        Some((self.local_of_world[world_src].expect("non-member source"), tag, len))
+    }
+
+    fn my_mailbox(&self) -> &crate::mailbox::Mailbox {
+        &self.inner.mailboxes[self.members[self.rank]]
+    }
+
+    // ---------------------------------------------------------------
+    // Communicator management
+    // ---------------------------------------------------------------
+
+    /// Partition the communicator by `color`; ranks with equal color form a
+    /// new communicator ordered by `(key, parent rank)`. Collective over
+    /// all ranks of `self`.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        // Gather (color, key) from everyone.
+        let all: Vec<(usize, usize)> = self
+            .allgather_bytes(pod::to_bytes(&[color as u64, key as u64]))
+            .iter()
+            .map(|b| {
+                let v = pod::from_bytes::<u64>(b);
+                (v[0] as usize, v[1] as usize)
+            })
+            .collect();
+
+        // Deterministically enumerate distinct colors in sorted order.
+        let mut colors: Vec<usize> = all.iter().map(|&(c, _)| c).collect();
+        colors.sort_unstable();
+        colors.dedup();
+
+        // Parent rank 0 allocates a contiguous block of context ids and
+        // broadcasts the base so every new communicator gets a unique,
+        // agreed-upon context.
+        let base = if self.rank == 0 {
+            let b = self.inner.next_ctx.fetch_add(colors.len() as u32, Ordering::Relaxed);
+            self.bcast_bytes(0, Some(pod::to_bytes(&[u64::from(b)])));
+            b
+        } else {
+            pod::from_bytes::<u64>(&self.bcast_bytes(0, None))[0] as u32
+        };
+
+        let color_idx = colors.binary_search(&color).expect("own color present");
+        let ctx = base + color_idx as u32;
+
+        // Members of my color, ordered by (key, parent rank), as world ranks.
+        let mut group: Vec<(usize, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(c, _))| c == color)
+            .map(|(parent_rank, &(_, k))| (k, parent_rank))
+            .collect();
+        group.sort_unstable();
+        let members: Vec<usize> = group.iter().map(|&(_, pr)| self.members[pr]).collect();
+        let my_local = group
+            .iter()
+            .position(|&(_, pr)| pr == self.rank)
+            .expect("calling rank is in its own color group");
+
+        Comm::derived(Arc::clone(&self.inner), ctx, my_local, members)
+    }
+
+    /// Duplicate the communicator onto a fresh context (same members, same
+    /// ranks, isolated message namespace). Collective.
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.rank)
+    }
+}
+
+/// Handle for a posted receive; complete it with [`RecvRequest::wait`] or
+/// poll it with [`RecvRequest::test`].
+pub struct RecvRequest {
+    comm: Comm,
+    src: SrcSel,
+    tag: TagSel,
+}
+
+impl RecvRequest {
+    /// Block until the receive completes.
+    pub fn wait(self) -> Envelope {
+        self.comm.recv(self.src, self.tag)
+    }
+
+    /// Complete the receive if a matching message has arrived.
+    pub fn test(&self) -> Option<Envelope> {
+        self.comm.try_recv(self.src, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::envelope::{ANY_SOURCE, ANY_TAG};
+    use crate::world::World;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_slice(1, 3, &[1.5f64, 2.5]);
+            } else {
+                let (src, v) = c.recv_vec::<f64>(0.into(), 3.into());
+                assert_eq!(src, 0);
+                assert_eq!(v, vec![1.5, 2.5]);
+            }
+        });
+    }
+
+    #[test]
+    fn tag_selectivity() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_u64s(1, 10, &[10]);
+                c.send_u64s(1, 20, &[20]);
+            } else {
+                // Receive out of send order by tag.
+                let (_, v20) = c.recv_u64s(ANY_SOURCE, 20.into());
+                let (_, v10) = c.recv_u64s(ANY_SOURCE, 10.into());
+                assert_eq!((v10[0], v20[0]), (10, 20));
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        World::run(4, |c| {
+            if c.rank() == 0 {
+                let mut seen: Vec<u64> = (0..3)
+                    .map(|_| c.recv_u64s(ANY_SOURCE, ANY_TAG).1[0])
+                    .collect();
+                seen.sort_unstable();
+                assert_eq!(seen, vec![1, 2, 3]);
+            } else {
+                c.send_u64s(0, c.rank() as u32, &[c.rank() as u64]);
+            }
+        });
+    }
+
+    #[test]
+    fn pairwise_fifo_order() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100u64 {
+                    c.send_u64s(1, 1, &[i]);
+                }
+            } else {
+                for i in 0..100u64 {
+                    assert_eq!(c.recv_u64s(0.into(), 1.into()).1[0], i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_and_iprobe() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.barrier();
+                c.send_u64s(1, 5, &[99]);
+            } else {
+                assert!(c.iprobe(ANY_SOURCE, ANY_TAG).is_none());
+                let req = c.irecv(0.into(), 5.into());
+                assert!(req.test().is_none());
+                c.barrier();
+                let env = req.wait();
+                assert_eq!(env.src, 0);
+                assert_eq!(env.tag, 5);
+            }
+        });
+    }
+
+    #[test]
+    fn probe_reports_length_without_consuming() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 2, bytes::Bytes::from(vec![0u8; 17]));
+            } else {
+                let (src, tag, len) = c.probe(ANY_SOURCE, ANY_TAG);
+                assert_eq!((src, tag, len), (0, 2, 17));
+                let env = c.recv(ANY_SOURCE, ANY_TAG);
+                assert_eq!(env.payload.len(), 17);
+            }
+        });
+    }
+
+    #[test]
+    fn split_builds_disjoint_comms() {
+        World::run(6, |c| {
+            // Colors: even ranks vs odd ranks.
+            let sub = c.split(c.rank() % 2, c.rank());
+            assert_eq!(sub.size(), 3);
+            assert_eq!(sub.rank(), c.rank() / 2);
+            assert_eq!(sub.to_world_rank(sub.rank()), c.rank());
+            // Messages on sub do not leak: exchange within the subgroup.
+            let next = (sub.rank() + 1) % sub.size();
+            sub.send_u64s(next, 0, &[c.rank() as u64]);
+            let (_, v) = sub.recv_u64s(ANY_SOURCE, 0.into());
+            // Received from a same-parity rank.
+            assert_eq!(v[0] % 2, (c.rank() % 2) as u64);
+        });
+    }
+
+    #[test]
+    fn split_respects_key_ordering() {
+        World::run(4, |c| {
+            // Reverse ordering via key.
+            let sub = c.split(0, 100 - c.rank());
+            assert_eq!(sub.rank(), c.size() - 1 - c.rank());
+        });
+    }
+
+    #[test]
+    fn dup_isolates_messages() {
+        World::run(2, |c| {
+            let d = c.dup();
+            if c.rank() == 0 {
+                c.send_u64s(1, 1, &[111]);
+                d.send_u64s(1, 1, &[222]);
+            } else {
+                // Receive on the dup first: must get the dup's message even
+                // though the world message arrived first.
+                let (_, vd) = d.recv_u64s(0.into(), 1.into());
+                let (_, vc) = c.recv_u64s(0.into(), 1.into());
+                assert_eq!((vc[0], vd[0]), (111, 222));
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn reserved_tags_rejected() {
+        // The per-rank panic ("tag is reserved") surfaces as a join failure.
+        World::run(1, |c| c.send_u64s(0, 0x8000_0000, &[0]));
+    }
+}

@@ -1,0 +1,53 @@
+//! Optional interconnect cost model.
+//!
+//! Shared-memory thread channels are faster and flatter than a Dragonfly
+//! network. Experiments that want to emulate network behavior (e.g. to make
+//! the memory-mode weak-scaling curve "rise slowly" like the paper's Fig. 5)
+//! can attach a [`CostModel`]: each delivered message charges a fixed
+//! latency plus a per-byte cost, slept on the receiving side after the
+//! match. The default (no cost model) charges nothing.
+
+use std::time::Duration;
+
+/// Linear latency/bandwidth message cost: `latency + bytes * per_byte_ns`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-message cost.
+    pub latency: Duration,
+    /// Cost per payload byte, in nanoseconds (fractional values allowed).
+    pub per_byte_ns: f64,
+}
+
+impl CostModel {
+    /// A rough interconnect-like model: 1 µs latency, 10 GB/s bandwidth
+    /// (0.1 ns per byte).
+    pub fn interconnect() -> Self {
+        CostModel { latency: Duration::from_micros(1), per_byte_ns: 0.1 }
+    }
+
+    /// Total simulated transfer time for a message of `bytes` payload bytes.
+    pub fn delay(&self, bytes: usize) -> Duration {
+        let transfer_ns = (self.per_byte_ns * bytes as f64).round() as u64;
+        self.latency + Duration::from_nanos(transfer_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_linear_in_bytes() {
+        let cm = CostModel { latency: Duration::from_nanos(100), per_byte_ns: 2.0 };
+        assert_eq!(cm.delay(0), Duration::from_nanos(100));
+        assert_eq!(cm.delay(50), Duration::from_nanos(200));
+    }
+
+    #[test]
+    fn interconnect_model_is_sane() {
+        let cm = CostModel::interconnect();
+        // 1 GiB at 10 GB/s ≈ 0.107 s (plus 1 µs latency)
+        let d = cm.delay(1 << 30);
+        assert!(d > Duration::from_millis(100) && d < Duration::from_millis(120));
+    }
+}

@@ -1,0 +1,131 @@
+//! Message envelopes and matching selectors.
+//!
+//! Every in-flight message is an [`Envelope`]: source rank, tag, and
+//! payload. Receives match on `(source, tag)` with MPI-style wildcards
+//! ([`ANY_SOURCE`], [`ANY_TAG`]).
+//!
+//! Tags are namespaced by a *context id* so that messages sent on different
+//! communicators derived from the same world can never be confused — the
+//! same role MPI's hidden per-communicator context plays. User code only
+//! sees the 32-bit user tag.
+
+use bytes::Bytes;
+
+/// Full 64-bit wire tag: `(context id << 32) | user tag`.
+pub type WireTag = u64;
+
+/// User-visible message tag (low 32 bits of the wire tag).
+pub type Tag = u32;
+
+/// Wildcard source selector, analogous to `MPI_ANY_SOURCE`.
+pub const ANY_SOURCE: SrcSel = SrcSel::Any;
+
+/// Wildcard tag selector, analogous to `MPI_ANY_TAG`.
+pub const ANY_TAG: TagSel = TagSel::Any;
+
+/// Selects which source ranks a receive matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// Match a message from exactly this rank (communicator-local).
+    Rank(usize),
+    /// Match a message from any rank.
+    Any,
+}
+
+impl From<usize> for SrcSel {
+    fn from(r: usize) -> Self {
+        SrcSel::Rank(r)
+    }
+}
+
+impl SrcSel {
+    pub(crate) fn matches(self, src: usize) -> bool {
+        match self {
+            SrcSel::Rank(r) => r == src,
+            SrcSel::Any => true,
+        }
+    }
+}
+
+/// Selects which tags a receive matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match exactly this tag.
+    Tag(Tag),
+    /// Match any tag.
+    Any,
+}
+
+impl From<Tag> for TagSel {
+    fn from(t: Tag) -> Self {
+        TagSel::Tag(t)
+    }
+}
+
+impl TagSel {
+    /// `Any` deliberately does not match reserved collective tags (top bit
+    /// set): a user wildcard receive must never steal a barrier/bcast
+    /// message in flight on the same communicator.
+    pub(crate) fn matches(self, tag: Tag) -> bool {
+        match self {
+            TagSel::Tag(t) => t == tag,
+            TagSel::Any => tag < 0x8000_0000,
+        }
+    }
+}
+
+/// A delivered message: who sent it, under which tag, and its payload.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending rank, in the coordinates of the communicator the receive was
+    /// posted on.
+    pub src: usize,
+    /// User tag the message was sent with.
+    pub tag: Tag,
+    /// Message body. Cloning is a refcount bump.
+    pub payload: Bytes,
+}
+
+/// Internal representation stored in mailboxes: sources are world ranks and
+/// tags carry the communicator context.
+#[derive(Debug)]
+pub(crate) struct WireEnvelope {
+    pub world_src: usize,
+    pub wire_tag: WireTag,
+    pub payload: Bytes,
+}
+
+pub(crate) fn make_wire_tag(ctx: u32, tag: Tag) -> WireTag {
+    (u64::from(ctx) << 32) | u64::from(tag)
+}
+
+pub(crate) fn split_wire_tag(wire: WireTag) -> (u32, Tag) {
+    ((wire >> 32) as u32, (wire & 0xFFFF_FFFF) as Tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_tag_roundtrip() {
+        let w = make_wire_tag(3, 0xDEAD_BEEF);
+        assert_eq!(split_wire_tag(w), (3, 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn selectors_match() {
+        assert!(SrcSel::Any.matches(5));
+        assert!(SrcSel::Rank(5).matches(5));
+        assert!(!SrcSel::Rank(4).matches(5));
+        assert!(TagSel::Any.matches(9));
+        assert!(TagSel::Tag(9).matches(9));
+        assert!(!TagSel::Tag(8).matches(9));
+    }
+
+    #[test]
+    fn selector_conversions() {
+        assert_eq!(SrcSel::from(2), SrcSel::Rank(2));
+        assert_eq!(TagSel::from(7), TagSel::Tag(7));
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-rank mailbox: an unbounded matched queue with condition-variable
+//! wakeups.
+//!
+//! Following the channel-construction patterns in *Rust Atomics and Locks*
+//! (ch. 5), the mailbox is a `Mutex<VecDeque>` plus a `Condvar`. Receivers
+//! scan the queue for the first envelope matching `(context, source, tag)`;
+//! if none matches they wait. Senders push and `notify_all` (several
+//! receivers with different selectors may be parked — e.g. a serve loop and
+//! a collective helper are never concurrent in our usage, but correctness
+//! must not depend on that).
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::envelope::{SrcSel, TagSel, WireEnvelope, split_wire_tag};
+
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: Mutex<VecDeque<WireEnvelope>>,
+    available: Condvar,
+}
+
+/// Matching key used by receives: the communicator context plus user-level
+/// selectors. Source selection happens on *world* ranks (the caller
+/// translates communicator-local selectors before matching).
+#[derive(Clone, Copy)]
+pub(crate) struct Matcher {
+    pub ctx: u32,
+    pub src: SrcSel, // in world-rank coordinates
+    pub tag: TagSel,
+}
+
+impl Matcher {
+    fn matches(&self, env: &WireEnvelope) -> bool {
+        let (ctx, tag) = split_wire_tag(env.wire_tag);
+        ctx == self.ctx && self.src.matches(env.world_src) && self.tag.matches(tag)
+    }
+}
+
+impl Mailbox {
+    /// Deliver an envelope (never blocks; queues are unbounded, matching
+    /// MPI buffered-send semantics).
+    pub fn push(&self, env: WireEnvelope) {
+        self.queue.lock().push_back(env);
+        self.available.notify_all();
+    }
+
+    /// Block until an envelope matching `m` is available and remove it.
+    pub fn pop_matching(&self, m: &Matcher) -> WireEnvelope {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(i) = q.iter().position(|e| m.matches(e)) {
+                return q.remove(i).expect("index verified by position()");
+            }
+            self.available.wait(&mut q);
+        }
+    }
+
+    /// Remove a matching envelope if one is queued (nonblocking).
+    pub fn try_pop_matching(&self, m: &Matcher) -> Option<WireEnvelope> {
+        let mut q = self.queue.lock();
+        let i = q.iter().position(|e| m.matches(e))?;
+        q.remove(i)
+    }
+
+    /// Nonblocking probe: report `(world_src, tag, len)` of the first
+    /// matching queued envelope without removing it.
+    pub fn peek_matching(&self, m: &Matcher) -> Option<(usize, u32, usize)> {
+        let q = self.queue.lock();
+        q.iter().find(|e| m.matches(e)).map(|e| {
+            let (_, tag) = split_wire_tag(e.wire_tag);
+            (e.world_src, tag, e.payload.len())
+        })
+    }
+
+    /// Blocking probe: wait until a matching envelope is queued and report
+    /// its `(world_src, tag, len)` without removing it.
+    pub fn wait_matching(&self, m: &Matcher) -> (usize, u32, usize) {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(e) = q.iter().find(|e| m.matches(e)) {
+                let (_, tag) = split_wire_tag(e.wire_tag);
+                return (e.world_src, tag, e.payload.len());
+            }
+            self.available.wait(&mut q);
+        }
+    }
+
+    /// Number of queued (undelivered) envelopes, for diagnostics.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{ANY_SOURCE, ANY_TAG, make_wire_tag};
+    use bytes::Bytes;
+
+    fn env(src: usize, ctx: u32, tag: u32, body: &[u8]) -> WireEnvelope {
+        WireEnvelope {
+            world_src: src,
+            wire_tag: make_wire_tag(ctx, tag),
+            payload: Bytes::copy_from_slice(body),
+        }
+    }
+
+    #[test]
+    fn matches_in_fifo_order_per_selector() {
+        let mb = Mailbox::default();
+        mb.push(env(0, 0, 1, b"a"));
+        mb.push(env(0, 0, 1, b"b"));
+        let m = Matcher { ctx: 0, src: ANY_SOURCE, tag: 1.into() };
+        assert_eq!(&mb.pop_matching(&m).payload[..], b"a");
+        assert_eq!(&mb.pop_matching(&m).payload[..], b"b");
+    }
+
+    #[test]
+    fn skips_non_matching_context() {
+        let mb = Mailbox::default();
+        mb.push(env(0, 9, 1, b"other-comm"));
+        mb.push(env(0, 0, 1, b"mine"));
+        let m = Matcher { ctx: 0, src: ANY_SOURCE, tag: ANY_TAG };
+        assert_eq!(&mb.pop_matching(&m).payload[..], b"mine");
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn try_pop_returns_none_when_empty() {
+        let mb = Mailbox::default();
+        let m = Matcher { ctx: 0, src: ANY_SOURCE, tag: ANY_TAG };
+        assert!(mb.try_pop_matching(&m).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mb = Mailbox::default();
+        mb.push(env(3, 0, 7, b"xyz"));
+        let m = Matcher { ctx: 0, src: 3.into(), tag: 7.into() };
+        assert_eq!(mb.peek_matching(&m), Some((3, 7, 3)));
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        use std::sync::Arc;
+        let mb = Arc::new(Mailbox::default());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || {
+            let m = Matcher { ctx: 0, src: ANY_SOURCE, tag: 5.into() };
+            mb2.pop_matching(&m)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.push(env(1, 0, 5, b"wake"));
+        assert_eq!(&t.join().unwrap().payload[..], b"wake");
+    }
+}

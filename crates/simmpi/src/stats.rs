@@ -1,0 +1,55 @@
+//! Transport statistics: global message/byte counters.
+//!
+//! Benchmarks in the paper reason about how much data actually moves (e.g.
+//! "only the intersection of producer and consumer subdomains is
+//! transported"). These counters let tests and benches assert that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared by all ranks of a [`crate::World`].
+#[derive(Default, Debug)]
+pub struct TransportStats {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Point-in-time copy of [`TransportStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total point-to-point messages delivered (collectives included).
+    pub messages: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+}
+
+impl TransportStats {
+    pub(crate) fn record_send(&self, payload_len: usize) {
+        // Relaxed: counters are independent and only read after the world
+        // joins (or for approximate live reporting).
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(payload_len as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            messages: self.msgs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let s = TransportStats::default();
+        s.record_send(10);
+        s.record_send(5);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.bytes, 15);
+    }
+}

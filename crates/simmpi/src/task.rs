@@ -1,0 +1,210 @@
+//! Task worlds: multiple workflow tasks (producer, consumer, staging, …)
+//! sharing one rank space.
+//!
+//! An in situ workflow in the paper is "a collection of programs executing
+//! concurrently"; each *task* is an MPI program with its own communicator,
+//! and cross-task transport (LowFive, DataSpaces, …) runs over a shared
+//! world. [`TaskWorld::run`] reproduces that layout: it partitions `N`
+//! world ranks into contiguous tasks per the given [`TaskSpec`]s, gives
+//! every rank a task-local communicator plus the world communicator, and
+//! exposes rank translation between the two.
+
+use crate::comm::Comm;
+use crate::cost::CostModel;
+use crate::world::{RunOutput, World};
+
+/// One task's name and process count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Human-readable task name (e.g. `"producer"`).
+    pub name: String,
+    /// Number of ranks allocated to the task.
+    pub procs: usize,
+}
+
+impl TaskSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, procs: usize) -> Self {
+        TaskSpec { name: name.into(), procs }
+    }
+}
+
+/// A rank's view of a task world.
+#[derive(Debug, Clone)]
+pub struct TaskComm {
+    /// Index of this rank's task in the spec list.
+    pub task_id: usize,
+    /// Name of this rank's task.
+    pub task_name: String,
+    /// Communicator over this task's ranks only.
+    pub local: Comm,
+    /// Communicator over all ranks of all tasks.
+    pub world: Comm,
+    /// Starting world rank of each task (same order as the specs), plus a
+    /// final entry equal to the world size.
+    pub task_offsets: Vec<usize>,
+}
+
+impl TaskComm {
+    /// World rank of `local_rank` within task `task_id`.
+    pub fn world_rank_of(&self, task_id: usize, local_rank: usize) -> usize {
+        let base = self.task_offsets[task_id];
+        let end = self.task_offsets[task_id + 1];
+        assert!(base + local_rank < end, "local rank {local_rank} out of range for task {task_id}");
+        base + local_rank
+    }
+
+    /// Number of ranks in task `task_id`.
+    pub fn task_size(&self, task_id: usize) -> usize {
+        self.task_offsets[task_id + 1] - self.task_offsets[task_id]
+    }
+
+    /// Which task owns `world_rank`.
+    pub fn task_of_world_rank(&self, world_rank: usize) -> usize {
+        debug_assert!(world_rank < *self.task_offsets.last().expect("nonempty"));
+        match self.task_offsets.binary_search(&world_rank) {
+            Ok(i) if i + 1 < self.task_offsets.len() => i,
+            Ok(i) => i - 1, // world_rank == world size can't happen; defensive
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Number of tasks in the world.
+    pub fn num_tasks(&self) -> usize {
+        self.task_offsets.len() - 1
+    }
+}
+
+/// Runner that lays tasks out over a single world.
+pub struct TaskWorld;
+
+impl TaskWorld {
+    /// Run all tasks; each rank executes `f` with its [`TaskComm`].
+    /// Results are returned in world-rank order.
+    pub fn run<R, F>(specs: &[TaskSpec], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(TaskComm) -> R + Send + Sync,
+    {
+        Self::run_with(specs, None, f).results
+    }
+
+    /// As [`TaskWorld::run`], with an optional cost model, returning
+    /// transport statistics too.
+    pub fn run_with<R, F>(specs: &[TaskSpec], cost: Option<CostModel>, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(TaskComm) -> R + Send + Sync,
+    {
+        assert!(!specs.is_empty(), "need at least one task");
+        assert!(specs.iter().all(|s| s.procs > 0), "every task needs at least one rank");
+        let mut offsets = Vec::with_capacity(specs.len() + 1);
+        let mut acc = 0usize;
+        for s in specs {
+            offsets.push(acc);
+            acc += s.procs;
+        }
+        offsets.push(acc);
+        let total = acc;
+
+        let offsets_ref = &offsets;
+        let specs_ref = specs;
+        let f = &f;
+        let mut builder = World::builder(total);
+        if let Some(cm) = cost {
+            builder = builder.cost_model(cm);
+        }
+        builder.run(move |world| {
+            let rank = world.rank();
+            let task_id = match offsets_ref.binary_search(&rank) {
+                Ok(i) if i < specs_ref.len() => i,
+                Ok(i) => i - 1,
+                Err(i) => i - 1,
+            };
+            let local = world.split(task_id, rank);
+            f(TaskComm {
+                task_id,
+                task_name: specs_ref[task_id].name.clone(),
+                local,
+                world,
+                task_offsets: offsets_ref.clone(),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::ANY_SOURCE;
+
+    fn specs() -> Vec<TaskSpec> {
+        vec![TaskSpec::new("producer", 3), TaskSpec::new("consumer", 2)]
+    }
+
+    #[test]
+    fn layout_and_translation() {
+        TaskWorld::run(&specs(), |tc| {
+            assert_eq!(tc.task_offsets, vec![0, 3, 5]);
+            assert_eq!(tc.num_tasks(), 2);
+            assert_eq!(tc.task_size(0), 3);
+            assert_eq!(tc.task_size(1), 2);
+            if tc.world.rank() < 3 {
+                assert_eq!(tc.task_id, 0);
+                assert_eq!(tc.task_name, "producer");
+                assert_eq!(tc.local.size(), 3);
+                assert_eq!(tc.local.rank(), tc.world.rank());
+            } else {
+                assert_eq!(tc.task_id, 1);
+                assert_eq!(tc.local.size(), 2);
+                assert_eq!(tc.local.rank(), tc.world.rank() - 3);
+            }
+            assert_eq!(tc.world_rank_of(1, 0), 3);
+            assert_eq!(tc.task_of_world_rank(0), 0);
+            assert_eq!(tc.task_of_world_rank(2), 0);
+            assert_eq!(tc.task_of_world_rank(3), 1);
+            assert_eq!(tc.task_of_world_rank(4), 1);
+        });
+    }
+
+    #[test]
+    fn cross_task_messaging() {
+        TaskWorld::run(&specs(), |tc| {
+            if tc.task_id == 0 {
+                // Every producer rank sends its world rank to consumer 0.
+                let dest = tc.world_rank_of(1, 0);
+                tc.world.send_u64s(dest, 9, &[tc.world.rank() as u64]);
+            } else if tc.local.rank() == 0 {
+                let mut got: Vec<u64> =
+                    (0..3).map(|_| tc.world.recv_u64s(ANY_SOURCE, 9.into()).1[0]).collect();
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1, 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn local_collectives_are_task_scoped() {
+        TaskWorld::run(&specs(), |tc| {
+            let sum = tc.local.allreduce_one::<u64, _>(1, |a, b| a + b);
+            assert_eq!(sum, tc.task_size(tc.task_id) as u64);
+        });
+    }
+
+    #[test]
+    fn three_tasks() {
+        let specs = vec![
+            TaskSpec::new("sim", 4),
+            TaskSpec::new("staging", 2),
+            TaskSpec::new("viz", 1),
+        ];
+        let ids = TaskWorld::run(&specs, |tc| tc.task_id);
+        assert_eq!(ids, vec![0, 0, 0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_task_rejected() {
+        TaskWorld::run(&[TaskSpec::new("x", 0)], |_tc| ());
+    }
+}

@@ -1,0 +1,146 @@
+//! The world: mailboxes, rank threads, and shared run-wide state.
+
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::cost::CostModel;
+use crate::mailbox::Mailbox;
+use crate::stats::{StatsSnapshot, TransportStats};
+
+/// Shared state behind every [`Comm`] of one run.
+pub(crate) struct WorldInner {
+    pub mailboxes: Vec<Mailbox>,
+    /// Next communicator context id (0 is the world communicator).
+    pub next_ctx: AtomicU32,
+    pub stats: TransportStats,
+    pub cost: Option<CostModel>,
+}
+
+impl WorldInner {
+    fn new(size: usize, cost: Option<CostModel>) -> Self {
+        WorldInner {
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            next_ctx: AtomicU32::new(1),
+            stats: TransportStats::default(),
+            cost,
+        }
+    }
+}
+
+/// Entry point for running a group of ranks.
+///
+/// A `World` is not held by user code; [`World::run`] (or
+/// [`WorldBuilder::run`]) spawns one scoped thread per rank, passes each a
+/// [`Comm`] covering all ranks, and joins them, returning each rank's result
+/// in rank order.
+pub struct World;
+
+/// Configures a world before running it (cost model, etc.).
+pub struct WorldBuilder {
+    size: usize,
+    cost: Option<CostModel>,
+}
+
+/// Results of a completed run plus transport statistics.
+pub struct RunOutput<R> {
+    /// Per-rank return values, indexed by world rank.
+    pub results: Vec<R>,
+    /// Message/byte totals accumulated during the run.
+    pub stats: StatsSnapshot,
+}
+
+impl World {
+    /// Run `size` ranks, each executing `f` with its own [`Comm`].
+    ///
+    /// Panics in any rank propagate after all threads have been joined
+    /// (a rank panic generally deadlocks peers blocked on receives from it,
+    /// so tests should keep communication patterns total).
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        Self::builder(size).run(f).results
+    }
+
+    /// Start configuring a run (e.g. to attach a [`CostModel`]).
+    pub fn builder(size: usize) -> WorldBuilder {
+        WorldBuilder { size, cost: None }
+    }
+}
+
+impl WorldBuilder {
+    /// Attach a message cost model charged on every delivery.
+    pub fn cost_model(mut self, cm: CostModel) -> Self {
+        self.cost = Some(cm);
+        self
+    }
+
+    /// Spawn the ranks and block until they all return.
+    pub fn run<R, F>(self, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        assert!(self.size > 0, "world size must be at least 1");
+        let inner = Arc::new(WorldInner::new(self.size, self.cost));
+        let f = &f;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.size)
+                .map(|rank| {
+                    let comm = Comm::world(Arc::clone(&inner), rank, self.size);
+                    let mut builder = std::thread::Builder::new();
+                    // Keep stacks modest: sweeps spawn hundreds of ranks.
+                    builder = builder.stack_size(2 << 20).name(format!("rank-{rank}"));
+                    builder.spawn_scoped(scope, move || f(comm)).expect("spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect::<Vec<R>>()
+        });
+        RunOutput { results, stats: inner.stats.snapshot() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |c| {
+            assert_eq!(c.rank(), 0);
+            assert_eq!(c.size(), 1);
+            42
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let out = World::run(8, |c| c.rank() * 10);
+        assert_eq!(out, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let out = World::builder(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &[1u8, 2, 3][..]);
+            } else {
+                c.recv(0.into(), 0.into());
+            }
+        });
+        assert_eq!(out.stats.messages, 1);
+        assert_eq!(out.stats.bytes, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_size_world_rejected() {
+        let _ = World::run(0, |_c| ());
+    }
+}

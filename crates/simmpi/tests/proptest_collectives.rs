@@ -1,0 +1,89 @@
+//! Property-based tests of the collective operations: arbitrary world
+//! sizes, roots, and payload shapes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use simmpi::World;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Broadcast delivers the root's exact payload to every rank, for any
+    /// size, root, and payload length.
+    #[test]
+    fn bcast_delivers_everywhere(
+        n in 1usize..10,
+        root_seed in 0usize..100,
+        len in 0usize..2000,
+    ) {
+        let root = root_seed % n;
+        World::run(n, move |c| {
+            let data = (c.rank() == root)
+                .then(|| Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>()));
+            let got = c.bcast_bytes(root, data);
+            assert_eq!(got.len(), len);
+            assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+        });
+    }
+
+    /// gather → scatter is the identity permutation on per-rank payloads.
+    #[test]
+    fn gather_scatter_roundtrip(n in 1usize..9, root_seed in 0usize..100) {
+        let root = root_seed % n;
+        World::run(n, move |c| {
+            let mine = Bytes::from(vec![c.rank() as u8; c.rank() + 1]);
+            let gathered = c.gather_bytes(root, mine.clone());
+            let parts = gathered.map(|g| {
+                // Root validates and scatters everything back.
+                for (r, b) in g.iter().enumerate() {
+                    assert_eq!(b.len(), r + 1);
+                    assert!(b.iter().all(|&x| x == r as u8));
+                }
+                g
+            });
+            let back = c.scatter_bytes(root, parts);
+            assert_eq!(back, mine);
+        });
+    }
+
+    /// allreduce equals the fold of allgather, for random per-rank values.
+    #[test]
+    fn allreduce_equals_folded_allgather(n in 1usize..9, seed in 0u64..10_000) {
+        World::run(n, move |c| {
+            let v = seed.wrapping_mul(31).wrapping_add(c.rank() as u64 * 7919) % 1000;
+            let sum = c.allreduce_one::<u64, _>(v, |a, b| a + b);
+            let all = c.allgather_one::<u64>(v);
+            assert_eq!(sum, all.iter().sum::<u64>());
+            let max = c.allreduce_one::<u64, _>(v, std::cmp::max);
+            assert_eq!(max, *all.iter().max().expect("nonempty"));
+        });
+    }
+
+    /// alltoall is a matrix transpose of the per-rank part lists.
+    #[test]
+    fn alltoall_transposes(n in 1usize..8, seed in 0u64..10_000) {
+        World::run(n, move |c| {
+            let parts: Vec<Bytes> = (0..n)
+                .map(|d| {
+                    let tag = (seed % 251) as u8;
+                    Bytes::from(vec![tag, c.rank() as u8, d as u8])
+                })
+                .collect();
+            let got = c.alltoall_bytes(parts);
+            for (src, b) in got.iter().enumerate() {
+                assert_eq!(&b[..], &[(seed % 251) as u8, src as u8, c.rank() as u8]);
+            }
+        });
+    }
+
+    /// exscan is consistent with the allgather prefix.
+    #[test]
+    fn exscan_prefix_property(n in 1usize..9, seed in 0u64..10_000) {
+        World::run(n, move |c| {
+            let v = (seed + c.rank() as u64 * 13) % 97;
+            let pre = c.exscan_u64(v);
+            let all = c.allgather_one::<u64>(v);
+            assert_eq!(pre, all[..c.rank()].iter().sum::<u64>());
+        });
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based test of the index–serve–query redistribution: for
+//! random task sizes, grid shapes, producer decompositions, and consumer
+//! queries, every element the consumer reads must equal its global linear
+//! index (and unwritten cells must read zero).
+
+use std::sync::Arc;
+
+use lowfive::DistVolBuilder;
+use minih5::{Dataspace, Datatype, Selection, Vol, H5};
+use proptest::prelude::*;
+use simmpi::{TaskSpec, TaskWorld};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    producers: usize,
+    consumers: usize,
+    dims: Vec<u64>,
+    /// Per-producer x-ranges (contiguous partition of dims[0]).
+    cuts: Vec<u64>,
+    /// Consumer queries: one box per consumer, inside the dims.
+    queries: Vec<(Vec<u64>, Vec<u64>)>, // (start, size)
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..=5, 1usize..=4, 1usize..=3).prop_flat_map(|(producers, consumers, rank)| {
+        let dim = 2u64..=12;
+        let dims = proptest::collection::vec(dim, rank);
+        dims.prop_flat_map(move |dims| {
+            let nx = dims[0];
+            // Random cut points partitioning [0, nx) into `producers` ranges.
+            let cuts = proptest::collection::vec(0..=nx, producers - 1).prop_map(move |mut c| {
+                c.sort_unstable();
+                c
+            });
+            let dims2 = dims.clone();
+            let queries = proptest::collection::vec(
+                proptest::collection::vec(0u64..=11, dims.len() * 2),
+                consumers,
+            )
+            .prop_map(move |raw| {
+                raw.into_iter()
+                    .map(|r| {
+                        let mut start = Vec::new();
+                        let mut size = Vec::new();
+                        for (i, &d) in dims2.iter().enumerate() {
+                            let s = r[2 * i] % d;
+                            let max = d - s;
+                            let len = 1 + r[2 * i + 1] % max;
+                            start.push(s);
+                            size.push(len);
+                        }
+                        (start, size)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let dims3 = dims.clone();
+            (cuts, queries).prop_map(move |(cuts, queries)| Scenario {
+                producers,
+                consumers,
+                dims: dims3.clone(),
+                cuts,
+                queries,
+            })
+        })
+    })
+}
+
+fn run_scenario(s: &Scenario) {
+    let specs = [TaskSpec::new("p", s.producers), TaskSpec::new("c", s.consumers)];
+    let s = s.clone();
+    TaskWorld::run(&specs, move |tc| {
+        let producers: Vec<usize> = (0..s.producers).collect();
+        let consumers: Vec<usize> = (s.producers..s.producers + s.consumers).collect();
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone()).produce("*", consumers).build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone()).consume("*", producers).build()
+        };
+        let h5 = H5::with_vol(vol);
+        let space = Dataspace::simple(&s.dims);
+        if tc.task_id == 0 {
+            let p = tc.local.rank();
+            let x0 = if p == 0 { 0 } else { s.cuts[p - 1] };
+            let x1 = if p + 1 == s.producers { s.dims[0] } else { s.cuts[p] };
+            let f = h5.create_file("prop.h5").unwrap();
+            let d = f
+                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&s.dims))
+                .unwrap();
+            if x1 > x0 {
+                // Write this x-range (possibly empty for some producers).
+                let mut start = vec![0u64; s.dims.len()];
+                start[0] = x0;
+                let mut size = s.dims.clone();
+                size[0] = x1 - x0;
+                let sel = Selection::block(&start, &size);
+                let vals: Vec<u64> = sel
+                    .runs(&space)
+                    .iter()
+                    .flat_map(|r| r.offset..r.offset + r.len)
+                    .collect();
+                d.write_selection(&sel, &vals).unwrap();
+            }
+            f.close().unwrap();
+        } else {
+            let c = tc.local.rank();
+            let (start, size) = &s.queries[c];
+            let f = h5.open_file("prop.h5").unwrap();
+            let d = f.open_dataset("x").unwrap();
+            let sel = Selection::block(start, size);
+            let got: Vec<u64> = d.read_selection(&sel).unwrap();
+            let expect: Vec<u64> = sel
+                .runs(&Dataspace::simple(&s.dims))
+                .iter()
+                .flat_map(|r| r.offset..r.offset + r.len)
+                .collect();
+            assert_eq!(got, expect, "query {start:?}+{size:?} over dims {:?}", s.dims);
+            f.close().unwrap();
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Every consumer read returns position-encoded values, for arbitrary
+    /// rank-1..3 grids, uneven producer cuts (including empty producers),
+    /// and arbitrary consumer boxes.
+    #[test]
+    fn redistribution_is_position_exact(s in scenario()) {
+        run_scenario(&s);
+    }
+}

@@ -1,0 +1,205 @@
+//! Workspace-level end-to-end tests: whole workflows spanning every crate
+//! (simmpi → diyblk → minih5 → lowfive → nyxsim → orchestra).
+
+use minih5::{Dataspace, Datatype, Selection, H5};
+use nyxsim::find_halos;
+use nyxsim::sim::{read_snapshot_slab, write_snapshot, NyxSim, SimConfig, WriteOptions};
+use orchestra::Workflow;
+use parking_lot_like::SharedCounter;
+
+/// Tiny shared-state helper (std-only) so tasks can report results back
+/// to the test body.
+mod parking_lot_like {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    pub struct SharedCounter(Arc<AtomicU64>);
+
+    impl SharedCounter {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn set(&self, v: u64) {
+            self.0.store(v, Ordering::SeqCst);
+        }
+
+        pub fn get(&self) -> u64 {
+            self.0.load(Ordering::SeqCst)
+        }
+    }
+}
+
+/// The full cosmology workflow in situ: simulate, stream, find halos.
+/// The same analysis rerun against a direct (no-transport) computation
+/// must find identical halos — transport must not change science results.
+#[test]
+fn nyx_reeber_in_situ_matches_direct_computation() {
+    const GRID: u64 = 24;
+    const PRODUCERS: usize = 4;
+    let cfg = SimConfig {
+        grid: GRID,
+        nranks: PRODUCERS,
+        particles_per_rank: 20_000,
+        centers: 4,
+        seed: 31,
+    };
+
+    // Direct: run the sim serially-per-rank and assemble the field.
+    let mut direct_field = vec![0.0f64; (GRID * GRID * GRID) as usize];
+    for r in 0..PRODUCERS {
+        let sim = NyxSim::new(cfg.clone(), r);
+        let rho = sim.deposit();
+        let (lo, _) = cfg.slab(r);
+        let off = (lo * GRID * GRID) as usize;
+        direct_field[off..off + rho.len()].copy_from_slice(&rho);
+    }
+    let mean = direct_field.iter().sum::<f64>() / direct_field.len() as f64;
+    let direct_halos = find_halos([GRID, GRID, GRID], &direct_field, 8.0 * mean, 2);
+    assert!(!direct_halos.is_empty());
+
+    // In situ: the same computation through the workflow.
+    let halo_count = SharedCounter::new();
+    let heaviest_mass = SharedCounter::new();
+    let hc = halo_count.clone();
+    let hm = heaviest_mass.clone();
+    let cfg2 = cfg.clone();
+    let mut wf = Workflow::new();
+    wf.task("nyx", PRODUCERS, move |tc| {
+        let h5 = H5::open_default();
+        let sim = NyxSim::new(cfg2.clone(), tc.local.rank());
+        let rho = sim.deposit();
+        write_snapshot(&h5, "snap", &sim, &rho, WriteOptions::default()).unwrap();
+    });
+    wf.task("reeber", 2, move |tc| {
+        let h5 = H5::open_default();
+        let lo = GRID * tc.local.rank() as u64 / 2;
+        let hi = GRID * (tc.local.rank() as u64 + 1) / 2;
+        let (_, slab) = read_snapshot_slab(&h5, "snap", lo, hi).unwrap();
+        let mut framed = lo.to_le_bytes().to_vec();
+        framed.extend(slab.iter().flat_map(|v| v.to_le_bytes()));
+        if let Some(parts) = tc.local.gather_bytes(0, framed.into()) {
+            let mut field = vec![0.0f64; (GRID * GRID * GRID) as usize];
+            for part in parts {
+                let plo = u64::from_le_bytes(part[..8].try_into().unwrap());
+                let off = (plo * GRID * GRID) as usize;
+                for (i, c) in part[8..].chunks_exact(8).enumerate() {
+                    field[off + i] = f64::from_le_bytes(c.try_into().unwrap());
+                }
+            }
+            let mean = field.iter().sum::<f64>() / field.len() as f64;
+            let halos = find_halos([GRID, GRID, GRID], &field, 8.0 * mean, 2);
+            hc.set(halos.len() as u64);
+            hm.set(halos[0].mass as u64);
+        }
+    });
+    wf.link("nyx", "reeber", "snap");
+    wf.run();
+
+    assert_eq!(halo_count.get() as usize, direct_halos.len());
+    assert_eq!(heaviest_mass.get(), direct_halos[0].mass as u64);
+}
+
+/// A diamond workflow: one source fans out to two filters that each
+/// produce a derived file, and a sink joins both (fan-out + fan-in in one
+/// graph).
+#[test]
+fn diamond_graph_fan_out_then_fan_in() {
+    const N: u64 = 64;
+    let ok = SharedCounter::new();
+    let ok2 = ok.clone();
+    let mut wf = Workflow::new();
+    wf.task("source", 2, |tc| {
+        let h5 = H5::open_default();
+        let f = h5.create_file("base.h5").unwrap();
+        let d = f
+            .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
+            .unwrap();
+        let half = N / 2;
+        let s = tc.local.rank() as u64 * half;
+        d.write_selection(
+            &Selection::block(&[s], &[half]),
+            &(s..s + half).collect::<Vec<u64>>(),
+        )
+        .unwrap();
+        f.close().unwrap();
+    });
+    for (name, mult) in [("double", 2u64), ("triple", 3u64)] {
+        wf.task(name, 1, move |_tc| {
+            let h5 = H5::open_default();
+            let fin = h5.open_file("base.h5").unwrap();
+            let x = fin.open_dataset("x").unwrap().read_all::<u64>().unwrap();
+            fin.close().unwrap();
+            let fout = h5.create_file(&format!("{name}.h5")).unwrap();
+            let d = fout
+                .create_dataset("y", Datatype::UInt64, Dataspace::simple(&[N]))
+                .unwrap();
+            d.write_all(&x.iter().map(|v| v * mult).collect::<Vec<u64>>()).unwrap();
+            fout.close().unwrap();
+        });
+    }
+    wf.task("sink", 1, move |_tc| {
+        let h5 = H5::open_default();
+        let fa = h5.open_file("double.h5").unwrap();
+        let a = fa.open_dataset("y").unwrap().read_all::<u64>().unwrap();
+        fa.close().unwrap();
+        let fb = h5.open_file("triple.h5").unwrap();
+        let b = fb.open_dataset("y").unwrap().read_all::<u64>().unwrap();
+        fb.close().unwrap();
+        // a[i] + b[i] = 5 i.
+        assert!(a.iter().zip(&b).enumerate().all(|(i, (x, y))| x + y == 5 * i as u64));
+        ok2.set(1);
+    });
+    wf.link("source", "double", "base.h5");
+    wf.link("source", "triple", "base.h5");
+    wf.link("double", "sink", "double.h5");
+    wf.link("triple", "sink", "triple.h5");
+    wf.run();
+    assert_eq!(ok.get(), 1);
+}
+
+/// File mode through the orchestrator: the consumer polls until the
+/// producer's file is complete on disk, so the unmodified workflow also
+/// works with storage in the middle.
+#[test]
+fn workflow_file_mode_via_properties() {
+    let dir = std::env::temp_dir().join("workflow-e2e-filemode");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: &'static str =
+        Box::leak(dir.join("fm.nh5").to_str().unwrap().to_string().into_boxed_str());
+    let _ = std::fs::remove_file(path);
+
+    let mut props = lowfive::LowFiveProps::new();
+    props.set_memory("*", false).set_passthrough("*", true);
+    let ok = SharedCounter::new();
+    let ok2 = ok.clone();
+    let mut wf = Workflow::new();
+    wf.props(props);
+    wf.task("p", 2, move |tc| {
+        let h5 = H5::open_default();
+        let f = h5.create_file(path).unwrap();
+        let d = f
+            .create_dataset("v", Datatype::UInt32, Dataspace::simple(&[8]))
+            .unwrap();
+        let s = tc.local.rank() as u64 * 4;
+        d.write_selection(
+            &Selection::block(&[s], &[4]),
+            &(s as u32..s as u32 + 4).collect::<Vec<u32>>(),
+        )
+        .unwrap();
+        f.close().unwrap();
+    });
+    wf.task("c", 1, move |_tc| {
+        let h5 = H5::open_default();
+        let f = h5.open_file(path).unwrap(); // polls until complete
+        let v = f.open_dataset("v").unwrap().read_all::<u32>().unwrap();
+        assert_eq!(v, (0..8).collect::<Vec<u32>>());
+        f.close().unwrap();
+        ok2.set(1);
+    });
+    wf.link("p", "c", path);
+    wf.run();
+    assert_eq!(ok.get(), 1);
+    assert!(std::path::Path::new(path).exists());
+}
