@@ -44,9 +44,9 @@ impl Iterator for BoxCoords {
 /// Element offset of `coord` within the row-major packing of `bb`.
 pub fn local_offset(bb: &BBox, coord: &[u64]) -> usize {
     let mut off = 0usize;
-    for i in 0..coord.len() {
+    for (i, &c) in coord.iter().enumerate() {
         let extent = (bb.hi[i] - bb.lo[i]) as usize;
-        off = off * extent + (coord[i] - bb.lo[i]) as usize;
+        off = off * extent + (c - bb.lo[i]) as usize;
     }
     off
 }
@@ -59,10 +59,7 @@ mod tests {
     fn iterates_row_major() {
         let bb = BBox::new(vec![1, 2], vec![3, 4]);
         let coords: Vec<Vec<u64>> = BoxCoords::new(&bb).collect();
-        assert_eq!(
-            coords,
-            vec![vec![1, 2], vec![1, 3], vec![2, 2], vec![2, 3]]
-        );
+        assert_eq!(coords, vec![vec![1, 2], vec![1, 3], vec![2, 2], vec![2, 3]]);
     }
 
     #[test]

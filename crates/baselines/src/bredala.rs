@@ -105,12 +105,7 @@ impl Container {
 
 /// Producer side of the contiguous policy: split the local item range by
 /// the consumers' ranges and ship chunks (efficient memcpy path).
-pub fn send_contiguous(
-    world: &Comm,
-    tag: Tag,
-    field: &Field,
-    consumers: &[(usize, (u64, u64))],
-) {
+pub fn send_contiguous(world: &Comm, tag: Tag, field: &Field, consumers: &[(usize, (u64, u64))]) {
     let (item_size, range) = match &field.policy {
         Policy::Contiguous { item_size, range } => (*item_size, *range),
         _ => panic!("send_contiguous needs a Contiguous field"),
@@ -337,19 +332,24 @@ mod tests {
             // Producers: row halves. Consumers: column halves.
             let pboxes: Vec<(usize, BBox)> = (0..2)
                 .map(|r| {
-                    (tc.world_rank_of(0, r), BBox::new(vec![r as u64 * 4, 0], vec![r as u64 * 4 + 4, N]))
+                    (
+                        tc.world_rank_of(0, r),
+                        BBox::new(vec![r as u64 * 4, 0], vec![r as u64 * 4 + 4, N]),
+                    )
                 })
                 .collect();
             let cboxes: Vec<(usize, BBox)> = (0..2)
                 .map(|r| {
-                    (tc.world_rank_of(1, r), BBox::new(vec![0, r as u64 * 4], vec![N, r as u64 * 4 + 4]))
+                    (
+                        tc.world_rank_of(1, r),
+                        BBox::new(vec![0, r as u64 * 4], vec![N, r as u64 * 4 + 4]),
+                    )
                 })
                 .collect();
             if tc.task_id == 0 {
                 let my = pboxes[tc.local.rank()].1.clone();
-                let data: Vec<u8> = BoxCoords::new(&my)
-                    .flat_map(|c| (c[0] * N + c[1]).to_le_bytes())
-                    .collect();
+                let data: Vec<u8> =
+                    BoxCoords::new(&my).flat_map(|c| (c[0] * N + c[1]).to_le_bytes()).collect();
                 let f = Field::bounding_box("grid", 8, my, data.into());
                 send_bbox(&tc.world, 13, &f, &cboxes);
             } else {
@@ -367,12 +367,7 @@ mod tests {
     fn container_api() {
         let mut c = Container::new();
         c.append(Field::contiguous("p", 4, (0, 2), vec![0u8; 8].into()));
-        c.append(Field::bounding_box(
-            "g",
-            1,
-            BBox::new(vec![0], vec![3]),
-            vec![1u8, 2, 3].into(),
-        ));
+        c.append(Field::bounding_box("g", 1, BBox::new(vec![0], vec![3]), vec![1u8, 2, 3].into()));
         assert_eq!(c.fields.len(), 2);
         assert!(c.field("p").is_some());
         assert!(c.field("missing").is_none());
@@ -414,14 +409,11 @@ mod round_robin_tests {
                 send_round_robin(&tc.world, 15, &f, &consumers);
             } else {
                 let me = tc.local.rank();
-                let got =
-                    recv_round_robin(&tc.world, 15, ITEM, me, 2, TOTAL, &pranges);
+                let got = recv_round_robin(&tc.world, 15, ITEM, me, 2, TOTAL, &pranges);
                 let expect: Vec<u32> =
                     (0..TOTAL).filter(|i| i % 2 == me as u64).map(|i| i as u32).collect();
-                let vals: Vec<u32> = got
-                    .chunks(ITEM)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                    .collect();
+                let vals: Vec<u32> =
+                    got.chunks(ITEM).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
                 assert_eq!(vals, expect);
             }
         });

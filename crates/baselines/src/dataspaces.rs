@@ -20,7 +20,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use simmpi::Comm;
 
-use diyblk::rpc::{RpcClient, RpcServer, ServeOutcome};
+use diyblk::rpc::{Caller, RpcClient, RpcServer, ServeOutcome};
 use minih5::codec::{Reader, Writer};
 use minih5::{BBox, H5Result};
 
@@ -69,7 +69,7 @@ pub fn run_server(world: &Comm, cfg: &DsConfig) {
     let mut index: HashMap<String, Vec<(BBox, u64)>> = HashMap::new();
     // Staged data (`dspaces_put`): full copies held on the server.
     let mut staged: HashMap<String, Vec<(BBox, Bytes)>> = HashMap::new();
-    let mut pending: HashMap<String, Vec<(usize, BBox)>> = HashMap::new();
+    let mut pending: HashMap<String, Vec<(Caller, BBox)>> = HashMap::new();
     let mut dones = 0usize;
     let expected_puts = cfg.producers.len();
     let expected_dones = cfg.consumers.len();
@@ -86,7 +86,7 @@ pub fn run_server(world: &Comm, cfg: &DsConfig) {
         }
         w.finish()
     };
-    RpcServer::new(world).serve(|src, method, args| match method {
+    RpcServer::new(world).serve(|caller, method, args| match method {
         DS_PUT => {
             let mut r = Reader::new(&args);
             let k = r.get_str().expect("key");
@@ -109,7 +109,7 @@ pub fn run_server(world: &Comm, cfg: &DsConfig) {
             if index.get(&k).map(|v| v.len()).unwrap_or(0) >= expected_puts {
                 ServeOutcome::Reply(answer(&index, &k, &qbb))
             } else {
-                pending.entry(k).or_default().push((src, qbb));
+                pending.entry(k).or_default().push((caller, qbb));
                 ServeOutcome::Continue
             }
         }
@@ -203,7 +203,7 @@ impl DsClient {
     pub fn serve_local(&self) {
         let mut dones = 0usize;
         let expected = self.cfg.consumers.len();
-        RpcServer::new(&self.world).serve(|_src, method, args| match method {
+        RpcServer::new(&self.world).serve(|_caller, method, args| match method {
             DS_FETCH => {
                 let mut r = Reader::new(&args);
                 let k = r.get_str().expect("key");
@@ -361,9 +361,8 @@ mod tests {
                     let client = DsClient::new(tc.world.clone(), cfg);
                     let r = tc.local.rank() as u64;
                     let bb = BBox::new(vec![r * 4, 0], vec![r * 4 + 4, N]);
-                    let data: Vec<u8> = BoxCoords::new(&bb)
-                        .flat_map(|c| (c[0] * N + c[1]).to_le_bytes())
-                        .collect();
+                    let data: Vec<u8> =
+                        BoxCoords::new(&bb).flat_map(|c| (c[0] * N + c[1]).to_le_bytes()).collect();
                     client.put_local("grid", 0, bb, data.into());
                     client.serve_local();
                 }
@@ -429,12 +428,7 @@ mod tests {
             match tc.task_id {
                 0 => {
                     let client = DsClient::new(tc.world.clone(), cfg);
-                    client.put_local(
-                        "x",
-                        0,
-                        BBox::new(vec![0], vec![2]),
-                        vec![1u8, 2].into(),
-                    );
+                    client.put_local("x", 0, BBox::new(vec![0], vec![2]), vec![1u8, 2].into());
                     client.serve_local();
                 }
                 1 => run_server(&tc.world, &cfg),
@@ -482,9 +476,8 @@ mod staged_tests {
                     let client = DsClient::new(tc.world.clone(), cfg);
                     let r = tc.local.rank() as u64;
                     let bb = BBox::new(vec![r * 4, 0], vec![r * 4 + 4, N]);
-                    let data: Vec<u8> = BoxCoords::new(&bb)
-                        .flat_map(|c| (c[0] * N + c[1]).to_le_bytes())
-                        .collect();
+                    let data: Vec<u8> =
+                        BoxCoords::new(&bb).flat_map(|c| (c[0] * N + c[1]).to_le_bytes()).collect();
                     client.put_staged("grid", 0, bb, data.into());
                     // NO serve_local(): the producer is free immediately.
                 }
@@ -495,8 +488,7 @@ mod staged_tests {
                     let qbox = BBox::new(vec![0, r * 4], vec![N, r * 4 + 4]);
                     let got = client.get("grid", 0, &qbox, 8).unwrap();
                     for (i, c) in BoxCoords::new(&qbox).enumerate() {
-                        let v =
-                            u64::from_le_bytes(got[i * 8..i * 8 + 8].try_into().unwrap());
+                        let v = u64::from_le_bytes(got[i * 8..i * 8 + 8].try_into().unwrap());
                         assert_eq!(v, c[0] * N + c[1]);
                     }
                     client.done();

@@ -91,20 +91,25 @@ mod tests {
         TaskWorld::run(&specs, |tc| {
             let prod_boxes: Vec<(usize, BBox)> = (0..2)
                 .map(|r| {
-                    (tc.world_rank_of(0, r), BBox::new(vec![r as u64 * 3, 0], vec![r as u64 * 3 + 3, N]))
+                    (
+                        tc.world_rank_of(0, r),
+                        BBox::new(vec![r as u64 * 3, 0], vec![r as u64 * 3 + 3, N]),
+                    )
                 })
                 .collect();
             let cons_boxes: Vec<(usize, BBox)> = (0..3)
                 .map(|r| {
-                    (tc.world_rank_of(1, r), BBox::new(vec![0, r as u64 * 2], vec![N, r as u64 * 2 + 2]))
+                    (
+                        tc.world_rank_of(1, r),
+                        BBox::new(vec![0, r as u64 * 2], vec![N, r as u64 * 2 + 2]),
+                    )
                 })
                 .collect();
             if tc.task_id == 0 {
                 let my_box = prod_boxes[tc.local.rank()].1.clone();
                 // value = global linear index (as u8, small grid).
-                let data: Vec<u8> = BoxCoords::new(&my_box)
-                    .map(|c| (c[0] * N + c[1]) as u8)
-                    .collect();
+                let data: Vec<u8> =
+                    BoxCoords::new(&my_box).map(|c| (c[0] * N + c[1]) as u8).collect();
                 send_grid(&tc.world, 7, 1, &my_box, &data, &cons_boxes);
             } else {
                 let my_box = cons_boxes[tc.local.rank()].1.clone();
@@ -133,10 +138,8 @@ mod tests {
             } else {
                 let my_box = cons[tc.local.rank()].1.clone();
                 let got = recv_grid(&tc.world, 9, 8, &my_box, &prod);
-                let vals: Vec<u64> = got
-                    .chunks(8)
-                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-                    .collect();
+                let vals: Vec<u64> =
+                    got.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
                 let base = tc.local.rank() as u64 * 4;
                 assert_eq!(vals, (base..base + 4).collect::<Vec<u64>>());
             }

@@ -34,15 +34,10 @@ fn run(broadcast: bool) {
             // Wide metadata: many datasets make the blob non-trivial.
             for i in 0..32 {
                 let d = f
-                    .create_dataset(
-                        &format!("d{i}"),
-                        Datatype::UInt64,
-                        Dataspace::simple(&[64]),
-                    )
+                    .create_dataset(&format!("d{i}"), Datatype::UInt64, Dataspace::simple(&[64]))
                     .unwrap();
                 if tc.local.rank() == 0 {
-                    d.write_selection(&Selection::block(&[0], &[64]), &vec![i as u64; 64])
-                        .unwrap();
+                    d.write_selection(&Selection::block(&[0], &[64]), &vec![i as u64; 64]).unwrap();
                 }
             }
             f.close().unwrap();

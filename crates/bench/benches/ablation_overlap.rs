@@ -32,9 +32,7 @@ fn run(overlap: bool) {
         if tc.task_id == 0 {
             for s in 0..STEPS {
                 let f = h5.create_file(&format!("ov{s}")).unwrap();
-                let d = f
-                    .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                    .unwrap();
+                let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
                 let half = N / 2;
                 let lo = tc.local.rank() as u64 * half;
                 d.write_selection(

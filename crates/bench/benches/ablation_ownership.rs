@@ -8,9 +8,7 @@ use minih5::{Dataspace, Datatype, Ownership, Selection, Vol};
 
 fn write_once(vol: &MetadataVol, n: u64, data: &Bytes, ownership: Ownership) {
     let f = vol.file_create("o.h5").unwrap();
-    let d = vol
-        .dataset_create(f, "d", &Datatype::UInt8, &Dataspace::simple(&[n]))
-        .unwrap();
+    let d = vol.dataset_create(f, "d", &Datatype::UInt8, &Dataspace::simple(&[n])).unwrap();
     vol.dataset_write(d, &Selection::all(), data.clone(), ownership).unwrap();
     vol.file_close(f).unwrap();
 }

@@ -16,8 +16,7 @@ fn grid_bytes(bb: &BBox) -> Vec<u8> {
 }
 
 fn run(staged: bool) {
-    let specs =
-        [TaskSpec::new("prod", 2), TaskSpec::new("staging", 1), TaskSpec::new("cons", 2)];
+    let specs = [TaskSpec::new("prod", 2), TaskSpec::new("staging", 1), TaskSpec::new("cons", 2)];
     TaskWorld::run(&specs, move |tc: TaskComm| {
         let cfg = DsConfig {
             producers: (0..2).map(|r| tc.world_rank_of(0, r)).collect(),

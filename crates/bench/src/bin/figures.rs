@@ -22,8 +22,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use bench::runners::{
-    run_bredala, run_dataspaces, run_lowfive_file, run_lowfive_memory, run_pure_hdf5,
-    run_pure_mpi,
+    run_bredala, run_dataspaces, run_lowfive_file, run_lowfive_memory, run_pure_hdf5, run_pure_mpi,
 };
 use bench::table2::{run_case, Table2Case};
 use bench::workload::Workload;
@@ -202,7 +201,10 @@ fn fig5(s: &Scale, trials: usize) {
 
 fn fig6(s: &Scale, trials: usize) {
     println!("\n== Fig. 6: LowFive file mode vs pure HDF5 (weak scaling) ==");
-    println!("{:>8} {:>18} {:>16} {:>10}", "procs", "LowFive file (s)", "pure HDF5 (s)", "overhead");
+    println!(
+        "{:>8} {:>18} {:>16} {:>10}",
+        "procs", "LowFive file (s)", "pure HDF5 (s)", "overhead"
+    );
     let out = results_dir().join("fig6.csv");
     for &n in s.sweep_slow {
         let w = Workload::paper_split(n, s.grid_per_prod, s.particles_per_prod);
@@ -272,10 +274,7 @@ fn fig9(s: &Scale, trials: usize) {
         }
         grid /= trials as f64;
         parts /= trials as f64;
-        println!(
-            "{n:>8} {tlf:>18.4} {:>14.4} {grid:>14.4} {parts:>16.4}",
-            grid + parts
-        );
+        println!("{n:>8} {tlf:>18.4} {:>14.4} {grid:>14.4} {parts:>16.4}", grid + parts);
         csv(
             &out,
             "procs,lowfive_mem_s,bredala_total_s,bredala_grid_s,bredala_particles_s",

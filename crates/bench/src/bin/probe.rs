@@ -5,7 +5,12 @@ fn main() {
         let w = Workload::paper_split(64, gpp, gpp);
         let t0 = std::time::Instant::now();
         let m = run_lowfive_memory(&w);
-        eprintln!("gpp={gpp}: inner={:.3}s wall={:.3}s msgs={} bytes={}",
-                  m.seconds, t0.elapsed().as_secs_f64(), m.messages, m.bytes);
+        eprintln!(
+            "gpp={gpp}: inner={:.3}s wall={:.3}s msgs={} bytes={}",
+            m.seconds,
+            t0.elapsed().as_secs_f64(),
+            m.messages,
+            m.bytes
+        );
     }
 }

@@ -102,7 +102,14 @@ fn run_lowfive(w: &Workload, memory: bool, dir: Option<&Path>) -> Measurement {
             (Some(bb.to_selection()), gdata, prange, pdata, None, (0, 0))
         } else {
             let c = tc.local.rank();
-            (None, Vec::new(), (0, 0), Vec::new(), Some(w.consumer_grid_sel(c)), w.consumer_part_range(c))
+            (
+                None,
+                Vec::new(),
+                (0, 0),
+                Vec::new(),
+                Some(w.consumer_grid_sel(c)),
+                w.consumer_part_range(c),
+            )
         };
         timed(&tc, || {
             if tc.task_id == 0 {
@@ -174,7 +181,14 @@ pub fn run_pure_hdf5(w: &Workload, dir: &Path) -> Measurement {
             )
         } else {
             let c = tc.local.rank();
-            (None, Vec::new(), (0, 0), Vec::new(), Some(w.consumer_grid_sel(c)), w.consumer_part_range(c))
+            (
+                None,
+                Vec::new(),
+                (0, 0),
+                Vec::new(),
+                Some(w.consumer_grid_sel(c)),
+                w.consumer_part_range(c),
+            )
         };
         timed(&tc, || {
             if tc.task_id == 0 {
@@ -341,7 +355,8 @@ pub fn run_bredala(w: &Workload) -> BredalaMeasurement {
 
         let t_grid = timed(&tc, || {
             if tc.task_id == 0 {
-                let f = container.as_ref().expect("producer container").field("grid").expect("grid");
+                let f =
+                    container.as_ref().expect("producer container").field("grid").expect("grid");
                 bredala::send_bbox(&tc.world, 31, f, &cons_grid);
             } else {
                 let my = w.consumer_grid_box(tc.local.rank());
@@ -408,7 +423,12 @@ mod tests {
         let w = small();
         let m = run_lowfive_memory(&w);
         // All data cross once, plus metadata/control; far less than 3x.
-        assert!(m.bytes as f64 >= w.total_bytes() as f64 * 0.9, "{} vs {}", m.bytes, w.total_bytes());
+        assert!(
+            m.bytes as f64 >= w.total_bytes() as f64 * 0.9,
+            "{} vs {}",
+            m.bytes,
+            w.total_bytes()
+        );
         assert!(m.bytes < w.total_bytes() * 3);
     }
 

@@ -62,8 +62,7 @@ pub struct Table2Case {
 impl Table2Case {
     pub fn new(grid: u64, producers: usize, consumers: usize) -> Self {
         // Particle count scales with the volume so density stays O(1).
-        let per_rank =
-            ((grid.pow(3) as usize) / producers).max(1000);
+        let per_rank = ((grid.pow(3) as usize) / producers).max(1000);
         Table2Case { grid, producers, consumers, snapshots: 2, particles_per_rank: per_rank }
     }
 

@@ -27,7 +27,10 @@ pub struct Workload {
 impl Workload {
     /// The paper's split: 3/4 producers, 1/4 consumers of `total` ranks.
     pub fn paper_split(total: usize, grid_per_prod: u64, particles_per_prod: u64) -> Workload {
-        assert!(total >= 4 && total % 4 == 0, "total ranks must be a positive multiple of 4");
+        assert!(
+            total >= 4 && total.is_multiple_of(4),
+            "total ranks must be a positive multiple of 4"
+        );
         Workload {
             producers: total * 3 / 4,
             consumers: total / 4,
@@ -71,10 +74,7 @@ impl Workload {
     pub fn producer_grid_box(&self, p: usize) -> BBox {
         let d = self.grid_dims();
         let s = self.subgrid_side();
-        BBox::new(
-            vec![s * p as u64, 0, 0],
-            vec![s * (p as u64 + 1), d[1], d[2]],
-        )
+        BBox::new(vec![s * p as u64, 0, 0], vec![s * (p as u64 + 1), d[1], d[2]])
     }
 
     /// Consumer `c`'s grid slab (y-decomposed — cross-cutting the

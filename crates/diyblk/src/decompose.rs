@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn intersecting_blocks_found() {
         let d = RegularDecomposer::new(&[60, 40], 6); // 3x2 blocks of 20x20
-        // A box inside block 0 only.
+                                                      // A box inside block 0 only.
         assert_eq!(d.blocks_intersecting(&BBox::new(vec![5, 5], vec![10, 10])), vec![0]);
         // A box crossing the vertical boundary of blocks 0 and 1.
         assert_eq!(d.blocks_intersecting(&BBox::new(vec![5, 15], vec![10, 25])), vec![0, 1]);

@@ -18,12 +18,7 @@ pub fn factor_count(n: usize, d: usize) -> Vec<usize> {
     primes.sort_unstable_by(|a, b| b.cmp(a));
     let mut factors = vec![1usize; d];
     for p in primes {
-        let i = factors
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &f)| f)
-            .map(|(i, _)| i)
-            .expect("d ≥ 1");
+        let i = factors.iter().enumerate().min_by_key(|&(_, &f)| f).map(|(i, _)| i).expect("d ≥ 1");
         factors[i] *= p;
     }
     factors.sort_unstable_by(|a, b| b.cmp(a));
@@ -34,7 +29,7 @@ fn prime_factors(mut n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut p = 2usize;
     while p * p <= n {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             out.push(p);
             n /= p;
         }

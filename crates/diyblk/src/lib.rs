@@ -25,4 +25,4 @@ pub mod rpc;
 pub use assigner::{Assigner, ContiguousAssigner, RoundRobinAssigner};
 pub use decompose::RegularDecomposer;
 pub use factor::factor_count;
-pub use rpc::{RpcClient, RpcServer, ServeOutcome};
+pub use rpc::{Caller, RetryPolicy, RpcClient, RpcError, RpcServer, ServeOutcome};

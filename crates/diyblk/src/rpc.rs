@@ -8,32 +8,138 @@
 //! a method id so one loop can multiplex many procedures, and the server's
 //! handler decides when the loop terminates (e.g. when every consumer has
 //! said "done").
+//!
+//! ## Wire format and call ids
+//!
+//! Every request frame is `[u32 method][u64 call_id][args]`; every reply
+//! frame is `[u64 call_id][body]`. A call id of 0 marks a notification —
+//! the server never replies to it. Nonzero ids come from a process-global
+//! counter, so a reply can always be matched to the exact call that asked
+//! for it. This matters once timeouts exist: if a call times out and the
+//! client retries, the server may still answer the *first* request later;
+//! the client recognises the stale id and discards that reply instead of
+//! mistaking it for the answer to the retry.
+//!
+//! ## Timeouts and retries
+//!
+//! [`RpcClient::call`] blocks forever, matching MPI's default behaviour.
+//! [`RpcClient::call_timeout`] bounds the wait; [`RpcClient::call_retry`]
+//! layers bounded resends with backoff on top, for *idempotent* methods
+//! (queries, fetches). A dead server (detected by the fault layer) fails
+//! fast with [`RpcError::PeerDead`] — retrying cannot help, the rank is
+//! gone for the rest of the run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
-use simmpi::{Comm, SrcSel, ANY_SOURCE};
+use simmpi::{Comm, RecvError, SrcSel, ANY_SOURCE};
 
 /// Tags used by the RPC layer (ordinary user tags, below the collective
 /// range; chosen high to stay clear of application traffic).
 const TAG_REQUEST: u32 = 0x7F00_0001;
 const TAG_REPLY: u32 = 0x7F00_0002;
 
-fn encode_request(method: u32, args: &[u8]) -> Bytes {
-    let mut b = BytesMut::with_capacity(4 + args.len());
+/// Call id of a notification: no reply is ever sent for it.
+const NOTIFY_ID: u64 = 0;
+
+/// Process-global call-id source. Ranks are threads in one process, so a
+/// single counter keeps every in-flight call distinguishable.
+static NEXT_CALL_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_call_id() -> u64 {
+    NEXT_CALL_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn encode_request(method: u32, call_id: u64, args: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(12 + args.len());
     b.put_u32_le(method);
+    b.put_u64_le(call_id);
     b.put_slice(args);
     b.freeze()
 }
 
-fn decode_request(payload: &Bytes) -> (u32, Bytes) {
+fn decode_request(payload: &Bytes) -> (u32, u64, Bytes) {
     let method = u32::from_le_bytes(payload[..4].try_into().expect("4-byte method id"));
-    (method, payload.slice(4..))
+    let call_id = u64::from_le_bytes(payload[4..12].try_into().expect("8-byte call id"));
+    (method, call_id, payload.slice(12..))
+}
+
+fn encode_reply(call_id: u64, body: Bytes) -> Bytes {
+    let mut b = BytesMut::with_capacity(8 + body.len());
+    b.put_u64_le(call_id);
+    b.put_slice(&body);
+    b.freeze()
+}
+
+fn decode_reply(payload: &Bytes) -> (u64, Bytes) {
+    let call_id = u64::from_le_bytes(payload[..8].try_into().expect("8-byte call id"));
+    (call_id, payload.slice(8..))
+}
+
+/// Identity of one incoming request: who called, and which call it was.
+/// Servers that defer a request keep the `Caller` and answer later via
+/// [`send_reply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Caller {
+    /// Caller's rank in the serving communicator.
+    pub rank: usize,
+    /// The request's call id (0 for notifications).
+    pub call_id: u64,
+}
+
+/// Why a bounded call failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No reply arrived within the allotted time (after any retries).
+    TimedOut,
+    /// The server rank is dead; no retry can succeed.
+    PeerDead,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::TimedOut => write!(f, "rpc call timed out"),
+            RpcError::PeerDead => write!(f, "rpc server rank is dead"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Bounded-retry parameters for [`RpcClient::call_retry`]. Only use with
+/// idempotent methods: a retry re-executes the request on the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Must be at least 1.
+    pub attempts: u32,
+    /// Per-attempt reply timeout.
+    pub timeout: Duration,
+    /// Sleep between attempts, doubled each retry (simple exponential
+    /// backoff: `backoff`, `2*backoff`, `4*backoff`, …).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// `attempts` tries of `timeout` each, with no backoff sleep.
+    pub fn new(attempts: u32, timeout: Duration) -> Self {
+        RetryPolicy { attempts, timeout, backoff: Duration::ZERO }
+    }
+
+    /// Set the initial backoff sleep.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
 }
 
 /// What the server should do after handling one request.
 pub enum ServeOutcome {
     /// Send this reply to the caller and keep serving.
     Reply(Bytes),
-    /// No reply (the request was a notification); keep serving.
+    /// No reply (the request was a notification, or is being deferred);
+    /// keep serving.
     Continue,
     /// Send this reply (if `Some`) and exit the serve loop.
     Stop(Option<Bytes>),
@@ -49,21 +155,30 @@ impl<'a> RpcServer<'a> {
         RpcServer { comm }
     }
 
+    fn reply_to(&self, caller: Caller, body: Bytes) {
+        // Notifications carry no reply channel; answering one would strand
+        // a frame in the caller's mailbox forever.
+        if caller.call_id != NOTIFY_ID {
+            self.comm.send(caller.rank, TAG_REPLY, encode_reply(caller.call_id, body));
+        }
+    }
+
     /// Handle requests until the handler returns [`ServeOutcome::Stop`].
-    /// The handler receives `(caller rank, method id, argument bytes)`.
+    /// The handler receives `(caller, method id, argument bytes)`.
     pub fn serve<F>(&self, mut handler: F)
     where
-        F: FnMut(usize, u32, Bytes) -> ServeOutcome,
+        F: FnMut(Caller, u32, Bytes) -> ServeOutcome,
     {
         loop {
             let env = self.comm.recv(ANY_SOURCE, TAG_REQUEST.into());
-            let (method, args) = decode_request(&env.payload);
-            match handler(env.src, method, args) {
-                ServeOutcome::Reply(reply) => self.comm.send(env.src, TAG_REPLY, reply),
+            let (method, call_id, args) = decode_request(&env.payload);
+            let caller = Caller { rank: env.src, call_id };
+            match handler(caller, method, args) {
+                ServeOutcome::Reply(reply) => self.reply_to(caller, reply),
                 ServeOutcome::Continue => {}
                 ServeOutcome::Stop(reply) => {
                     if let Some(r) = reply {
-                        self.comm.send(env.src, TAG_REPLY, r);
+                        self.reply_to(caller, r);
                     }
                     return;
                 }
@@ -76,19 +191,20 @@ impl<'a> RpcServer<'a> {
     /// serving with other work.
     pub fn poll<F>(&self, mut handler: F) -> Option<bool>
     where
-        F: FnMut(usize, u32, Bytes) -> ServeOutcome,
+        F: FnMut(Caller, u32, Bytes) -> ServeOutcome,
     {
         let env = self.comm.try_recv(ANY_SOURCE, TAG_REQUEST.into())?;
-        let (method, args) = decode_request(&env.payload);
-        Some(match handler(env.src, method, args) {
+        let (method, call_id, args) = decode_request(&env.payload);
+        let caller = Caller { rank: env.src, call_id };
+        Some(match handler(caller, method, args) {
             ServeOutcome::Reply(reply) => {
-                self.comm.send(env.src, TAG_REPLY, reply);
+                self.reply_to(caller, reply);
                 false
             }
             ServeOutcome::Continue => false,
             ServeOutcome::Stop(reply) => {
                 if let Some(r) = reply {
-                    self.comm.send(env.src, TAG_REPLY, r);
+                    self.reply_to(caller, r);
                 }
                 true
             }
@@ -98,10 +214,12 @@ impl<'a> RpcServer<'a> {
 
 /// Send a reply outside the normal handler return path. Servers that
 /// defer a request (returning [`ServeOutcome::Continue`] and remembering
-/// the caller) use this to answer later — e.g. a staging server holding a
-/// query until the data version is complete.
-pub fn send_reply(comm: &Comm, dest: usize, reply: Bytes) {
-    comm.send(dest, TAG_REPLY, reply);
+/// the [`Caller`]) use this to answer later — e.g. a staging server
+/// holding a query until the data version is complete.
+pub fn send_reply(comm: &Comm, caller: Caller, reply: Bytes) {
+    if caller.call_id != NOTIFY_ID {
+        comm.send(caller.rank, TAG_REPLY, encode_reply(caller.call_id, reply));
+    }
 }
 
 /// Client side: blocking calls and notifications to server ranks.
@@ -116,20 +234,94 @@ impl<'a> RpcClient<'a> {
 
     /// Call `method` on `server` and block for the reply.
     pub fn call(&self, server: usize, method: u32, args: &[u8]) -> Bytes {
-        self.comm.send(server, TAG_REQUEST, encode_request(method, args));
-        self.comm.recv(SrcSel::Rank(server), TAG_REPLY.into()).payload
+        let call_id = fresh_call_id();
+        self.comm.send(server, TAG_REQUEST, encode_request(method, call_id, args));
+        loop {
+            let env = self.comm.recv(SrcSel::Rank(server), TAG_REPLY.into());
+            let (id, body) = decode_reply(&env.payload);
+            if id == call_id {
+                return body;
+            }
+            // Stale reply to an earlier timed-out call from this rank.
+        }
+    }
+
+    /// As [`RpcClient::call`], but give up if the reply does not arrive
+    /// within `timeout`. Fails fast with [`RpcError::PeerDead`] if the
+    /// server rank is known dead. Stale replies (to earlier timed-out
+    /// calls) are discarded without consuming the deadline's meaning: the
+    /// clock keeps running until *this* call's reply shows up.
+    pub fn call_timeout(
+        &self,
+        server: usize,
+        method: u32,
+        args: &[u8],
+        timeout: Duration,
+    ) -> Result<Bytes, RpcError> {
+        let call_id = fresh_call_id();
+        self.comm.send(server, TAG_REQUEST, encode_request(method, call_id, args));
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            let remaining = deadline.saturating_duration_since(now);
+            if remaining.is_zero() {
+                return Err(RpcError::TimedOut);
+            }
+            match self.comm.recv_timeout(SrcSel::Rank(server), TAG_REPLY.into(), remaining) {
+                Ok(env) => {
+                    let (id, body) = decode_reply(&env.payload);
+                    if id == call_id {
+                        return Ok(body);
+                    }
+                }
+                Err(RecvError::TimedOut) => return Err(RpcError::TimedOut),
+                Err(RecvError::PeerDead) => return Err(RpcError::PeerDead),
+            }
+        }
+    }
+
+    /// Bounded-retry call for *idempotent* methods: up to
+    /// `policy.attempts` sends, each waiting `policy.timeout`, sleeping an
+    /// exponentially growing `policy.backoff` between attempts. A dead
+    /// server short-circuits to [`RpcError::PeerDead`] — resending to a
+    /// corpse cannot succeed.
+    pub fn call_retry(
+        &self,
+        server: usize,
+        method: u32,
+        args: &[u8],
+        policy: RetryPolicy,
+    ) -> Result<Bytes, RpcError> {
+        assert!(policy.attempts >= 1, "retry policy needs at least one attempt");
+        let mut backoff = policy.backoff;
+        for attempt in 0..policy.attempts {
+            match self.call_timeout(server, method, args, policy.timeout) {
+                Ok(body) => return Ok(body),
+                Err(RpcError::PeerDead) => return Err(RpcError::PeerDead),
+                Err(RpcError::TimedOut) => {
+                    if attempt + 1 == policy.attempts {
+                        return Err(RpcError::TimedOut);
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on the final attempt")
     }
 
     /// Send a request without waiting for (or expecting) a reply.
     pub fn notify(&self, server: usize, method: u32, args: &[u8]) {
-        self.comm.send(server, TAG_REQUEST, encode_request(method, args));
+        self.comm.send(server, TAG_REQUEST, encode_request(method, NOTIFY_ID, args));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simmpi::World;
+    use simmpi::{FaultPlan, World};
 
     const M_ECHO: u32 = 1;
     const M_ADD: u32 = 2;
@@ -142,7 +334,7 @@ mod tests {
                 // Server: echoes, accumulates, stops after 2 DONEs.
                 let mut sum = 0u64;
                 let mut done = 0;
-                RpcServer::new(&c).serve(|_src, method, args| match method {
+                RpcServer::new(&c).serve(|_caller, method, args| match method {
                     M_ECHO => ServeOutcome::Reply(args),
                     M_ADD => {
                         sum += u64::from_le_bytes(args[..8].try_into().unwrap());
@@ -179,9 +371,9 @@ mod tests {
         World::run(8, |c| {
             if c.rank() == 0 {
                 let mut remaining = 7;
-                RpcServer::new(&c).serve(|src, method, _args| match method {
+                RpcServer::new(&c).serve(|caller, method, _args| match method {
                     M_ECHO => ServeOutcome::Reply(Bytes::copy_from_slice(
-                        &(src as u64).to_le_bytes(),
+                        &(caller.rank as u64).to_le_bytes(),
                     )),
                     M_DONE => {
                         remaining -= 1;
@@ -209,25 +401,132 @@ mod tests {
         World::run(2, |c| {
             if c.rank() == 0 {
                 let server = RpcServer::new(&c);
+                // The client only sends after the barrier, so nothing can
+                // be queued yet.
                 assert!(server.poll(|_, _, _| unreachable!()).is_none());
                 c.barrier();
-                // After the barrier the request is definitely queued.
+                // Poll until the client's request lands.
                 loop {
-                    if let Some(stopped) = server.poll(|_, m, args| {
+                    if let Some(stopped) = server.poll(|caller, m, args| {
                         assert_eq!(m, M_ECHO);
+                        assert_ne!(caller.call_id, NOTIFY_ID);
                         ServeOutcome::Stop(Some(args))
                     }) {
                         assert!(stopped);
                         break;
                     }
+                    std::thread::yield_now();
                 }
             } else {
                 let rpc = RpcClient::new(&c);
-                rpc.notify(0, M_ECHO, b"x");
                 c.barrier();
-                let reply = c.recv(SrcSel::Rank(0), TAG_REPLY.into());
-                assert_eq!(&reply.payload[..], b"x");
+                // A bounded call against a poll-driven server: the reply
+                // arrives once the server gets around to polling.
+                let reply = rpc
+                    .call_timeout(0, M_ECHO, b"x", Duration::from_secs(10))
+                    .expect("server polls after the barrier");
+                assert_eq!(&reply[..], b"x");
             }
         });
+    }
+
+    #[test]
+    fn notifications_are_never_answered() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                // A buggy-looking handler that replies to everything: the
+                // reply to the notification must be suppressed.
+                RpcServer::new(&c).serve(|caller, method, args| {
+                    if method == M_DONE {
+                        ServeOutcome::Stop(Some(args))
+                    } else {
+                        assert_eq!(caller.call_id, NOTIFY_ID);
+                        ServeOutcome::Reply(args)
+                    }
+                });
+            } else {
+                let rpc = RpcClient::new(&c);
+                rpc.notify(0, M_ECHO, b"no reply expected");
+                // If the server (wrongly) answered the notification, that
+                // frame would be the first TAG_REPLY in our mailbox and
+                // the call below would mismatch ids forever; instead the
+                // stale-discard loop never sees it because it was never
+                // sent.
+                let r = rpc.call(0, M_DONE, b"done");
+                assert_eq!(&r[..], b"done");
+            }
+        });
+    }
+
+    #[test]
+    fn call_timeout_expires_without_server() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                // Deliberately deaf server: never receives.
+                c.barrier();
+            } else {
+                let rpc = RpcClient::new(&c);
+                let err = rpc
+                    .call_timeout(0, M_ECHO, &[], Duration::from_millis(50))
+                    .expect_err("nobody is serving");
+                assert_eq!(err, RpcError::TimedOut);
+                c.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn stale_reply_is_discarded_by_retry() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                // Stall long enough before the first reply that the
+                // client's first attempt times out, then serve promptly
+                // until the client says done. The client's later attempts
+                // must skip the stale reply (first call id) and accept a
+                // fresh one.
+                let server = RpcServer::new(&c);
+                let mut first = true;
+                server.serve(|_caller, method, args| {
+                    if method == M_DONE {
+                        return ServeOutcome::Stop(None);
+                    }
+                    if std::mem::take(&mut first) {
+                        std::thread::sleep(Duration::from_millis(120));
+                    }
+                    ServeOutcome::Reply(args)
+                });
+            } else {
+                let rpc = RpcClient::new(&c);
+                let policy = RetryPolicy::new(8, Duration::from_millis(60));
+                let reply = rpc
+                    .call_retry(0, M_ECHO, b"payload", policy)
+                    .expect("a later attempt must succeed");
+                assert_eq!(&reply[..], b"payload");
+                rpc.notify(0, M_DONE, &[]);
+            }
+        });
+    }
+
+    #[test]
+    fn dead_server_fails_fast() {
+        use std::time::Instant;
+        let out = World::builder(2).fault_plan(FaultPlan::new(7).kill_rank(0, 1)).run_chaos(|c| {
+            if c.rank() == 0 {
+                // Dies on its first send (the reply).
+                RpcServer::new(&c).serve(|_caller, _m, args| ServeOutcome::Reply(args));
+                unreachable!("killed while replying");
+            } else {
+                let rpc = RpcClient::new(&c);
+                let t0 = Instant::now();
+                let err = rpc
+                    .call_retry(0, M_ECHO, &[], RetryPolicy::new(100, Duration::from_secs(5)))
+                    .expect_err("server died");
+                assert_eq!(err, RpcError::PeerDead);
+                // Fail-fast: nowhere near 100 x 5s.
+                assert!(t0.elapsed() < Duration::from_secs(30));
+            }
+        });
+        assert_eq!(out.deaths.len(), 1);
+        assert!(out.deaths[0].injected);
     }
 }

@@ -106,7 +106,7 @@ fn largest_prime_factor(mut n: usize) -> usize {
     let mut best = 1;
     let mut p = 2;
     while p * p <= n {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             best = p;
             n /= p;
         }

@@ -143,9 +143,7 @@ mod tests {
         assert_eq!(h5.vol_name(), "lowfive-base");
         let path = tmp("passthrough.nh5");
         let f = h5.create_file(&path).unwrap();
-        let d = f
-            .create_dataset("d", Datatype::UInt64, Dataspace::simple(&[4]))
-            .unwrap();
+        let d = f.create_dataset("d", Datatype::UInt64, Dataspace::simple(&[4])).unwrap();
         d.write_all(&[9u64, 8, 7, 6]).unwrap();
         f.close().unwrap();
 

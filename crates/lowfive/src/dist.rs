@@ -27,7 +27,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use diyblk::rpc::{RpcClient, RpcServer, ServeOutcome};
+use diyblk::rpc::{Caller, RpcClient, RpcError, RpcServer, ServeOutcome};
 use diyblk::RegularDecomposer;
 use minih5::format::import_meta;
 use minih5::selection::overlap_runs;
@@ -165,7 +165,7 @@ pub struct DistMetadataVol {
     /// Metadata requests for files this task will produce but has not
     /// closed yet (a consumer may run ahead and open snapshot *t+1* while
     /// we still serve *t*). Answered when the file's serve session opens.
-    pending_meta: Mutex<Vec<(usize, String)>>,
+    pending_meta: Mutex<Vec<(Caller, String)>>,
 }
 
 /// Builder for [`DistMetadataVol`].
@@ -275,9 +275,7 @@ impl DistMetadataVol {
     }
 
     fn consume_link_for(&self, name: &str) -> Option<&Link> {
-        self.links
-            .iter()
-            .find(|l| l.dir == LinkDir::Consume && glob_match(&l.pattern, name))
+        self.links.iter().find(|l| l.dir == LinkDir::Consume && glob_match(&l.pattern, name))
     }
 
     /// All consumer world ranks subscribed to `name` (fan-out: multiple
@@ -356,14 +354,14 @@ impl DistMetadataVol {
             let (now, later): (Vec<_>, Vec<_>) =
                 pending.drain(..).partition(|(_, f)| f == filename);
             *pending = later;
-            for (src, file) in now {
+            for (caller, file) in now {
                 let reply = self.meta.file_meta(&file).map(|m| enc_metadata_reply(&m));
-                diyblk::rpc::send_reply(&self.world, src, enc_result(reply));
+                diyblk::rpc::send_reply(&self.world, caller, enc_result(reply));
             }
         }
         let server = RpcServer::new(&self.world);
         let mut dones = 0usize;
-        server.serve(|src, method, args| match method {
+        server.serve(|caller, method, args| match method {
             M_METADATA => {
                 self.profile.lock().metadata_requests += 1;
                 let file = match dec_metadata_req(&args) {
@@ -379,7 +377,7 @@ impl DistMetadataVol {
                     {
                         // A future snapshot of ours: hold the request until
                         // its serve session opens.
-                        self.pending_meta.lock().push((src, file));
+                        self.pending_meta.lock().push((caller, file));
                         ServeOutcome::Continue
                     }
                     Err(e) => ServeOutcome::Reply(enc_result(Err(e))),
@@ -402,9 +400,8 @@ impl DistMetadataVol {
                 ServeOutcome::Reply(enc_result(reply))
             }
             M_DATA => {
-                let reply = dec_data_req(&args).and_then(|(file, dset, sel)| {
-                    self.answer_data_query(&file, &dset, &sel)
-                });
+                let reply = dec_data_req(&args)
+                    .and_then(|(file, dset, sel)| self.answer_data_query(&file, &dset, &sel));
                 {
                     let mut p = self.profile.lock();
                     p.data_requests += 1;
@@ -476,9 +473,9 @@ impl DistMetadataVol {
             let (now, later): (Vec<_>, Vec<_>) =
                 pending.drain(..).partition(|(_, f)| f == filename);
             *pending = later;
-            for (src, file) in now {
+            for (caller, file) in now {
                 let reply = self.meta.file_meta(&file).map(|m| enc_metadata_reply(&m));
-                diyblk::rpc::send_reply(&self.world, src, enc_result(reply));
+                diyblk::rpc::send_reply(&self.world, caller, enc_result(reply));
             }
         }
         let mut guard = self.serve_thread.lock();
@@ -517,7 +514,7 @@ impl DistMetadataVol {
     fn serve_async_loop(&self) {
         let t0 = std::time::Instant::now();
         let server = RpcServer::new(&self.world);
-        server.serve(|src, method, args| match method {
+        server.serve(|caller, method, args| match method {
             M_METADATA => {
                 self.profile.lock().metadata_requests += 1;
                 let file = match dec_metadata_req(&args) {
@@ -537,7 +534,7 @@ impl DistMetadataVol {
                     .any(|l| l.dir == LinkDir::Produce && glob_match(&l.pattern, &file))
                 {
                     // Not closed yet (or never produced): hold the request.
-                    self.pending_meta.lock().push((src, file));
+                    self.pending_meta.lock().push((caller, file));
                     ServeOutcome::Continue
                 } else {
                     ServeOutcome::Reply(enc_result(Err(H5Error::NotFound(file))))
@@ -560,9 +557,8 @@ impl DistMetadataVol {
                 ServeOutcome::Reply(enc_result(reply))
             }
             M_DATA => {
-                let reply = dec_data_req(&args).and_then(|(file, dset, sel)| {
-                    self.answer_data_query(&file, &dset, &sel)
-                });
+                let reply = dec_data_req(&args)
+                    .and_then(|(file, dset, sel)| self.answer_data_query(&file, &dset, &sel));
                 {
                     let mut p = self.profile.lock();
                     p.data_requests += 1;
@@ -609,18 +605,49 @@ impl DistMetadataVol {
     // Consumer: open / query (Algorithm 3) / close
     // -----------------------------------------------------------------
 
+    /// One consumer → producer RPC, honoring the file's configured retry
+    /// policy (see [`LowFiveProps::set_rpc_timeout`]). Without a policy
+    /// the call blocks forever, exactly like MPI. With one, a producer
+    /// that died or stopped answering surfaces as
+    /// [`H5Error::PeerUnavailable`] after the bounded attempts — all
+    /// consumer RPCs (metadata, intersect, data) are idempotent, so
+    /// resending is safe. Returns the still-encoded reply frame.
+    fn call_producer(
+        &self,
+        file: &str,
+        server: usize,
+        method: u32,
+        args: &[u8],
+    ) -> H5Result<Bytes> {
+        let rpc = RpcClient::new(&self.world);
+        match self.props.rpc_policy_for(file) {
+            None => Ok(rpc.call(server, method, args)),
+            Some(policy) => rpc.call_retry(server, method, args, policy).map_err(|e| {
+                H5Error::PeerUnavailable(match e {
+                    RpcError::PeerDead => format!("producer world rank {server} died"),
+                    RpcError::TimedOut => format!(
+                        "producer world rank {server} did not answer within {:?} x{}",
+                        policy.timeout, policy.attempts
+                    ),
+                })
+            }),
+        }
+    }
+
     fn consumer_open(&self, name: &str, link: &Link) -> H5Result<ObjId> {
         let t0 = std::time::Instant::now();
         let meta = if self.props.metadata_broadcast_for(name) {
             // Collective variant (paper §V-C): one rank fetches, the task
             // broadcasts — m−1 fewer round trips to the producers.
             // Broadcast the raw reply (including any error) so that a
-            // remote failure propagates to every rank instead of leaving
-            // peers stuck in the collective.
+            // remote failure — the producer returning an error *or* the
+            // producer being gone — propagates to every rank instead of
+            // leaving peers stuck in the collective.
             let reply = if self.local.rank() == 0 {
                 let home = link.remote_ranks[0];
-                let reply =
-                    RpcClient::new(&self.world).call(home, M_METADATA, &enc_metadata_req(name));
+                let reply = self
+                    .call_producer(name, home, M_METADATA, &enc_metadata_req(name))
+                    .unwrap_or_else(|e| enc_result(Err(e)));
                 self.local.bcast_bytes(0, Some(reply))
             } else {
                 self.local.bcast_bytes(0, None)
@@ -630,8 +657,7 @@ impl DistMetadataVol {
             // Each consumer rank has a "home" producer for metadata
             // requests, spreading the load across the producer task.
             let home = link.remote_ranks[self.local.rank() % link.remote_ranks.len()];
-            let rpc = RpcClient::new(&self.world);
-            let reply = rpc.call(home, M_METADATA, &enc_metadata_req(name));
+            let reply = self.call_producer(name, home, M_METADATA, &enc_metadata_req(name))?;
             dec_metadata_reply(&dec_result(&reply)?)?
         };
         let mut rs = self.remote.lock();
@@ -640,8 +666,7 @@ impl DistMetadataVol {
         }
         let root = rs.hier.create_file(name)?;
         import_meta(&mut rs.hier, root, &meta)?;
-        rs.files
-            .insert(name.to_string(), RemoteFileInfo { producers: link.remote_ranks.clone() });
+        rs.files.insert(name.to_string(), RemoteFileInfo { producers: link.remote_ranks.clone() });
         let id = rs.mint();
         rs.entries
             .insert(id, RemoteEntry { node: root, filename: Arc::from(name), path: String::new() });
@@ -669,7 +694,6 @@ impl DistMetadataVol {
             return Ok(Bytes::from(out));
         }
         let n = producers.len();
-        let rpc = RpcClient::new(&self.world);
 
         // Step 1 (redirect): ask the producers responsible for the blocks
         // of the common decomposition intersected by our bounding box
@@ -681,8 +705,12 @@ impl DistMetadataVol {
             let bb = effective_bbox(sel, &space);
             let mut owners = BTreeSet::new();
             for gid in decomp.blocks_intersecting(&bb) {
-                let reply =
-                    rpc.call(producers[gid], M_INTERSECT, &enc_intersect_req(&filename, &path, &bb));
+                let reply = self.call_producer(
+                    &filename,
+                    producers[gid],
+                    M_INTERSECT,
+                    &enc_intersect_req(&filename, &path, &bb),
+                )?;
                 for r in dec_intersect_reply(&dec_result(&reply)?)? {
                     owners.insert(r as usize);
                 }
@@ -696,7 +724,12 @@ impl DistMetadataVol {
         let t_fetch = std::time::Instant::now();
         let mut fetched = 0u64;
         for p in owners {
-            let reply = rpc.call(producers[p], M_DATA, &enc_data_req(&filename, &path, sel));
+            let reply = self.call_producer(
+                &filename,
+                producers[p],
+                M_DATA,
+                &enc_data_req(&filename, &path, sel),
+            )?;
             fetched += reply.len() as u64;
             let dr = dec_data_reply(&dec_result(&reply)?)?;
             let mut cum = 0usize;
@@ -719,11 +752,8 @@ impl DistMetadataVol {
         let (filename, producers) = {
             let mut rs = self.remote.lock();
             let e = rs.entry(file)?.clone();
-            let producers = rs
-                .files
-                .get(e.filename.as_ref())
-                .map(|i| i.producers.clone())
-                .unwrap_or_default();
+            let producers =
+                rs.files.get(e.filename.as_ref()).map(|i| i.producers.clone()).unwrap_or_default();
             rs.entries.remove(&file);
             (e.filename, producers)
         };
@@ -820,16 +850,13 @@ impl Vol for DistMetadataVol {
         let mut rs = self.remote.lock();
         let e = rs.entry(parent)?.clone();
         let node = rs.hier.resolve(e.node, path)?;
-        let joined = path
-            .split('/')
-            .filter(|s| !s.is_empty())
-            .fold(e.path.clone(), |acc, part| {
-                if acc.is_empty() {
-                    part.to_string()
-                } else {
-                    format!("{acc}/{part}")
-                }
-            });
+        let joined = path.split('/').filter(|s| !s.is_empty()).fold(e.path.clone(), |acc, part| {
+            if acc.is_empty() {
+                part.to_string()
+            } else {
+                format!("{acc}/{part}")
+            }
+        });
         let id = rs.mint();
         rs.entries.insert(id, RemoteEntry { node, filename: e.filename, path: joined });
         Ok(id)

@@ -147,9 +147,7 @@ impl Vol for MetadataVol {
         let pass = self.props.passthrough_for(name);
         // With both modes off there is nowhere to put the data.
         if !mem && !pass {
-            return Err(H5Error::Vol(format!(
-                "both memory and passthrough disabled for {name}"
-            )));
+            return Err(H5Error::Vol(format!("both memory and passthrough disabled for {name}")));
         }
         let file_id = if pass { Some(self.base.file_create(name)?) } else { None };
         let mut st = self.state.lock();
@@ -268,10 +266,10 @@ impl Vol for MetadataVol {
             None => None,
         };
         let id = st.mint();
-        let joined = path.split('/').filter(|s| !s.is_empty()).fold(
-            p_entry.path.clone(),
-            |acc, part| Self::child_path(&acc, part),
-        );
+        let joined = path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .fold(p_entry.path.clone(), |acc, part| Self::child_path(&acc, part));
         st.entries.insert(
             id,
             Entry {
@@ -496,9 +494,7 @@ mod tests {
         let (h5, _vol) = memory_h5(LowFiveProps::new());
         // The "filename" does not exist on disk and never will.
         let f = h5.create_file("purely/in/memory.h5").unwrap();
-        let d = f
-            .create_dataset("d", Datatype::UInt64, Dataspace::simple(&[4]))
-            .unwrap();
+        let d = f.create_dataset("d", Datatype::UInt64, Dataspace::simple(&[4])).unwrap();
         d.write_all(&[1u64, 2, 3, 4]).unwrap();
         assert_eq!(d.read_all::<u64>().unwrap(), vec![1, 2, 3, 4]);
         f.close().unwrap();
@@ -510,9 +506,7 @@ mod tests {
         let (h5, vol) = memory_h5(LowFiveProps::new());
         let f = h5.create_file("mem.h5").unwrap();
         let g = f.create_group("group1").unwrap();
-        let d = g
-            .create_dataset("grid", Datatype::UInt64, Dataspace::simple(&[8]))
-            .unwrap();
+        let d = g.create_dataset("grid", Datatype::UInt64, Dataspace::simple(&[8])).unwrap();
         d.write_all(&(0..8).collect::<Vec<u64>>()).unwrap();
         f.close().unwrap();
         let meta = vol.file_meta("mem.h5").unwrap();
@@ -531,9 +525,7 @@ mod tests {
         props.set_passthrough("*", true); // memory stays on by default
         let (h5, vol) = memory_h5(props);
         let f = h5.create_file(&path).unwrap();
-        let d = f
-            .create_dataset("d", Datatype::UInt32, Dataspace::simple(&[3]))
-            .unwrap();
+        let d = f.create_dataset("d", Datatype::UInt32, Dataspace::simple(&[3])).unwrap();
         d.write_all(&[7u32, 8, 9]).unwrap();
         f.close().unwrap();
         // On disk, readable by plain native.
@@ -552,9 +544,7 @@ mod tests {
         props.set_memory("*", false).set_passthrough("*", true);
         let (h5, vol) = memory_h5(props);
         let f = h5.create_file(&path).unwrap();
-        let d = f
-            .create_dataset("d", Datatype::UInt8, Dataspace::simple(&[2]))
-            .unwrap();
+        let d = f.create_dataset("d", Datatype::UInt8, Dataspace::simple(&[2])).unwrap();
         d.write_all(&[1u8, 2]).unwrap();
         f.close().unwrap();
         assert!(vol.file_meta(&path).is_err());
@@ -578,9 +568,7 @@ mod tests {
         props.set_zerocopy("*", "grid", true);
         let (h5, vol) = memory_h5(props);
         let f = h5.create_file("z.h5").unwrap();
-        let d = f
-            .create_dataset("grid", Datatype::UInt8, Dataspace::simple(&[4]))
-            .unwrap();
+        let d = f.create_dataset("grid", Datatype::UInt8, Dataspace::simple(&[4])).unwrap();
         let buf = Bytes::from(vec![1u8, 2, 3, 4]);
         d.write_bytes(&Selection::all(), buf.clone(), Ownership::Deep).unwrap();
         let regions = vol.dataset_regions("z.h5", "grid").unwrap();
@@ -606,9 +594,7 @@ mod tests {
     fn partial_writes_assemble_on_read() {
         let (h5, _vol) = memory_h5(LowFiveProps::new());
         let f = h5.create_file("p.h5").unwrap();
-        let d = f
-            .create_dataset("d", Datatype::UInt64, Dataspace::simple(&[2, 4]))
-            .unwrap();
+        let d = f.create_dataset("d", Datatype::UInt64, Dataspace::simple(&[2, 4])).unwrap();
         // Two ranks' worth of row writes (simulated serially).
         d.write_selection(&Selection::block(&[0, 0], &[1, 4]), &[0u64, 1, 2, 3]).unwrap();
         d.write_selection(&Selection::block(&[1, 0], &[1, 4]), &[4u64, 5, 6, 7]).unwrap();

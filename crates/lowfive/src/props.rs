@@ -7,6 +7,9 @@
 //! reproduces that surface with simple `*`/`?` glob patterns; the last
 //! matching rule wins.
 
+use std::time::Duration;
+
+use diyblk::RetryPolicy;
 use minih5::Ownership;
 
 #[derive(Debug, Clone)]
@@ -15,6 +18,8 @@ enum Action {
     Passthrough(bool),
     Zerocopy(bool),
     MetadataBroadcast(bool),
+    RpcTimeout(Option<Duration>),
+    RpcRetries(u32),
 }
 
 #[derive(Debug, Clone)]
@@ -84,6 +89,49 @@ impl LowFiveProps {
             action: Action::MetadataBroadcast(on),
         });
         self
+    }
+
+    /// Bound every consumer-side RPC against producers of files matching
+    /// `file_pat` to `timeout` per attempt (`None` restores the default:
+    /// block forever, like MPI). When a bound is set, a producer that dies
+    /// or stalls surfaces as [`minih5::H5Error::PeerUnavailable`] instead
+    /// of hanging the consumer.
+    pub fn set_rpc_timeout(&mut self, file_pat: &str, timeout: Option<Duration>) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::RpcTimeout(timeout),
+        });
+        self
+    }
+
+    /// Number of *extra* attempts (beyond the first) for idempotent
+    /// consumer RPCs — metadata, intersect, and data queries — against
+    /// producers of files matching `file_pat`. Only meaningful together
+    /// with [`LowFiveProps::set_rpc_timeout`]; retries of a call that
+    /// never times out never happen.
+    pub fn set_rpc_retries(&mut self, file_pat: &str, retries: u32) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::RpcRetries(retries),
+        });
+        self
+    }
+
+    /// Effective retry policy for consumer RPCs on `file`: `None` means
+    /// no timeout configured — block forever (the default).
+    pub fn rpc_policy_for(&self, file: &str) -> Option<RetryPolicy> {
+        let mut timeout = None;
+        let mut retries = 0u32;
+        for r in &self.rules {
+            match r.action {
+                Action::RpcTimeout(v) if glob_match(&r.file_pat, file) => timeout = v,
+                Action::RpcRetries(v) if glob_match(&r.file_pat, file) => retries = v,
+                _ => {}
+            }
+        }
+        timeout.map(|t| RetryPolicy::new(retries + 1, t))
     }
 
     /// Should consumers of `file` broadcast metadata instead of each rank
@@ -195,6 +243,26 @@ mod tests {
         p.set_memory("*", false).set_passthrough("*", true);
         assert!(!p.memory_for("x.h5"));
         assert!(p.passthrough_for("x.h5"));
+    }
+
+    #[test]
+    fn rpc_policy_defaults_to_blocking() {
+        let p = LowFiveProps::new();
+        assert!(p.rpc_policy_for("f.h5").is_none());
+    }
+
+    #[test]
+    fn rpc_policy_composes_timeout_and_retries() {
+        let mut p = LowFiveProps::new();
+        p.set_rpc_timeout("*.h5", Some(Duration::from_millis(250)));
+        p.set_rpc_retries("*.h5", 3);
+        let pol = p.rpc_policy_for("a.h5").expect("timeout set");
+        assert_eq!(pol.attempts, 4); // first try + 3 retries
+        assert_eq!(pol.timeout, Duration::from_millis(250));
+        assert!(p.rpc_policy_for("other.bin").is_none(), "pattern-scoped");
+        // A later rule can turn the bound back off.
+        p.set_rpc_timeout("a.h5", None);
+        assert!(p.rpc_policy_for("a.h5").is_none());
     }
 
     #[test]

@@ -85,8 +85,17 @@ pub fn dec_done_req(b: &[u8]) -> H5Result<String> {
 // Replies
 // ---------------------------------------------------------------------
 
+/// Error-kind codes carried in the err branch of [`enc_result`], so the
+/// variants that change a consumer's control flow survive the wire (and
+/// the metadata-broadcast rebroadcast) instead of collapsing into a
+/// generic string.
+const EK_GENERIC: u8 = 0;
+const EK_NOT_FOUND: u8 = 1;
+const EK_PEER_UNAVAILABLE: u8 = 2;
+
 /// Replies carry an ok/err discriminant so protocol errors propagate to
-/// the consumer instead of deadlocking it.
+/// the consumer instead of deadlocking it. The err branch is
+/// `[kind u8][message str]`.
 pub fn enc_result(r: H5Result<Bytes>) -> Bytes {
     let mut w = Writer::new();
     match r {
@@ -96,7 +105,13 @@ pub fn enc_result(r: H5Result<Bytes>) -> Bytes {
         }
         Err(e) => {
             w.put_u8(0);
-            w.put_str(&e.to_string());
+            let (kind, msg) = match &e {
+                H5Error::NotFound(n) => (EK_NOT_FOUND, n.clone()),
+                H5Error::PeerUnavailable(m) => (EK_PEER_UNAVAILABLE, m.clone()),
+                other => (EK_GENERIC, other.to_string()),
+            };
+            w.put_u8(kind);
+            w.put_str(&msg);
         }
     }
     w.finish()
@@ -106,7 +121,15 @@ pub fn dec_result(b: &Bytes) -> H5Result<Bytes> {
     let mut r = Reader::new(b);
     match r.get_u8()? {
         1 => Ok(b.slice(1..)),
-        0 => Err(H5Error::Vol(format!("remote error: {}", r.get_str()?))),
+        0 => {
+            let kind = r.get_u8()?;
+            let msg = r.get_str()?;
+            Err(match kind {
+                EK_NOT_FOUND => H5Error::NotFound(msg),
+                EK_PEER_UNAVAILABLE => H5Error::PeerUnavailable(msg),
+                _ => H5Error::Vol(format!("remote error: {msg}")),
+            })
+        }
         t => Err(H5Error::Format(format!("bad reply discriminant {t}"))),
     }
 }
@@ -209,7 +232,19 @@ mod tests {
         assert_eq!(&dec_result(&ok).unwrap()[..], b"payload");
         let err = enc_result(Err(H5Error::NotFound("x".into())));
         let e = dec_result(&err).unwrap_err();
+        assert!(matches!(&e, H5Error::NotFound(n) if n == "x"), "kind survives: {e}");
         assert!(e.to_string().contains("object not found: x"));
+    }
+
+    #[test]
+    fn result_wrapper_preserves_peer_unavailable() {
+        let err = enc_result(Err(H5Error::PeerUnavailable("producer rank 1 dead".into())));
+        let e = dec_result(&err).unwrap_err();
+        assert!(matches!(&e, H5Error::PeerUnavailable(m) if m.contains("rank 1")), "{e}");
+        // Generic kinds still collapse into Vol with the remote marker.
+        let err = enc_result(Err(H5Error::Format("bad".into())));
+        let e = dec_result(&err).unwrap_err();
+        assert!(matches!(&e, H5Error::Vol(m) if m.contains("remote error")), "{e}");
     }
 
     #[test]

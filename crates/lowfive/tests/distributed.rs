@@ -57,9 +57,8 @@ fn fig3_row_to_column_redistribution() {
             let my_cols = COLS / 4;
             let sel = Selection::block(&[0, c0], &[ROWS, my_cols]);
             let got: Vec<u64> = d.read_selection(&sel).unwrap();
-            let expect: Vec<u64> = (0..ROWS)
-                .flat_map(|r| (c0..c0 + my_cols).map(move |c| r * COLS + c))
-                .collect();
+            let expect: Vec<u64> =
+                (0..ROWS).flat_map(|r| (c0..c0 + my_cols).map(move |c| r * COLS + c)).collect();
             assert_eq!(got, expect);
             f.close().unwrap();
         }
@@ -90,9 +89,8 @@ fn particles_redistribution() {
         if tc.task_id == 0 {
             let f = h5.create_file("particles.h5").unwrap();
             let g = f.create_group("group2").unwrap();
-            let d = g
-                .create_dataset("particles", ptype.clone(), Dataspace::simple(&[total]))
-                .unwrap();
+            let d =
+                g.create_dataset("particles", ptype.clone(), Dataspace::simple(&[total])).unwrap();
             let start = tc.local.rank() as u64 * PER_PROD;
             // Particle i = (i, i+0.5, -(i as f32)).
             let mut buf: Vec<f32> = Vec::with_capacity((PER_PROD * 3) as usize);
@@ -137,11 +135,8 @@ fn particles_redistribution() {
 #[test]
 fn fan_out_two_consumer_tasks() {
     const N: u64 = 64;
-    let specs = [
-        TaskSpec::new("producer", 2),
-        TaskSpec::new("analysis", 2),
-        TaskSpec::new("viz", 1),
-    ];
+    let specs =
+        [TaskSpec::new("producer", 2), TaskSpec::new("analysis", 2), TaskSpec::new("viz", 1)];
     TaskWorld::run(&specs, |tc| {
         let producers = world_ranks(&tc, 0);
         let all_consumers: Vec<usize> =
@@ -158,9 +153,7 @@ fn fan_out_two_consumer_tasks() {
         let h5 = H5::with_vol(vol);
         if tc.task_id == 0 {
             let f = h5.create_file("fan.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
             let half = N / 2;
             let start = tc.local.rank() as u64 * half;
             let vals: Vec<u64> = (start..start + half).collect();
@@ -180,11 +173,8 @@ fn fan_out_two_consumer_tasks() {
 #[test]
 fn fan_in_two_producer_tasks() {
     const N: u64 = 32;
-    let specs = [
-        TaskSpec::new("sim-a", 2),
-        TaskSpec::new("sim-b", 3),
-        TaskSpec::new("consumer", 2),
-    ];
+    let specs =
+        [TaskSpec::new("sim-a", 2), TaskSpec::new("sim-b", 3), TaskSpec::new("consumer", 2)];
     TaskWorld::run(&specs, |tc| {
         let prod_a = world_ranks(&tc, 0);
         let prod_b = world_ranks(&tc, 1);
@@ -207,9 +197,7 @@ fn fan_in_two_producer_tasks() {
                 let (name, mult) = if tc.task_id == 0 { ("a.h5", 1u64) } else { ("b.h5", 100) };
                 let n_ranks = tc.local.size() as u64;
                 let f = h5.create_file(name).unwrap();
-                let d = f
-                    .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                    .unwrap();
+                let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
                 // Near-equal contiguous chunks.
                 let r = tc.local.rank() as u64;
                 let start = N * r / n_ranks;
@@ -263,9 +251,7 @@ fn combined_memory_and_file_mode() {
         let h5 = H5::with_vol(vol);
         if tc.task_id == 0 {
             let f = h5.create_file(&path2).unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
             let half = N / 2;
             let start = tc.local.rank() as u64 * half;
             let vals: Vec<u64> = (start..start + half).collect();
@@ -308,9 +294,7 @@ fn metadata_attributes_and_listing() {
             let f = h5.create_file("meta.h5").unwrap();
             f.set_attr("step", 42u32).unwrap();
             let g = f.create_group("group1").unwrap();
-            let d = g
-                .create_dataset("grid", Datatype::UInt64, Dataspace::simple(&[4]))
-                .unwrap();
+            let d = g.create_dataset("grid", Datatype::UInt64, Dataspace::simple(&[4])).unwrap();
             d.set_attr("resolution", 2.5f64).unwrap();
             let vals: Vec<u64> = if tc.local.rank() == 0 { vec![0, 1] } else { vec![2, 3] };
             let start = tc.local.rank() as u64 * 2;
@@ -355,9 +339,7 @@ fn multiple_timesteps_sequentially() {
             let name = format!("step{step}.h5");
             if tc.task_id == 0 {
                 let f = h5.create_file(&name).unwrap();
-                let d = f
-                    .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                    .unwrap();
+                let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
                 let chunk = N / 3;
                 let start = tc.local.rank() as u64 * chunk;
                 let vals: Vec<u64> =
@@ -396,9 +378,7 @@ fn partial_read_moves_less_data() {
         let h5 = H5::with_vol(vol);
         if tc.task_id == 0 {
             let f = h5.create_file("partial.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
             let chunk = N / 4;
             let start = tc.local.rank() as u64 * chunk;
             let vals: Vec<u64> = (start..start + chunk).collect();
@@ -483,9 +463,8 @@ fn grid_3d_redistribution() {
         if tc.task_id == 0 {
             // Producer r writes the 2x2x2 octant given by its bits.
             let f = h5.create_file("g3.h5").unwrap();
-            let d = f
-                .create_dataset("grid", Datatype::UInt64, Dataspace::simple(&[D, D, D]))
-                .unwrap();
+            let d =
+                f.create_dataset("grid", Datatype::UInt64, Dataspace::simple(&[D, D, D])).unwrap();
             let r = tc.local.rank() as u64;
             let h = D / 2;
             let (ox, oy, oz) = ((r >> 2 & 1) * h, (r >> 1 & 1) * h, (r & 1) * h);
@@ -549,9 +528,7 @@ fn metadata_broadcast_open() {
         let h5 = H5::with_vol(vol);
         if tc.task_id == 0 {
             let f = h5.create_file("bm.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
             let chunk = N / 3;
             let start = tc.local.rank() as u64 * chunk;
             let vals: Vec<u64> = (start..start + chunk).collect();
@@ -641,10 +618,7 @@ fn extensible_dataset_redistributed() {
             let (_, sp) = d.meta().unwrap();
             assert_eq!(sp.dims(), &[4, COLS]);
             assert_eq!(d.chunk().unwrap(), Some(vec![2, COLS]));
-            assert_eq!(
-                d.read_all::<u64>().unwrap(),
-                (0..4 * COLS).collect::<Vec<u64>>()
-            );
+            assert_eq!(d.read_all::<u64>().unwrap(), (0..4 * COLS).collect::<Vec<u64>>());
             f.close().unwrap();
         }
     });
@@ -671,9 +645,7 @@ fn transport_profile_accounts_phases() {
         let h5 = H5::with_vol(vol.clone() as Arc<dyn Vol>);
         if tc.task_id == 0 {
             let f = h5.create_file("prof.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
             let half = N / 2;
             let s = tc.local.rank() as u64 * half;
             d.write_selection(
@@ -741,13 +713,10 @@ fn async_serve_overlaps_compute_with_reads() {
             let mut close_times = Vec::new();
             for s in 0..STEPS {
                 let f = h5.create_file(&format!("snap{s}")).unwrap();
-                let d = f
-                    .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                    .unwrap();
+                let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
                 let half = N / 2;
                 let lo = tc.local.rank() as u64 * half;
-                let vals: Vec<u64> =
-                    (lo..lo + half).map(|i| i + 1000 * s as u64).collect();
+                let vals: Vec<u64> = (lo..lo + half).map(|i| i + 1000 * s as u64).collect();
                 d.write_selection(&Selection::block(&[lo], &[half]), &vals).unwrap();
                 f.close().unwrap(); // returns without waiting for the consumer
                 close_times.push(t0.elapsed());
@@ -805,9 +774,7 @@ fn drain_is_idempotent() {
         if tc.task_id == 0 {
             vol.drain(); // nothing running yet
             let f = h5.create_file("d.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt8, Dataspace::simple(&[1]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt8, Dataspace::simple(&[1])).unwrap();
             d.write_all(&[7u8]).unwrap();
             f.close().unwrap();
             vol.drain();
@@ -841,12 +808,10 @@ fn producer_reopen_close_does_not_reserve() {
         let h5 = H5::with_vol(vol);
         if tc.task_id == 0 {
             let f = h5.create_file("ro-reopen.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt8, Dataspace::simple(&[4]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt8, Dataspace::simple(&[4])).unwrap();
             d.write_all(&[1u8, 2, 3, 4]).unwrap();
             f.close().unwrap(); // serves the consumer
-            // Re-open our own in-memory output and read it back locally.
+                                // Re-open our own in-memory output and read it back locally.
             let f = h5.open_file("ro-reopen.h5").unwrap();
             let d = f.open_dataset("x").unwrap();
             assert_eq!(d.read_all::<u8>().unwrap(), vec![1, 2, 3, 4]);

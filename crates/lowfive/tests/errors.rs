@@ -30,9 +30,7 @@ fn remote_missing_dataset_propagates_error() {
         let h5 = H5::with_vol(pair_vols(&tc));
         if tc.task_id == 0 {
             let f = h5.create_file("e.h5").unwrap();
-            let d = f
-                .create_dataset("real", Datatype::UInt64, Dataspace::simple(&[4]))
-                .unwrap();
+            let d = f.create_dataset("real", Datatype::UInt64, Dataspace::simple(&[4])).unwrap();
             let s = tc.local.rank() as u64 * 2;
             d.write_selection(&Selection::block(&[s], &[2]), &[s, s + 1]).unwrap();
             f.close().unwrap();
@@ -57,9 +55,7 @@ fn remote_invalid_selection_rejected() {
         let h5 = H5::with_vol(pair_vols(&tc));
         if tc.task_id == 0 {
             let f = h5.create_file("sel.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt32, Dataspace::simple(&[4]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt32, Dataspace::simple(&[4])).unwrap();
             d.write_all(&[1u32, 2, 3, 4]).unwrap();
             f.close().unwrap();
         } else {
@@ -87,9 +83,7 @@ fn consumed_files_are_fully_read_only() {
         let h5 = H5::with_vol(pair_vols(&tc));
         if tc.task_id == 0 {
             let f = h5.create_file("ro.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt8, Dataspace::simple(&[2]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt8, Dataspace::simple(&[2])).unwrap();
             d.write_all(&[1u8, 2]).unwrap();
             f.close().unwrap();
         } else {
@@ -113,9 +107,7 @@ fn consumed_files_are_fully_read_only() {
 fn closed_handles_rejected_cleanly() {
     let vol = Arc::new(MetadataVol::over_native(LowFiveProps::new()));
     let f = vol.file_create("h.h5").unwrap();
-    let d = vol
-        .dataset_create(f, "x", &Datatype::UInt8, &Dataspace::simple(&[1]))
-        .unwrap();
+    let d = vol.dataset_create(f, "x", &Datatype::UInt8, &Dataspace::simple(&[1])).unwrap();
     vol.file_close(f).unwrap();
     assert!(matches!(vol.list(f), Err(H5Error::InvalidHandle(_))));
     // Dataset handle survives (tree outlives the file handle), but a
@@ -168,9 +160,7 @@ fn open_of_unproduced_file_fails_fast() {
 fn buffer_size_validation_everywhere() {
     let vol = Arc::new(MetadataVol::over_native(LowFiveProps::new()));
     let f = vol.file_create("sz.h5").unwrap();
-    let d = vol
-        .dataset_create(f, "x", &Datatype::UInt32, &Dataspace::simple(&[4]))
-        .unwrap();
+    let d = vol.dataset_create(f, "x", &Datatype::UInt32, &Dataspace::simple(&[4])).unwrap();
     for bad in [0usize, 1, 15, 17, 64] {
         let r = vol.dataset_write(
             d,

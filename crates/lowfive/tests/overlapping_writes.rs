@@ -29,9 +29,7 @@ fn same_rank_overlaps_resolve_in_program_order() {
         let h5 = H5::with_vol(vol);
         if tc.task_id == 0 {
             let f = h5.create_file("ow.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt8, Dataspace::simple(&[8]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt8, Dataspace::simple(&[8])).unwrap();
             d.write_all(&[1u8; 8]).unwrap();
             d.write_selection(&Selection::block(&[2], &[4]), &[2u8; 4]).unwrap();
             d.write_selection(&Selection::block(&[4], &[2]), &[3u8; 2]).unwrap();
@@ -62,9 +60,7 @@ fn cross_rank_overlaps_yield_one_of_the_writes() {
             // Rank 0 writes [0, 20) with 100+i; rank 1 writes [12, 32)
             // with 200+i: overlap on [12, 20).
             let f = h5.create_file("xr.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
             if tc.local.rank() == 0 {
                 let vals: Vec<u64> = (0..20).map(|i| 100 + i).collect();
                 d.write_selection(&Selection::block(&[0], &[20]), &vals).unwrap();

@@ -81,9 +81,7 @@ macro_rules! container_ops {
             pub fn open_group(&self, path: &str) -> H5Result<Group> {
                 let id = self.vol.open_path(self.id, path)?;
                 match self.vol.obj_kind(id)? {
-                    ObjKind::Group | ObjKind::File => {
-                        Ok(Group { vol: Arc::clone(&self.vol), id })
-                    }
+                    ObjKind::Group | ObjKind::File => Ok(Group { vol: Arc::clone(&self.vol), id }),
                     k => Err(H5Error::WrongKind { expected: "group", found: k.name() }),
                 }
             }
@@ -109,8 +107,7 @@ macro_rules! container_ops {
                 space: Dataspace,
                 chunk: &[u64],
             ) -> H5Result<Dataset> {
-                let id =
-                    self.vol.dataset_create_chunked(self.id, name, &dtype, &space, chunk)?;
+                let id = self.vol.dataset_create_chunked(self.id, name, &dtype, &space, chunk)?;
                 Ok(Dataset { vol: Arc::clone(&self.vol), id })
             }
 
@@ -400,9 +397,7 @@ mod tests {
         let path = tmp("api.nh5");
         let f = h5.create_file(&path).unwrap();
         let g = f.create_group("g").unwrap();
-        let d = g
-            .create_dataset("x", Datatype::Float64, Dataspace::simple(&[3, 2]))
-            .unwrap();
+        let d = g.create_dataset("x", Datatype::Float64, Dataspace::simple(&[3, 2])).unwrap();
         d.write_all(&[1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         d.set_attr("scale", 2.5f64).unwrap();
         f.close().unwrap();
@@ -421,9 +416,7 @@ mod tests {
         let h5 = H5::native();
         let path = tmp("mismatch.nh5");
         let f = h5.create_file(&path).unwrap();
-        let d = f
-            .create_dataset("x", Datatype::UInt32, Dataspace::simple(&[2]))
-            .unwrap();
+        let d = f.create_dataset("x", Datatype::UInt32, Dataspace::simple(&[2])).unwrap();
         assert!(d.write_all(&[1.0f32, 2.0]).is_err());
         assert!(d.write_all(&[1u32, 2]).is_ok());
         f.close().unwrap();
@@ -483,9 +476,7 @@ mod rich_attr_tests {
         let f = h5.create_file(&path).unwrap();
         f.set_attr_vec("origin", &[0.5f64, 1.5, 2.5]).unwrap();
         f.set_attr_str("code", "nyx-sim v1").unwrap();
-        let d = f
-            .create_dataset("d", Datatype::UInt8, Dataspace::simple(&[1]))
-            .unwrap();
+        let d = f.create_dataset("d", Datatype::UInt8, Dataspace::simple(&[1])).unwrap();
         d.write_all(&[0u8]).unwrap();
         f.close().unwrap();
 
@@ -508,9 +499,7 @@ mod rich_attr_tests {
             CompoundField { name: "mass".into(), dtype: Datatype::Float64 },
         ]);
         let f = h5.create_file(&path).unwrap();
-        let d = f
-            .create_dataset("parts", ptype, Dataspace::simple(&[4]))
-            .unwrap();
+        let d = f.create_dataset("parts", ptype, Dataspace::simple(&[4])).unwrap();
         let mut raw = Vec::new();
         for i in 0..4u32 {
             raw.extend_from_slice(&i.to_le_bytes());

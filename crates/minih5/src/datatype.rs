@@ -55,9 +55,7 @@ impl Datatype {
             Datatype::Int64 | Datatype::UInt64 | Datatype::Float64 => 8,
             Datatype::FixedString(n) => *n,
             Datatype::Compound(fields) => fields.iter().map(|f| f.dtype.size()).sum(),
-            Datatype::Array(inner, dims) => {
-                inner.size() * dims.iter().product::<u64>() as usize
-            }
+            Datatype::Array(inner, dims) => inner.size() * dims.iter().product::<u64>() as usize,
         }
     }
 
@@ -119,9 +117,7 @@ impl_h5type!(
 pub fn elems_as_bytes<T: H5Type>(slice: &[T]) -> &[u8] {
     // SAFETY: T is H5Type (sealed POD), the slice view covers the same
     // memory exactly.
-    unsafe {
-        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
-    }
+    unsafe { std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice)) }
 }
 
 /// Copy raw bytes into a typed vector.
@@ -130,7 +126,11 @@ pub fn elems_as_bytes<T: H5Type>(slice: &[T]) -> &[u8] {
 /// Panics if `bytes.len()` is not a multiple of the element size.
 pub fn elems_from_bytes<T: H5Type>(bytes: &[u8]) -> Vec<T> {
     let es = std::mem::size_of::<T>();
-    assert!(bytes.len() % es == 0, "byte length {} not a multiple of element size {es}", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(es),
+        "byte length {} not a multiple of element size {es}",
+        bytes.len()
+    );
     let n = bytes.len() / es;
     let mut out = Vec::<T>::with_capacity(n);
     // SAFETY: T is POD; we copy exactly n elements' worth of bytes.

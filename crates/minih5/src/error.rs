@@ -25,6 +25,9 @@ pub enum H5Error {
     Io(std::io::Error),
     /// A VOL plugin rejected or failed the operation.
     Vol(String),
+    /// A remote peer (producer/server rank) died or stopped answering;
+    /// the operation gave up after its configured timeout and retries.
+    PeerUnavailable(String),
 }
 
 impl fmt::Display for H5Error {
@@ -40,6 +43,7 @@ impl fmt::Display for H5Error {
             H5Error::Format(m) => write!(f, "file format error: {m}"),
             H5Error::Io(e) => write!(f, "I/O error: {e}"),
             H5Error::Vol(m) => write!(f, "VOL plugin error: {m}"),
+            H5Error::PeerUnavailable(m) => write!(f, "peer unavailable: {m}"),
         }
     }
 }
@@ -71,9 +75,15 @@ mod tests {
     }
 
     #[test]
+    fn peer_unavailable_formats() {
+        let e = H5Error::PeerUnavailable("producer rank 2 dead".into());
+        assert_eq!(e.to_string(), "peer unavailable: producer rank 2 dead");
+    }
+
+    #[test]
     fn io_error_source_preserved() {
         use std::error::Error;
-        let e = H5Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = H5Error::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

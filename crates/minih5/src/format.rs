@@ -190,10 +190,10 @@ pub fn export_meta_with_chunks(
                 // the chunk shape recorded in the tree (offsets are
                 // meaningless off-storage).
                 let ci = chunks.and_then(|m| m.get(&id).cloned()).or_else(|| {
-                    hier.dataset_chunk(id).ok().flatten().map(|chunk| ChunkIndex {
-                        chunk,
-                        offsets: Vec::new(),
-                    })
+                    hier.dataset_chunk(id)
+                        .ok()
+                        .flatten()
+                        .map(|chunk| ChunkIndex { chunk, offsets: Vec::new() })
                 });
                 meta.datasets.push(DatasetEntry {
                     path: path.clone(),

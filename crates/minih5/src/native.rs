@@ -123,11 +123,7 @@ impl NativeVol {
     /// not yet in the index. Deterministic across ranks given identical
     /// collective calls.
     fn allocate_chunks(cs: &mut ChunkState, dims: &[u64], cursor: &mut u64, bytes_per_chunk: u64) {
-        let counts: Vec<u64> = dims
-            .iter()
-            .zip(&cs.chunk)
-            .map(|(&d, &c)| d.div_ceil(c))
-            .collect();
+        let counts: Vec<u64> = dims.iter().zip(&cs.chunk).map(|(&d, &c)| d.div_ceil(c)).collect();
         let mut coord = vec![0u64; dims.len()];
         loop {
             if !cs.index.contains_key(&coord) {
@@ -150,7 +146,6 @@ impl NativeVol {
         }
     }
 }
-
 
 /// One positioned-I/O operation of a chunked plan:
 /// `(file offset, packed-buffer byte offset, byte length)`.
@@ -176,19 +171,14 @@ fn chunk_plan(
     let mut plan = Vec::new();
     let mut coord = lo.clone();
     loop {
-        let base = *cs.index.get(&coord).ok_or_else(|| {
-            H5Error::Format(format!("chunk {coord:?} not allocated"))
-        })?;
-        let origin: Vec<u64> =
-            coord.iter().zip(&cs.chunk).map(|(&k, &c)| k * c).collect();
+        let base = *cs
+            .index
+            .get(&coord)
+            .ok_or_else(|| H5Error::Format(format!("chunk {coord:?} not allocated")))?;
+        let origin: Vec<u64> = coord.iter().zip(&cs.chunk).map(|(&k, &c)| k * c).collect();
         let clipped = crate::selection::BBox::new(
             origin.clone(),
-            origin
-                .iter()
-                .zip(&cs.chunk)
-                .zip(dims)
-                .map(|((&o, &c), &d)| (o + c).min(d))
-                .collect(),
+            origin.iter().zip(&cs.chunk).zip(dims).map(|((&o, &c), &d)| (o + c).min(d)).collect(),
         );
         if !clipped.is_empty() {
             let chunk_runs = clipped.to_selection().runs(space);
@@ -215,9 +205,8 @@ fn chunk_plan(
             i -= 1;
             if coord[i] < hi[i] {
                 coord[i] += 1;
-                for j in i + 1..coord.len() {
-                    coord[j] = lo[j];
-                }
+                let rest = i + 1..coord.len();
+                coord[rest.clone()].copy_from_slice(&lo[rest]);
                 break;
             }
         }
@@ -231,12 +220,8 @@ impl Vol for NativeVol {
 
     fn file_create(&self, name: &str) -> H5Result<ObjId> {
         let handle = if self.rank == 0 {
-            let f = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(name)?;
+            let f =
+                OpenOptions::new().read(true).write(true).create(true).truncate(true).open(name)?;
             format::write_header(&f)?;
             self.sync(); // release peers to open the now-existing file
             f
@@ -623,10 +608,20 @@ mod tests {
         let sp = Dataspace::simple(&[4, 6]);
         let d = vol.dataset_create(f, "d", &Datatype::UInt8, &sp).unwrap();
         // Write two disjoint row blocks.
-        vol.dataset_write(d, &Selection::block(&[0, 0], &[2, 6]), Bytes::from(vec![1u8; 12]), Ownership::Deep)
-            .unwrap();
-        vol.dataset_write(d, &Selection::block(&[2, 0], &[2, 6]), Bytes::from(vec![2u8; 12]), Ownership::Deep)
-            .unwrap();
+        vol.dataset_write(
+            d,
+            &Selection::block(&[0, 0], &[2, 6]),
+            Bytes::from(vec![1u8; 12]),
+            Ownership::Deep,
+        )
+        .unwrap();
+        vol.dataset_write(
+            d,
+            &Selection::block(&[2, 0], &[2, 6]),
+            Bytes::from(vec![2u8; 12]),
+            Ownership::Deep,
+        )
+        .unwrap();
         vol.file_close(f).unwrap();
 
         let f = vol.file_open(&path).unwrap();
@@ -669,8 +664,10 @@ mod tests {
         let f = vol.file_create(&path).unwrap();
         let d1 = vol.dataset_create(f, "a", &Datatype::UInt8, &Dataspace::simple(&[8])).unwrap();
         let d2 = vol.dataset_create(f, "b", &Datatype::UInt8, &Dataspace::simple(&[8])).unwrap();
-        vol.dataset_write(d1, &Selection::all(), Bytes::from(vec![1u8; 8]), Ownership::Deep).unwrap();
-        vol.dataset_write(d2, &Selection::all(), Bytes::from(vec![2u8; 8]), Ownership::Deep).unwrap();
+        vol.dataset_write(d1, &Selection::all(), Bytes::from(vec![1u8; 8]), Ownership::Deep)
+            .unwrap();
+        vol.dataset_write(d2, &Selection::all(), Bytes::from(vec![2u8; 8]), Ownership::Deep)
+            .unwrap();
         vol.file_close(f).unwrap();
         let f = vol.file_open(&path).unwrap();
         let d1 = vol.open_path(f, "a").unwrap();

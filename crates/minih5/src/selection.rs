@@ -72,10 +72,8 @@ impl BBox {
     /// Intersection with another box of the same rank (possibly empty).
     pub fn intersect(&self, other: &BBox) -> BBox {
         assert_eq!(self.rank(), other.rank(), "box ranks differ");
-        let lo: Vec<u64> =
-            self.lo.iter().zip(&other.lo).map(|(a, b)| *a.max(b)).collect();
-        let hi: Vec<u64> =
-            self.hi.iter().zip(&other.hi).map(|(a, b)| *a.min(b)).collect();
+        let lo: Vec<u64> = self.lo.iter().zip(&other.lo).map(|(a, b)| *a.max(b)).collect();
+        let hi: Vec<u64> = self.hi.iter().zip(&other.hi).map(|(a, b)| *a.min(b)).collect();
         // Normalize empties so npoints() sees lo >= hi consistently.
         BBox { lo, hi }
     }
@@ -88,15 +86,13 @@ impl BBox {
     /// True if `coord` lies inside the box.
     pub fn contains(&self, coord: &[u64]) -> bool {
         coord.len() == self.rank()
-            && coord
-                .iter()
-                .zip(self.lo.iter().zip(&self.hi))
-                .all(|(c, (l, h))| c >= l && c < h)
+            && coord.iter().zip(self.lo.iter().zip(&self.hi)).all(|(c, (l, h))| c >= l && c < h)
     }
 
     /// The selection covering exactly this box.
     pub fn to_selection(&self) -> Selection {
-        let sizes: Vec<u64> = self.lo.iter().zip(&self.hi).map(|(l, h)| h.saturating_sub(*l)).collect();
+        let sizes: Vec<u64> =
+            self.lo.iter().zip(&self.hi).map(|(l, h)| h.saturating_sub(*l)).collect();
         Selection::block(&self.lo, &sizes)
     }
 }
@@ -189,7 +185,12 @@ impl Selection {
         );
         Selection::Hyperslab(
             (0..start.len())
-                .map(|i| SlabDim { start: start[i], stride: stride[i], count: count[i], block: block[i] })
+                .map(|i| SlabDim {
+                    start: start[i],
+                    stride: stride[i],
+                    count: count[i],
+                    block: block[i],
+                })
                 .collect(),
         )
     }
@@ -354,8 +355,7 @@ impl Selection {
             }
             Selection::Hyperslab(dims) => hyperslab_runs(dims, space),
             Selection::Union(members) => {
-                let mut all: Vec<Run> =
-                    members.iter().flat_map(|m| m.runs(space)).collect();
+                let mut all: Vec<Run> = members.iter().flat_map(|m| m.runs(space)).collect();
                 all.sort_unstable_by_key(|r| r.offset);
                 // Merge overlapping and adjacent runs.
                 let mut out: Vec<Run> = Vec::with_capacity(all.len());
@@ -374,8 +374,7 @@ impl Selection {
                 if *rank == 0 {
                     return vec![];
                 }
-                let mut offs: Vec<u64> =
-                    coords.chunks(*rank).map(|p| space.linearize(p)).collect();
+                let mut offs: Vec<u64> = coords.chunks(*rank).map(|p| space.linearize(p)).collect();
                 offs.sort_unstable();
                 offs.dedup();
                 let mut runs: Vec<Run> = Vec::new();
@@ -448,8 +447,7 @@ impl Decode for Selection {
                 if n > 1 << 20 {
                     return Err(H5Error::Format("union too large".into()));
                 }
-                let members =
-                    (0..n).map(|_| Selection::decode(r)).collect::<H5Result<Vec<_>>>()?;
+                let members = (0..n).map(|_| Selection::decode(r)).collect::<H5Result<Vec<_>>>()?;
                 Selection::Union(members)
             }
             t => return Err(H5Error::Format(format!("unknown selection tag {t}"))),
@@ -609,10 +607,7 @@ mod tests {
         // 4x6 space, box at (1,2) size (2,3): rows 1,2 cols 2..5.
         let sp = space(&[4, 6]);
         let sel = Selection::block(&[1, 2], &[2, 3]);
-        assert_eq!(
-            sel.runs(&sp),
-            vec![Run { offset: 8, len: 3 }, Run { offset: 14, len: 3 }]
-        );
+        assert_eq!(sel.runs(&sp), vec![Run { offset: 8, len: 3 }, Run { offset: 14, len: 3 }]);
         assert_eq!(sel.npoints(&sp), 6);
     }
 
@@ -656,11 +651,7 @@ mod tests {
         let sel = Selection::strided(&[0, 0], &[2, 1], &[3, 4], &[1, 1]);
         assert_eq!(
             sel.runs(&sp),
-            vec![
-                Run { offset: 0, len: 4 },
-                Run { offset: 8, len: 4 },
-                Run { offset: 16, len: 4 }
-            ]
+            vec![Run { offset: 0, len: 4 }, Run { offset: 8, len: 4 }, Run { offset: 16, len: 4 }]
         );
     }
 
@@ -669,10 +660,7 @@ mod tests {
         // 8x2: row pairs {1,2} and {5,6}, all columns → two runs of 4.
         let sp = space(&[8, 2]);
         let sel = Selection::strided(&[1, 0], &[4, 1], &[2, 1], &[2, 2]);
-        assert_eq!(
-            sel.runs(&sp),
-            vec![Run { offset: 2, len: 4 }, Run { offset: 10, len: 4 }]
-        );
+        assert_eq!(sel.runs(&sp), vec![Run { offset: 2, len: 4 }, Run { offset: 10, len: 4 }]);
     }
 
     #[test]
@@ -680,10 +668,7 @@ mod tests {
         let sp = space(&[3, 4]);
         // (2,1)=9, (0,0)=0, (0,1)=1, (2,2)=10 → runs [0,2) and [9,11)
         let sel = Selection::points(2, &[&[2, 1], &[0, 0], &[0, 1], &[2, 2]]);
-        assert_eq!(
-            sel.runs(&sp),
-            vec![Run { offset: 0, len: 2 }, Run { offset: 9, len: 2 }]
-        );
+        assert_eq!(sel.runs(&sp), vec![Run { offset: 0, len: 2 }, Run { offset: 9, len: 2 }]);
     }
 
     #[test]
@@ -798,10 +783,8 @@ mod tests {
         let bytes = simmpi_like_bytes(&src);
         let sel = Selection::block(&[0, 1], &[2, 2]);
         let packed = pack(&sel, &sp, 8, &bytes);
-        let vals: Vec<u64> = packed
-            .chunks(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let vals: Vec<u64> =
+            packed.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(vals, vec![11, 12, 21, 22]);
     }
 
@@ -851,10 +834,7 @@ mod union_tests {
             Selection::block(&[4], &[4]), // overlaps [4,6)
             Selection::block(&[10], &[2]),
         ]);
-        assert_eq!(
-            u.runs(&sp),
-            vec![Run { offset: 0, len: 8 }, Run { offset: 10, len: 2 }]
-        );
+        assert_eq!(u.runs(&sp), vec![Run { offset: 0, len: 8 }, Run { offset: 10, len: 2 }]);
         // Overlap counted once.
         assert_eq!(u.npoints(&sp), 10);
     }
@@ -867,10 +847,8 @@ mod union_tests {
 
     #[test]
     fn nested_unions_flatten() {
-        let inner = Selection::union(vec![
-            Selection::block(&[0], &[1]),
-            Selection::block(&[2], &[1]),
-        ]);
+        let inner =
+            Selection::union(vec![Selection::block(&[0], &[1]), Selection::block(&[2], &[1])]);
         let outer = Selection::union(vec![inner, Selection::block(&[4], &[1])]);
         match &outer {
             Selection::Union(m) => assert_eq!(m.len(), 3),
@@ -891,10 +869,8 @@ mod union_tests {
     #[test]
     fn union_validate_checks_members() {
         let sp = space(&[4]);
-        let good = Selection::union(vec![
-            Selection::block(&[0], &[2]),
-            Selection::block(&[2], &[2]),
-        ]);
+        let good =
+            Selection::union(vec![Selection::block(&[0], &[2]), Selection::block(&[2], &[2])]);
         assert!(good.validate(&sp).is_ok());
         let bad = Selection::union(vec![
             Selection::block(&[0], &[2]),

@@ -28,10 +28,7 @@ impl Dataspace {
     /// ([`UNLIMITED`] = unbounded). Every `maxdims[i] ≥ dims[i]`.
     pub fn extensible(dims: &[u64], maxdims: &[u64]) -> Self {
         assert_eq!(dims.len(), maxdims.len(), "rank mismatch");
-        assert!(
-            dims.iter().zip(maxdims).all(|(d, m)| d <= m),
-            "maxdims must dominate dims"
-        );
+        assert!(dims.iter().zip(maxdims).all(|(d, m)| d <= m), "maxdims must dominate dims");
         Dataspace { dims: dims.to_vec(), maxdims: Some(maxdims.to_vec()) }
     }
 
@@ -71,9 +68,7 @@ impl Dataspace {
                 return Err(H5Error::ShapeMismatch(format!("dim {i} exceeds max {m}")));
             }
             if i > 0 && nd != d {
-                return Err(H5Error::ShapeMismatch(
-                    "only the first dimension may grow".into(),
-                ));
+                return Err(H5Error::ShapeMismatch("only the first dimension may grow".into()));
             }
         }
         Ok(())

@@ -67,7 +67,9 @@ pub struct DataRegion {
 /// Node payloads.
 #[derive(Debug, Clone)]
 pub enum NodeKind {
-    File { filename: String },
+    File {
+        filename: String,
+    },
     Group,
     Dataset {
         dtype: Datatype,
@@ -193,7 +195,7 @@ impl Hierarchy {
         space: Dataspace,
         chunk: Vec<u64>,
     ) -> H5Result<NodeId> {
-        if chunk.len() != space.rank() || chunk.iter().any(|&c| c == 0) {
+        if chunk.len() != space.rank() || chunk.contains(&0) {
             return Err(H5Error::ShapeMismatch(format!(
                 "chunk shape {chunk:?} invalid for rank {}",
                 space.rank()
@@ -210,7 +212,10 @@ impl Hierarchy {
     pub fn dataset_chunk(&self, id: NodeId) -> H5Result<Option<Vec<u64>>> {
         match &self.node(id).kind {
             NodeKind::Dataset { chunk, .. } => Ok(chunk.clone()),
-            _ => Err(H5Error::WrongKind { expected: "dataset", found: self.node(id).obj_kind().name() }),
+            _ => Err(H5Error::WrongKind {
+                expected: "dataset",
+                found: self.node(id).obj_kind().name(),
+            }),
         }
     }
 
@@ -221,7 +226,10 @@ impl Hierarchy {
     pub fn extend_dataset(&mut self, id: NodeId, new_dims: &[u64]) -> H5Result<()> {
         match &mut self.node_mut(id).kind {
             NodeKind::Dataset { space, .. } => space.extend_to(new_dims),
-            _ => Err(H5Error::WrongKind { expected: "dataset", found: self.node(id).obj_kind().name() }),
+            _ => Err(H5Error::WrongKind {
+                expected: "dataset",
+                found: self.node(id).obj_kind().name(),
+            }),
         }
     }
 
@@ -251,9 +259,8 @@ impl Hierarchy {
     pub fn resolve(&self, base: NodeId, path: &str) -> H5Result<NodeId> {
         let mut cur = base;
         for part in path.split('/').filter(|p| !p.is_empty()) {
-            cur = self
-                .child_by_name(cur, part)
-                .ok_or_else(|| H5Error::NotFound(path.to_string()))?;
+            cur =
+                self.child_by_name(cur, part).ok_or_else(|| H5Error::NotFound(path.to_string()))?;
         }
         Ok(cur)
     }
@@ -362,7 +369,10 @@ impl Hierarchy {
     pub fn regions(&self, id: NodeId) -> H5Result<&[DataRegion]> {
         match &self.node(id).kind {
             NodeKind::Dataset { regions, .. } => Ok(regions),
-            _ => Err(H5Error::WrongKind { expected: "dataset", found: self.node(id).obj_kind().name() }),
+            _ => Err(H5Error::WrongKind {
+                expected: "dataset",
+                found: self.node(id).obj_kind().name(),
+            }),
         }
     }
 
@@ -413,9 +423,8 @@ mod tests {
         let f = h.create_file("step1.h5").unwrap();
         let g1 = h.create_group(f, "group1").unwrap();
         let g2 = h.create_group(f, "group2").unwrap();
-        let grid = h
-            .create_dataset(g1, "grid", Datatype::UInt64, Dataspace::simple(&[4, 4, 4]))
-            .unwrap();
+        let grid =
+            h.create_dataset(g1, "grid", Datatype::UInt64, Dataspace::simple(&[4, 4, 4])).unwrap();
         let _particles = h
             .create_dataset(
                 g2,
@@ -464,25 +473,17 @@ mod tests {
     fn cannot_nest_under_dataset() {
         let mut h = Hierarchy::new();
         let f = h.create_file("a.h5").unwrap();
-        let d = h
-            .create_dataset(f, "d", Datatype::UInt8, Dataspace::simple(&[4]))
-            .unwrap();
-        assert!(matches!(
-            h.create_group(d, "g"),
-            Err(H5Error::WrongKind { .. })
-        ));
+        let d = h.create_dataset(f, "d", Datatype::UInt8, Dataspace::simple(&[4])).unwrap();
+        assert!(matches!(h.create_group(d, "g"), Err(H5Error::WrongKind { .. })));
     }
 
     #[test]
     fn write_read_full() {
         let mut h = Hierarchy::new();
         let f = h.create_file("a.h5").unwrap();
-        let d = h
-            .create_dataset(f, "d", Datatype::UInt64, Dataspace::simple(&[8]))
-            .unwrap();
+        let d = h.create_dataset(f, "d", Datatype::UInt64, Dataspace::simple(&[8])).unwrap();
         let vals: Vec<u8> = (0..8u64).flat_map(|v| v.to_le_bytes()).collect();
-        h.write_region(d, Selection::all(), Bytes::from(vals.clone()), Ownership::Deep)
-            .unwrap();
+        h.write_region(d, Selection::all(), Bytes::from(vals.clone()), Ownership::Deep).unwrap();
         let out = h.read_region(d, &Selection::all()).unwrap();
         assert_eq!(&out[..], &vals[..]);
     }
@@ -491,14 +492,22 @@ mod tests {
     fn read_assembles_from_multiple_regions() {
         let mut h = Hierarchy::new();
         let f = h.create_file("a.h5").unwrap();
-        let d = h
-            .create_dataset(f, "d", Datatype::UInt8, Dataspace::simple(&[10]))
-            .unwrap();
+        let d = h.create_dataset(f, "d", Datatype::UInt8, Dataspace::simple(&[10])).unwrap();
         // Two disjoint writes; one unwritten hole in the middle.
-        h.write_region(d, Selection::block(&[0], &[3]), Bytes::from_static(&[1, 2, 3]), Ownership::Deep)
-            .unwrap();
-        h.write_region(d, Selection::block(&[6], &[2]), Bytes::from_static(&[7, 8]), Ownership::Deep)
-            .unwrap();
+        h.write_region(
+            d,
+            Selection::block(&[0], &[3]),
+            Bytes::from_static(&[1, 2, 3]),
+            Ownership::Deep,
+        )
+        .unwrap();
+        h.write_region(
+            d,
+            Selection::block(&[6], &[2]),
+            Bytes::from_static(&[7, 8]),
+            Ownership::Deep,
+        )
+        .unwrap();
         let out = h.read_region(d, &Selection::all()).unwrap();
         assert_eq!(&out[..], &[1, 2, 3, 0, 0, 0, 7, 8, 0, 0]);
         // Partial read crossing a region boundary.
@@ -510,13 +519,16 @@ mod tests {
     fn later_writes_win_on_overlap() {
         let mut h = Hierarchy::new();
         let f = h.create_file("a.h5").unwrap();
-        let d = h
-            .create_dataset(f, "d", Datatype::UInt8, Dataspace::simple(&[4]))
-            .unwrap();
+        let d = h.create_dataset(f, "d", Datatype::UInt8, Dataspace::simple(&[4])).unwrap();
         h.write_region(d, Selection::all(), Bytes::from_static(&[1, 1, 1, 1]), Ownership::Deep)
             .unwrap();
-        h.write_region(d, Selection::block(&[1], &[2]), Bytes::from_static(&[9, 9]), Ownership::Deep)
-            .unwrap();
+        h.write_region(
+            d,
+            Selection::block(&[1], &[2]),
+            Bytes::from_static(&[9, 9]),
+            Ownership::Deep,
+        )
+        .unwrap();
         let out = h.read_region(d, &Selection::all()).unwrap();
         assert_eq!(&out[..], &[1, 9, 9, 1]);
     }
@@ -525,9 +537,7 @@ mod tests {
     fn shallow_regions_share_memory_deep_copies() {
         let mut h = Hierarchy::new();
         let f = h.create_file("a.h5").unwrap();
-        let d = h
-            .create_dataset(f, "d", Datatype::UInt8, Dataspace::simple(&[3]))
-            .unwrap();
+        let d = h.create_dataset(f, "d", Datatype::UInt8, Dataspace::simple(&[3])).unwrap();
         let buf = Bytes::from(vec![5u8, 6, 7]);
         h.write_region(d, Selection::all(), buf.clone(), Ownership::Shallow).unwrap();
         let regions = h.regions(d).unwrap();
@@ -535,9 +545,7 @@ mod tests {
         assert_eq!(regions[0].data.as_ptr(), buf.as_ptr());
         let mut h2 = Hierarchy::new();
         let f2 = h2.create_file("b.h5").unwrap();
-        let d2 = h2
-            .create_dataset(f2, "d", Datatype::UInt8, Dataspace::simple(&[3]))
-            .unwrap();
+        let d2 = h2.create_dataset(f2, "d", Datatype::UInt8, Dataspace::simple(&[3])).unwrap();
         h2.write_region(d2, Selection::all(), buf.clone(), Ownership::Deep).unwrap();
         assert_ne!(h2.regions(d2).unwrap()[0].data.as_ptr(), buf.as_ptr());
     }
@@ -546,9 +554,7 @@ mod tests {
     fn write_size_validated() {
         let mut h = Hierarchy::new();
         let f = h.create_file("a.h5").unwrap();
-        let d = h
-            .create_dataset(f, "d", Datatype::UInt64, Dataspace::simple(&[4]))
-            .unwrap();
+        let d = h.create_dataset(f, "d", Datatype::UInt64, Dataspace::simple(&[4])).unwrap();
         let r = h.write_region(d, Selection::all(), Bytes::from_static(&[0; 7]), Ownership::Deep);
         assert!(matches!(r, Err(H5Error::ShapeMismatch(_))));
     }

@@ -69,9 +69,7 @@ pub trait Vol: Send + Sync {
         _space: &Dataspace,
         _chunk: &[u64],
     ) -> H5Result<ObjId> {
-        Err(crate::error::H5Error::Vol(
-            "chunked datasets not supported by this connector".into(),
-        ))
+        Err(crate::error::H5Error::Vol("chunked datasets not supported by this connector".into()))
     }
     /// Grow an extensible dataset to `new_dims` (collective in parallel
     /// programs, like all metadata operations).
@@ -153,10 +151,7 @@ mod tests {
             {
                 let v2: Arc<dyn Vol> = Arc::new(NativeVol::serial());
                 let _g2 = set_thread_vol(Arc::clone(&v2));
-                assert!(Arc::ptr_eq(
-                    &thread_vol().unwrap(),
-                    &v2
-                ));
+                assert!(Arc::ptr_eq(&thread_vol().unwrap(), &v2));
             }
             // Inner guard restored v1.
             assert!(Arc::ptr_eq(&thread_vol().unwrap(), &v1));

@@ -31,8 +31,7 @@ fn chunked_roundtrip_fixed_shape() {
     assert_eq!(d.read_all::<u64>().unwrap(), vals);
     // Cross-chunk hyperslab.
     let part: Vec<u64> = d.read_selection(&Selection::block(&[2, 1], &[3, 5])).unwrap();
-    let expect: Vec<u64> =
-        (2..5).flat_map(|r| (1..6).map(move |c| r * 8 + c)).collect();
+    let expect: Vec<u64> = (2..5).flat_map(|r| (1..6).map(move |c| r * 8 + c)).collect();
     assert_eq!(part, expect);
     f.close().unwrap();
 }
@@ -102,9 +101,7 @@ fn unwritten_chunks_read_as_fill() {
     let h5 = H5::native();
     let path = tmp("sparse.nh5");
     let f = h5.create_file(&path).unwrap();
-    let d = f
-        .create_dataset_chunked("s", Datatype::UInt8, Dataspace::simple(&[8]), &[4])
-        .unwrap();
+    let d = f.create_dataset_chunked("s", Datatype::UInt8, Dataspace::simple(&[8]), &[4]).unwrap();
     d.write_selection(&Selection::block(&[5], &[2]), &[9u8, 9]).unwrap();
     f.close().unwrap();
     let f = h5.open_file(&path).unwrap();
@@ -121,14 +118,10 @@ fn extension_errors() {
     let path = tmp("errors.nh5");
     let f = h5.create_file(&path).unwrap();
     // Contiguous dataset cannot extend.
-    let c = f
-        .create_dataset("c", Datatype::UInt8, Dataspace::extensible(&[2], &[8]))
-        .unwrap();
+    let c = f.create_dataset("c", Datatype::UInt8, Dataspace::extensible(&[2], &[8])).unwrap();
     assert!(matches!(c.extend(&[4]), Err(H5Error::Vol(_))));
     // Fixed-shape chunked dataset cannot extend either.
-    let k = f
-        .create_dataset_chunked("k", Datatype::UInt8, Dataspace::simple(&[4]), &[2])
-        .unwrap();
+    let k = f.create_dataset_chunked("k", Datatype::UInt8, Dataspace::simple(&[4]), &[2]).unwrap();
     assert!(matches!(k.extend(&[8]), Err(H5Error::ShapeMismatch(_))));
     // Bad chunk shape.
     assert!(f

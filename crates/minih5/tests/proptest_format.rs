@@ -21,7 +21,11 @@ fn ds_spec() -> impl Strategy<Value = DsSpec> {
         proptest::collection::vec(1u64..=10, 1..=3),
         any::<bool>(),
         proptest::collection::vec(
-            (proptest::collection::vec(0u64..8, 3), proptest::collection::vec(1u64..=8, 3), any::<u8>()),
+            (
+                proptest::collection::vec(0u64..8, 3),
+                proptest::collection::vec(1u64..=8, 3),
+                any::<u8>(),
+            ),
             0..4,
         ),
     )

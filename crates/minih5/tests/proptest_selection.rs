@@ -182,8 +182,7 @@ fn overlap_of_identical_selection_is_identity() {
     let sel = Selection::strided(&[1, 0], &[2, 2], &[3, 2], &[1, 2]);
     let runs = sel.runs(&space);
     let ov = overlap_runs(&runs, &runs);
-    let flat: Vec<Run> =
-        ov.iter().map(|o| Run { offset: o.offset, len: o.len }).collect();
+    let flat: Vec<Run> = ov.iter().map(|o| Run { offset: o.offset, len: o.len }).collect();
     assert_eq!(flat, runs);
     assert!(ov.iter().all(|o| o.a_off == o.b_off));
 }

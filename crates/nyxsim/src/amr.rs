@@ -97,19 +97,11 @@ impl AmrHierarchy {
         f.set_attr("ref_ratio", 2u32)?;
         f.set_attr("num_levels", 2u32)?;
         let g0 = f.create_group("level_0")?;
-        let d0 = g0.create_dataset(
-            "density",
-            Datatype::Float64,
-            Dataspace::simple(&self.dims),
-        )?;
+        let d0 = g0.create_dataset("density", Datatype::Float64, Dataspace::simple(&self.dims))?;
         d0.write_selection(&self.slab.to_selection(), &self.level0)?;
         let fine_dims: Vec<u64> = self.dims.iter().map(|d| d * 2).collect();
         let g1 = f.create_group("level_1")?;
-        let d1 = g1.create_dataset(
-            "density",
-            Datatype::Float64,
-            Dataspace::simple(&fine_dims),
-        )?;
+        let d1 = g1.create_dataset("density", Datatype::Float64, Dataspace::simple(&fine_dims))?;
         for p in &self.patches {
             d1.write_selection(&p.bounds.to_selection(), &p.data)?;
         }
@@ -181,13 +173,9 @@ mod tests {
         let (_, sp) = d1.meta().unwrap();
         assert_eq!(sp.dims(), &[16, 16, 16]);
         // A refined cell and an unrefined one.
-        let v = d1
-            .read_selection::<f64>(&Selection::block(&[0, 0, 0], &[1, 1, 1]))
-            .unwrap();
+        let v = d1.read_selection::<f64>(&Selection::block(&[0, 0, 0], &[1, 1, 1])).unwrap();
         assert_eq!(v, vec![10.0]);
-        let empty = d1
-            .read_selection::<f64>(&Selection::block(&[8, 8, 8], &[1, 1, 1]))
-            .unwrap();
+        let empty = d1.read_selection::<f64>(&Selection::block(&[8, 8, 8], &[1, 1, 1])).unwrap();
         assert_eq!(empty, vec![0.0]);
         f.close().unwrap();
     }

@@ -49,8 +49,8 @@ pub fn radial_profile(
         let x = slab.0 as f64 + (i / (ny * nz)) as f64 + 0.5;
         let y = ((i / nz) % ny) as f64 + 0.5;
         let z = (i % nz) as f64 + 0.5;
-        let r = ((x - center[0]).powi(2) + (y - center[1]).powi(2) + (z - center[2]).powi(2))
-            .sqrt();
+        let r =
+            ((x - center[0]).powi(2) + (y - center[1]).powi(2) + (z - center[2]).powi(2)).sqrt();
         if r >= max_radius {
             continue;
         }

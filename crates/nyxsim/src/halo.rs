@@ -56,9 +56,8 @@ pub fn find_halos(dims: [u64; 3], rho: &[f64], threshold: f64, min_cells: u64) -
     assert_eq!(rho.len(), nx * ny * nz, "field size matches dims");
     // Candidate cells above threshold, densest first — the merge-tree
     // sweep order.
-    let mut candidates: Vec<u32> = (0..rho.len() as u32)
-        .filter(|&i| rho[i as usize] > threshold)
-        .collect();
+    let mut candidates: Vec<u32> =
+        (0..rho.len() as u32).filter(|&i| rho[i as usize] > threshold).collect();
     candidates.sort_unstable_by(|&a, &b| {
         rho[b as usize].partial_cmp(&rho[a as usize]).expect("finite densities").then(a.cmp(&b))
     });
@@ -101,11 +100,7 @@ pub fn find_halos(dims: [u64; 3], rho: &[f64], threshold: f64, min_cells: u64) -
     for &c in &candidates {
         let root = uf.find(c);
         let i = c as usize;
-        let coord = [
-            (i / (ny * nz)) as u64,
-            ((i / nz) % ny) as u64,
-            (i % nz) as u64,
-        ];
+        let coord = [(i / (ny * nz)) as u64, ((i / nz) % ny) as u64, (i % nz) as u64];
         let e = stats.entry(root).or_insert(Halo {
             cells: 0,
             mass: 0.0,
@@ -119,8 +114,7 @@ pub fn find_halos(dims: [u64; 3], rho: &[f64], threshold: f64, min_cells: u64) -
             e.peak = coord;
         }
     }
-    let mut halos: Vec<Halo> =
-        stats.into_values().filter(|h| h.cells >= min_cells).collect();
+    let mut halos: Vec<Halo> = stats.into_values().filter(|h| h.cells >= min_cells).collect();
     halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite masses"));
     halos
 }

@@ -139,8 +139,7 @@ fn local_components(
         let root = find(&mut parent, c);
         labels[c as usize] = root;
         let i = c as usize;
-        let coord =
-            [slab_lo + (i / (ny * nz)) as u64, ((i / nz) % ny) as u64, (i % nz) as u64];
+        let coord = [slab_lo + (i / (ny * nz)) as u64, ((i / nz) % ny) as u64, (i % nz) as u64];
         let e = stats.entry(root).or_insert(CompStat {
             gid: 0, // filled by caller with the rank-global id
             cells: 0,
@@ -195,7 +194,7 @@ pub fn find_halos_distributed(
     }
     if comm.rank() > 0 && !rho.is_empty() {
         let env = comm.recv((comm.rank() - 1).into(), TAG_PLANE.into());
-        for k in 0..plane {
+        for (k, &lab) in labels.iter().enumerate().take(plane) {
             let off = k * 16;
             let their_rho = f64::from_le_bytes(env.payload[off..off + 8].try_into().expect("8"));
             let their_gid =
@@ -204,8 +203,8 @@ pub fn find_halos_distributed(
                 continue;
             }
             // Face-adjacent cell in my first plane.
-            if labels[k] != u32::MAX {
-                equiv.push((gid_of(labels[k]), their_gid));
+            if lab != u32::MAX {
+                equiv.push((gid_of(lab), their_gid));
             }
         }
     }
@@ -279,13 +278,8 @@ mod tests {
     fn matches_serial_on_simulated_field() {
         const G: u64 = 24;
         const RANKS: usize = 4;
-        let cfg = SimConfig {
-            grid: G,
-            nranks: RANKS,
-            particles_per_rank: 30_000,
-            centers: 5,
-            seed: 77,
-        };
+        let cfg =
+            SimConfig { grid: G, nranks: RANKS, particles_per_rank: 30_000, centers: 5, seed: 77 };
         // Assemble the full field serially.
         let mut field = vec![0.0f64; (G * G * G) as usize];
         let mut slabs = Vec::new();
@@ -372,9 +366,8 @@ mod tests {
         rho[0] = 3.0;
         rho[1] = 3.0;
         let rho2 = rho.clone();
-        let out = World::run(1, move |c| {
-            find_halos_distributed(&c, [G, G, G], (0, G), &rho2, 1.0, 1)
-        });
+        let out =
+            World::run(1, move |c| find_halos_distributed(&c, [G, G, G], (0, G), &rho2, 1.0, 1));
         let halos = out[0].clone().unwrap();
         let serial = find_halos([G, G, G], &rho, 1.0, 1);
         assert_eq!(halos.len(), serial.len());

@@ -63,9 +63,10 @@ pub fn write_plotfile(
     let group = rank / group_size;
     // Offset of this rank inside its group file.
     let group_start = group * group_size;
-    let offset: u64 =
-        (group_start..rank).map(|r| slab_bytes(slabs[r], dims)).sum();
-    let f = OpenOptions::new().write(true).create(true).open(group_file(dir, group))?;
+    let offset: u64 = (group_start..rank).map(|r| slab_bytes(slabs[r], dims)).sum();
+    // No truncate: every rank of the group pwrites its own disjoint slab.
+    let f =
+        OpenOptions::new().write(true).create(true).truncate(false).open(group_file(dir, group))?;
     let bytes: &[u8] = unsafe {
         // SAFETY: f64 slab exposed as bytes for I/O; plain data.
         std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), data.len() * 8)

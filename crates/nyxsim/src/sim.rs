@@ -114,22 +114,17 @@ impl NyxSim {
         let g = self.cfg.grid as f64;
         let (lo, hi) = self.cfg.slab(self.rank);
         let (lo_f, hi_f) = (lo as f64, hi as f64);
-        self.particles
-            .par_iter_mut()
-            .zip(self.velocities.par_iter_mut())
-            .for_each(|(p, v)| {
-                let nearest = centers
-                    .iter()
-                    .min_by(|a, b| {
-                        dist2(p, a).partial_cmp(&dist2(p, b)).expect("finite distances")
-                    })
-                    .expect("at least one center");
-                for i in 0..3 {
-                    v[i] = (nearest[i] - p[i]) * 0.1;
-                    p[i] += v[i];
-                }
-                *p = clamp_to_slab(*p, lo_f, hi_f, g);
-            });
+        self.particles.par_iter_mut().zip(self.velocities.par_iter_mut()).for_each(|(p, v)| {
+            let nearest = centers
+                .iter()
+                .min_by(|a, b| dist2(p, a).partial_cmp(&dist2(p, b)).expect("finite distances"))
+                .expect("at least one center");
+            for i in 0..3 {
+                v[i] = (nearest[i] - p[i]) * 0.1;
+                p[i] += v[i];
+            }
+            *p = clamp_to_slab(*p, lo_f, hi_f, g);
+        });
         self.step += 1;
     }
 
@@ -268,8 +263,7 @@ pub fn write_snapshot_multi(
     for (var, data) in
         [("density", &fields.density), ("momentum", &fields.momentum), ("energy", &fields.energy)]
     {
-        let d =
-            level0.create_dataset(var, Datatype::Float64, Dataspace::simple(&[g, g, g]))?;
+        let d = level0.create_dataset(var, Datatype::Float64, Dataspace::simple(&[g, g, g]))?;
         d.set_attr("step", sim.step)?;
         if opts.repack {
             let repacked: Vec<f64> = data.to_vec();

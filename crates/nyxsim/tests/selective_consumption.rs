@@ -14,13 +14,8 @@ use simmpi::{TaskSpec, TaskWorld};
 fn only_the_consumed_variable_moves() {
     const G: u64 = 24;
     const PRODUCERS: usize = 3;
-    let cfg = SimConfig {
-        grid: G,
-        nranks: PRODUCERS,
-        particles_per_rank: 10_000,
-        centers: 3,
-        seed: 13,
-    };
+    let cfg =
+        SimConfig { grid: G, nranks: PRODUCERS, particles_per_rank: 10_000, centers: 3, seed: 13 };
     let specs = [TaskSpec::new("sim", PRODUCERS), TaskSpec::new("analysis", 1)];
     let cfg2 = cfg.clone();
     let out = TaskWorld::run_with(&specs, None, move |tc| {

@@ -92,10 +92,7 @@ impl Workflow {
         procs: usize,
         body: impl Fn(&TaskComm) + Send + Sync + 'static,
     ) -> &mut Self {
-        assert!(
-            self.tasks.iter().all(|t| t.name != name),
-            "duplicate task name {name:?}"
-        );
+        assert!(self.tasks.iter().all(|t| t.name != name), "duplicate task name {name:?}");
         self.tasks.push(TaskDef { name: name.to_string(), procs, body: Arc::new(body) });
         self
     }
@@ -159,17 +156,15 @@ impl Workflow {
         let mut section = Section::None;
         let mut pending_task: Option<(String, Option<usize>)> = None;
         let mut pending_link: Option<(Option<String>, Option<String>, Option<String>)> = None;
-        let mut flush_task =
-            |wf: &mut Workflow, t: &mut Option<(String, Option<usize>)>| {
-                if let Some((name, procs)) = t.take() {
-                    let procs =
-                        procs.unwrap_or_else(|| panic!("task {name:?} missing `procs`"));
-                    let body = bodies
-                        .remove(&name)
-                        .unwrap_or_else(|| panic!("no body bound for task {name:?}"));
-                    wf.tasks.push(TaskDef { name, procs, body });
-                }
-            };
+        let mut flush_task = |wf: &mut Workflow, t: &mut Option<(String, Option<usize>)>| {
+            if let Some((name, procs)) = t.take() {
+                let procs = procs.unwrap_or_else(|| panic!("task {name:?} missing `procs`"));
+                let body = bodies
+                    .remove(&name)
+                    .unwrap_or_else(|| panic!("no body bound for task {name:?}"));
+                wf.tasks.push(TaskDef { name, procs, body });
+            }
+        };
         fn flush_link(
             wf: &mut Workflow,
             l: &mut Option<(Option<String>, Option<String>, Option<String>)>,
@@ -208,9 +203,11 @@ impl Workflow {
             match (&section, key) {
                 (Section::Task, "procs") => {
                     let t = pending_task.as_mut().expect("inside a task section");
-                    t.1 = Some(value.parse().unwrap_or_else(|_| {
-                        panic!("task {}: bad procs {value:?}", t.0)
-                    }));
+                    t.1 = Some(
+                        value
+                            .parse()
+                            .unwrap_or_else(|_| panic!("task {}: bad procs {value:?}", t.0)),
+                    );
                 }
                 (Section::Link, "from") => {
                     pending_link.as_mut().expect("inside link").0 = Some(value.to_string())
@@ -306,15 +303,10 @@ mod tests {
         wf.task("sim", 2, |tc| {
             let h5 = H5::open_default();
             let f = h5.create_file("raw.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[8]))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[8])).unwrap();
             let lo = tc.local.rank() as u64 * 4;
-            d.write_selection(
-                &Selection::block(&[lo], &[4]),
-                &(lo..lo + 4).collect::<Vec<u64>>(),
-            )
-            .unwrap();
+            d.write_selection(&Selection::block(&[lo], &[4]), &(lo..lo + 4).collect::<Vec<u64>>())
+                .unwrap();
             f.close().unwrap();
         });
         wf.task("filter", 1, |_tc| {
@@ -323,9 +315,7 @@ mod tests {
             let x = fin.open_dataset("x").unwrap().read_all::<u64>().unwrap();
             fin.close().unwrap();
             let fout = h5.create_file("filtered.h5").unwrap();
-            let d = fout
-                .create_dataset("x2", Datatype::UInt64, Dataspace::simple(&[8]))
-                .unwrap();
+            let d = fout.create_dataset("x2", Datatype::UInt64, Dataspace::simple(&[8])).unwrap();
             let doubled: Vec<u64> = x.iter().map(|v| v * 2).collect();
             d.write_all(&doubled).unwrap();
             fout.close().unwrap();
@@ -350,9 +340,7 @@ mod tests {
         wf.task("p", 1, |_tc| {
             let h5 = H5::open_default();
             let f = h5.create_file("s.h5").unwrap();
-            let d = f
-                .create_dataset("v", Datatype::UInt64, Dataspace::simple(&[4]))
-                .unwrap();
+            let d = f.create_dataset("v", Datatype::UInt64, Dataspace::simple(&[4])).unwrap();
             d.write_all(&[1u64, 2, 3, 4]).unwrap();
             f.close().unwrap();
         });
@@ -414,15 +402,9 @@ pattern = cfg-*.h5
             Workflow::body(|tc| {
                 let h5 = H5::open_default();
                 let f = h5.create_file("cfg-1.h5").unwrap();
-                let d = f
-                    .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[4]))
-                    .unwrap();
+                let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[4])).unwrap();
                 let lo = tc.local.rank() as u64 * 2;
-                d.write_selection(
-                    &minih5::Selection::block(&[lo], &[2]),
-                    &[lo, lo + 1],
-                )
-                .unwrap();
+                d.write_selection(&minih5::Selection::block(&[lo], &[2]), &[lo, lo + 1]).unwrap();
                 f.close().unwrap();
             }),
         );
@@ -462,9 +444,7 @@ pattern = cfg-*.h5
             let h5 = H5::open_default();
             for s in 0..3 {
                 let f = h5.create_file(&format!("ov{s}.h5")).unwrap();
-                let d = f
-                    .create_dataset("x", Datatype::UInt32, Dataspace::simple(&[2]))
-                    .unwrap();
+                let d = f.create_dataset("x", Datatype::UInt32, Dataspace::simple(&[2])).unwrap();
                 d.write_all(&[s as u32, s as u32 + 1]).unwrap();
                 f.close().unwrap(); // returns immediately in overlap mode
             }

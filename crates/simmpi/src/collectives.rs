@@ -109,11 +109,11 @@ impl Comm {
         }
         let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
         out[root] = data;
-        for r in 0..self.size() {
+        for (r, slot) in out.iter_mut().enumerate() {
             if r == root {
                 continue;
             }
-            out[r] = self.recv(r.into(), TAG_GATHER.into()).payload;
+            *slot = self.recv(r.into(), TAG_GATHER.into()).payload;
         }
         Some(out)
     }
@@ -151,11 +151,11 @@ impl Comm {
                 self.send_internal(dest, TAG_ALLTOALL, p);
             }
         }
-        for src in 0..self.size() {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src == self.rank() {
                 continue;
             }
-            out[src] = self.recv(src.into(), TAG_ALLTOALL.into()).payload;
+            *slot = self.recv(src.into(), TAG_ALLTOALL.into()).payload;
         }
         out
     }
@@ -163,11 +163,8 @@ impl Comm {
     /// All ranks obtain every rank's payload, indexed by rank.
     pub fn allgather_bytes(&self, data: Bytes) -> Vec<Bytes> {
         let gathered = self.gather_bytes(0, data);
-        let framed = if self.rank() == 0 {
-            Some(frame(gathered.expect("rank 0 gathered")))
-        } else {
-            None
-        };
+        let framed =
+            if self.rank() == 0 { Some(frame(gathered.expect("rank 0 gathered"))) } else { None };
         unframe(&self.bcast_bytes(0, framed))
     }
 
@@ -218,13 +215,7 @@ impl Comm {
     /// Combined send and receive (`MPI_Sendrecv`): ship `payload` to
     /// `dest` and return the message received from `src`, deadlock-free
     /// under any pairing because sends are buffered.
-    pub fn sendrecv<B: Into<Bytes>>(
-        &self,
-        dest: usize,
-        src: usize,
-        tag: Tag,
-        payload: B,
-    ) -> Bytes {
+    pub fn sendrecv<B: Into<Bytes>>(&self, dest: usize, src: usize, tag: Tag, payload: B) -> Bytes {
         self.send(dest, tag, payload);
         self.recv(src.into(), tag.into()).payload
     }
@@ -308,8 +299,8 @@ mod tests {
     #[test]
     fn scatter_delivers_each_part() {
         World::run(4, |c| {
-            let parts = (c.rank() == 1)
-                .then(|| (0..4).map(|r| Bytes::from(vec![r as u8; 3])).collect());
+            let parts =
+                (c.rank() == 1).then(|| (0..4).map(|r| Bytes::from(vec![r as u8; 3])).collect());
             let mine = c.scatter_bytes(1, parts);
             assert_eq!(&mine[..], &[c.rank() as u8; 3]);
         });
@@ -363,9 +354,8 @@ mod tests {
     fn alltoall_exchanges_personalized_payloads() {
         World::run(5, |c| {
             // parts[d] = [my_rank, d] as bytes.
-            let parts: Vec<Bytes> = (0..5)
-                .map(|d| Bytes::from(vec![c.rank() as u8, d as u8]))
-                .collect();
+            let parts: Vec<Bytes> =
+                (0..5).map(|d| Bytes::from(vec![c.rank() as u8, d as u8])).collect();
             let got = c.alltoall_bytes(parts);
             for (src, b) in got.iter().enumerate() {
                 assert_eq!(&b[..], &[src as u8, c.rank() as u8]);
@@ -377,13 +367,7 @@ mod tests {
     fn alltoall_with_empty_parts() {
         World::run(3, |c| {
             let parts: Vec<Bytes> = (0..3)
-                .map(|d| {
-                    if d == 0 {
-                        Bytes::new()
-                    } else {
-                        Bytes::from(vec![d as u8; d])
-                    }
-                })
+                .map(|d| if d == 0 { Bytes::new() } else { Bytes::from(vec![d as u8; d]) })
                 .collect();
             let got = c.alltoall_bytes(parts);
             // Every source sent me the part destined to my rank: empty for
@@ -429,8 +413,7 @@ mod tests {
         World::run(5, |c| {
             let next = (c.rank() + 1) % c.size();
             let prev = (c.rank() + c.size() - 1) % c.size();
-            let got =
-                c.sendrecv(next, prev, 3, Bytes::from(vec![c.rank() as u8]));
+            let got = c.sendrecv(next, prev, 3, Bytes::from(vec![c.rank() as u8]));
             assert_eq!(&got[..], &[prev as u8]);
         });
     }

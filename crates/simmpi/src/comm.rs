@@ -62,7 +62,13 @@ impl Comm {
         for (local, &w) in members.iter().enumerate() {
             local_of_world[w] = Some(local);
         }
-        Comm { inner, ctx, rank, members: Arc::new(members), local_of_world: Arc::new(local_of_world) }
+        Comm {
+            inner,
+            ctx,
+            rank,
+            members: Arc::new(members),
+            local_of_world: Arc::new(local_of_world),
+        }
     }
 
     /// This rank's index within the communicator.
@@ -112,12 +118,25 @@ impl Comm {
 
     pub(crate) fn send_internal(&self, dest: usize, tag: Tag, payload: Bytes) {
         let world_dest = self.members[dest];
+        let world_src = self.members[self.rank];
+        let wire_tag = make_wire_tag(self.ctx, tag);
+        let mut front = false;
+        if let Some(fs) = &self.inner.fault {
+            match fs.pre_send(world_src, world_dest, wire_tag) {
+                crate::fault::SendFate::Deliver => {}
+                crate::fault::SendFate::DeliverFront => front = true,
+                crate::fault::SendFate::Drop => return,
+                crate::fault::SendFate::Kill(k) => std::panic::panic_any(k),
+            }
+        }
         self.inner.stats.record_send(payload.len());
-        self.inner.mailboxes[world_dest].push(WireEnvelope {
-            world_src: self.members[self.rank],
-            wire_tag: make_wire_tag(self.ctx, tag),
-            payload,
-        });
+        let env = WireEnvelope { world_src, wire_tag, payload };
+        let mailbox = &self.inner.mailboxes[world_dest];
+        if front {
+            mailbox.push_front(env);
+        } else {
+            mailbox.push(env);
+        }
     }
 
     /// Nonblocking send. Identical to [`Comm::send`] because sends are
@@ -154,11 +173,58 @@ impl Comm {
         Envelope { src, tag, payload: wire.payload }
     }
 
+    /// Is the given communicator-local rank still alive? Ranks only die
+    /// under a fault plan ([`crate::FaultPlan::kill_rank`]) or by
+    /// panicking inside [`crate::World`]'s chaos runner.
+    pub fn peer_alive(&self, local: usize) -> bool {
+        !self.inner.dead[self.members[local]].load(Ordering::Relaxed)
+    }
+
+    /// Predicate for receives: the awaited source is known dead. A
+    /// wildcard receive never aborts (any rank might still send).
+    fn peer_dead(&self, m: &Matcher) -> impl Fn() -> bool + '_ {
+        let src = m.src;
+        move || match src {
+            SrcSel::Rank(w) => self.inner.dead[w].load(Ordering::Relaxed),
+            SrcSel::Any => false,
+        }
+    }
+
     /// Blocking receive matching `(src, tag)`.
+    ///
+    /// If the awaited specific source rank dies (chaos runs) with no
+    /// matching message queued, the receive can never complete; this rank
+    /// then panics with a [`crate::PeerDied`] payload — the cascading
+    /// failure a real MPI job experiences — rather than hanging forever.
     pub fn recv(&self, src: SrcSel, tag: TagSel) -> Envelope {
         let m = self.matcher(src, tag);
-        let wire = self.my_mailbox().pop_matching(&m);
-        self.localize(wire)
+        match self.my_mailbox().pop_matching_abort(&m, &self.peer_dead(&m)) {
+            Ok(wire) => self.localize(wire),
+            Err(()) => std::panic::panic_any(crate::fault::PeerDied {
+                receiver: self.members[self.rank],
+                peer: match m.src {
+                    SrcSel::Rank(w) => w,
+                    SrcSel::Any => unreachable!("wildcard receives never abort"),
+                },
+            }),
+        }
+    }
+
+    /// Blocking receive with a deadline. Returns
+    /// [`RecvError::TimedOut`] if no matching message arrives in time and
+    /// [`RecvError::PeerDead`] as soon as the awaited specific source rank
+    /// is known dead (with nothing matching queued) — so callers fail fast
+    /// instead of burning the whole timeout on a peer that cannot reply.
+    pub fn recv_timeout(
+        &self,
+        src: SrcSel,
+        tag: TagSel,
+        timeout: std::time::Duration,
+    ) -> Result<Envelope, RecvError> {
+        let m = self.matcher(src, tag);
+        let deadline = std::time::Instant::now() + timeout;
+        let wire = self.my_mailbox().pop_matching_deadline(&m, deadline, &self.peer_dead(&m))?;
+        Ok(self.localize(wire))
     }
 
     /// Nonblocking receive: returns a matching message if one is queued.
@@ -266,6 +332,27 @@ impl Comm {
     }
 }
 
+/// Why a timed receive completed without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The deadline passed with no matching message.
+    TimedOut,
+    /// The awaited specific source rank died with no matching message
+    /// queued; it can never reply.
+    PeerDead,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::TimedOut => write!(f, "receive timed out"),
+            RecvError::PeerDead => write!(f, "peer rank died"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
 /// Handle for a posted receive; complete it with [`RecvRequest::wait`] or
 /// poll it with [`RecvRequest::test`].
 pub struct RecvRequest {
@@ -323,9 +410,8 @@ mod tests {
     fn any_source_any_tag() {
         World::run(4, |c| {
             if c.rank() == 0 {
-                let mut seen: Vec<u64> = (0..3)
-                    .map(|_| c.recv_u64s(ANY_SOURCE, ANY_TAG).1[0])
-                    .collect();
+                let mut seen: Vec<u64> =
+                    (0..3).map(|_| c.recv_u64s(ANY_SOURCE, ANY_TAG).1[0]).collect();
                 seen.sort_unstable();
                 assert_eq!(seen, vec![1, 2, 3]);
             } else {

@@ -47,16 +47,18 @@ mod collectives;
 mod comm;
 mod cost;
 mod envelope;
+mod fault;
 mod mailbox;
 pub mod pod;
 mod stats;
 mod task;
 mod world;
 
-pub use comm::{Comm, RecvRequest};
+pub use comm::{Comm, RecvError, RecvRequest};
 pub use cost::CostModel;
 pub use envelope::{Envelope, SrcSel, Tag, TagSel, ANY_SOURCE, ANY_TAG};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, KillSpec, PeerDied, RankKilled};
 pub use pod::Pod;
 pub use stats::TransportStats;
 pub use task::{TaskComm, TaskSpec, TaskWorld};
-pub use world::World;
+pub use world::{ChaosOutput, RankDeath, World, WorldBuilder};

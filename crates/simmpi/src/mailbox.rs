@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::envelope::{SrcSel, TagSel, WireEnvelope, split_wire_tag};
+use crate::envelope::{split_wire_tag, SrcSel, TagSel, WireEnvelope};
 
 #[derive(Default)]
 pub(crate) struct Mailbox {
@@ -46,14 +46,71 @@ impl Mailbox {
         self.available.notify_all();
     }
 
+    /// Deliver an envelope *ahead of* everything already queued — the
+    /// fault injector's reorder: a later message overtakes earlier ones,
+    /// including same-`(src, tag)` traffic.
+    pub fn push_front(&self, env: WireEnvelope) {
+        self.queue.lock().push_front(env);
+        self.available.notify_all();
+    }
+
+    /// Wake every blocked receiver so it can re-check external conditions
+    /// (a peer death, a deadline). Taking the lock first guarantees no
+    /// receiver misses the wakeup between its check and its wait.
+    pub fn wake(&self) {
+        let _q = self.queue.lock();
+        self.available.notify_all();
+    }
+
     /// Block until an envelope matching `m` is available and remove it.
+    #[cfg(test)]
     pub fn pop_matching(&self, m: &Matcher) -> WireEnvelope {
+        self.pop_matching_abort(m, &|| false).expect("abort predicate is constant false")
+    }
+
+    /// As [`Mailbox::pop_matching`], but gives up if `aborted()` turns
+    /// true while nothing matches. A queued match always wins over an
+    /// abort: messages a peer sent before dying stay receivable.
+    pub fn pop_matching_abort(
+        &self,
+        m: &Matcher,
+        aborted: &dyn Fn() -> bool,
+    ) -> Result<WireEnvelope, ()> {
         let mut q = self.queue.lock();
         loop {
             if let Some(i) = q.iter().position(|e| m.matches(e)) {
-                return q.remove(i).expect("index verified by position()");
+                return Ok(q.remove(i).expect("index verified by position()"));
+            }
+            if aborted() {
+                return Err(());
             }
             self.available.wait(&mut q);
+        }
+    }
+
+    /// Block until an envelope matching `m` arrives, the deadline passes,
+    /// or `aborted()` turns true (with no match queued). A queued match
+    /// always wins over an abort: messages a peer sent before dying stay
+    /// receivable.
+    pub fn pop_matching_deadline(
+        &self,
+        m: &Matcher,
+        deadline: std::time::Instant,
+        aborted: &dyn Fn() -> bool,
+    ) -> Result<WireEnvelope, crate::comm::RecvError> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(i) = q.iter().position(|e| m.matches(e)) {
+                return Ok(q.remove(i).expect("index verified by position()"));
+            }
+            if aborted() {
+                return Err(crate::comm::RecvError::PeerDead);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(crate::comm::RecvError::TimedOut);
+            }
+            self.available.wait_for(&mut q, deadline - now);
         }
     }
 
@@ -97,7 +154,7 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::envelope::{ANY_SOURCE, ANY_TAG, make_wire_tag};
+    use crate::envelope::{make_wire_tag, ANY_SOURCE, ANY_TAG};
     use bytes::Bytes;
 
     fn env(src: usize, ctx: u32, tag: u32, body: &[u8]) -> WireEnvelope {

@@ -36,9 +36,7 @@ impl_pod!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize, isize);
 pub fn bytes_of<T: Pod>(slice: &[T]) -> &[u8] {
     // SAFETY: T is Pod (no padding, no invalid representations), and the
     // resulting slice covers exactly the same memory region.
-    unsafe {
-        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
-    }
+    unsafe { std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice)) }
 }
 
 /// Copy a typed slice into an owned `Bytes` payload.
@@ -55,7 +53,7 @@ pub fn to_bytes<T: Pod>(slice: &[T]) -> Bytes {
 /// Panics if `bytes.len()` is not a multiple of `T::SIZE`.
 pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
     assert!(
-        bytes.len() % T::SIZE == 0,
+        bytes.len().is_multiple_of(T::SIZE),
         "byte length {} is not a multiple of element size {}",
         bytes.len(),
         T::SIZE
@@ -76,7 +74,9 @@ pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
 /// Returns `None` if the pointer is misaligned for `T` or the length is not
 /// a multiple of `T::SIZE`; callers fall back to [`from_bytes`].
 pub fn try_cast_slice<T: Pod>(bytes: &[u8]) -> Option<&[T]> {
-    if bytes.len() % T::SIZE != 0 || bytes.as_ptr().align_offset(std::mem::align_of::<T>()) != 0 {
+    if !bytes.len().is_multiple_of(T::SIZE)
+        || bytes.as_ptr().align_offset(std::mem::align_of::<T>()) != 0
+    {
         return None;
     }
     // SAFETY: alignment and length were just checked; T is Pod.

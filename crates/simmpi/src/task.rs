@@ -11,7 +11,8 @@
 
 use crate::comm::Comm;
 use crate::cost::CostModel;
-use crate::world::{RunOutput, World};
+use crate::fault::FaultPlan;
+use crate::world::{ChaosOutput, RunOutput, World};
 
 /// One task's name and process count.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,41 +97,72 @@ impl TaskWorld {
         R: Send,
         F: Fn(TaskComm) -> R + Send + Sync,
     {
-        assert!(!specs.is_empty(), "need at least one task");
-        assert!(specs.iter().all(|s| s.procs > 0), "every task needs at least one rank");
-        let mut offsets = Vec::with_capacity(specs.len() + 1);
-        let mut acc = 0usize;
-        for s in specs {
-            offsets.push(acc);
-            acc += s.procs;
-        }
-        offsets.push(acc);
-        let total = acc;
-
+        let (offsets, total) = layout(specs);
         let offsets_ref = &offsets;
-        let specs_ref = specs;
         let f = &f;
         let mut builder = World::builder(total);
         if let Some(cm) = cost {
             builder = builder.cost_model(cm);
         }
-        builder.run(move |world| {
-            let rank = world.rank();
-            let task_id = match offsets_ref.binary_search(&rank) {
-                Ok(i) if i < specs_ref.len() => i,
-                Ok(i) => i - 1,
-                Err(i) => i - 1,
-            };
-            let local = world.split(task_id, rank);
-            f(TaskComm {
-                task_id,
-                task_name: specs_ref[task_id].name.clone(),
-                local,
-                world,
-                task_offsets: offsets_ref.clone(),
-            })
-        })
+        builder.run(move |world| dispatch(specs, offsets_ref, world, f))
     }
+
+    /// As [`TaskWorld::run_with`], under a seeded [`FaultPlan`], surviving
+    /// rank deaths (see [`crate::WorldBuilder::run_chaos`]).
+    pub fn run_chaos<R, F>(
+        specs: &[TaskSpec],
+        cost: Option<CostModel>,
+        plan: FaultPlan,
+        f: F,
+    ) -> ChaosOutput<R>
+    where
+        R: Send,
+        F: Fn(TaskComm) -> R + Send + Sync,
+    {
+        let (offsets, total) = layout(specs);
+        let offsets_ref = &offsets;
+        let f = &f;
+        let mut builder = World::builder(total).fault_plan(plan);
+        if let Some(cm) = cost {
+            builder = builder.cost_model(cm);
+        }
+        builder.run_chaos(move |world| dispatch(specs, offsets_ref, world, f))
+    }
+}
+
+/// Task offsets plus total rank count for a spec list.
+fn layout(specs: &[TaskSpec]) -> (Vec<usize>, usize) {
+    assert!(!specs.is_empty(), "need at least one task");
+    assert!(specs.iter().all(|s| s.procs > 0), "every task needs at least one rank");
+    let mut offsets = Vec::with_capacity(specs.len() + 1);
+    let mut acc = 0usize;
+    for s in specs {
+        offsets.push(acc);
+        acc += s.procs;
+    }
+    offsets.push(acc);
+    (offsets, acc)
+}
+
+/// Build one rank's [`TaskComm`] and run the task body.
+fn dispatch<R, F>(specs: &[TaskSpec], offsets: &[usize], world: Comm, f: &F) -> R
+where
+    F: Fn(TaskComm) -> R,
+{
+    let rank = world.rank();
+    let task_id = match offsets.binary_search(&rank) {
+        Ok(i) if i < specs.len() => i,
+        Ok(i) => i - 1,
+        Err(i) => i - 1,
+    };
+    let local = world.split(task_id, rank);
+    f(TaskComm {
+        task_id,
+        task_name: specs[task_id].name.clone(),
+        local,
+        world,
+        task_offsets: offsets.to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -193,11 +225,8 @@ mod tests {
 
     #[test]
     fn three_tasks() {
-        let specs = vec![
-            TaskSpec::new("sim", 4),
-            TaskSpec::new("staging", 2),
-            TaskSpec::new("viz", 1),
-        ];
+        let specs =
+            vec![TaskSpec::new("sim", 4), TaskSpec::new("staging", 2), TaskSpec::new("viz", 1)];
         let ids = TaskWorld::run(&specs, |tc| tc.task_id);
         assert_eq!(ids, vec![0, 0, 0, 0, 1, 1, 2]);
     }

@@ -1,10 +1,11 @@
 //! The world: mailboxes, rank threads, and shared run-wide state.
 
-use std::sync::atomic::AtomicU32;
+use std::sync::atomic::{AtomicBool, AtomicU32};
 use std::sync::Arc;
 
 use crate::comm::Comm;
 use crate::cost::CostModel;
+use crate::fault::{FaultEvent, FaultPlan, FaultState, PeerDied, RankKilled};
 use crate::mailbox::Mailbox;
 use crate::stats::{StatsSnapshot, TransportStats};
 
@@ -15,15 +16,30 @@ pub(crate) struct WorldInner {
     pub next_ctx: AtomicU32,
     pub stats: TransportStats,
     pub cost: Option<CostModel>,
+    /// Active fault injector, if any.
+    pub fault: Option<FaultState>,
+    /// Per-world-rank death flags (only ever set by the chaos runner).
+    pub dead: Vec<AtomicBool>,
 }
 
 impl WorldInner {
-    fn new(size: usize, cost: Option<CostModel>) -> Self {
+    fn new(size: usize, cost: Option<CostModel>, fault: Option<FaultState>) -> Self {
         WorldInner {
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
             next_ctx: AtomicU32::new(1),
             stats: TransportStats::default(),
             cost,
+            fault,
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Record a rank's death and wake every blocked receiver so waits on
+    /// the dead rank can abort.
+    fn mark_dead(&self, world_rank: usize) {
+        self.dead[world_rank].store(true, std::sync::atomic::Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.wake();
         }
     }
 }
@@ -36,10 +52,11 @@ impl WorldInner {
 /// in rank order.
 pub struct World;
 
-/// Configures a world before running it (cost model, etc.).
+/// Configures a world before running it (cost model, fault plan, etc.).
 pub struct WorldBuilder {
     size: usize,
     cost: Option<CostModel>,
+    fault: Option<FaultPlan>,
 }
 
 /// Results of a completed run plus transport statistics.
@@ -48,6 +65,33 @@ pub struct RunOutput<R> {
     pub results: Vec<R>,
     /// Message/byte totals accumulated during the run.
     pub stats: StatsSnapshot,
+}
+
+/// How one rank of a chaos run died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDeath {
+    /// World rank that died.
+    pub rank: usize,
+    /// The death was injected by the fault plan (vs. an ordinary panic or
+    /// a cascading death while receiving from a dead peer).
+    pub injected: bool,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+/// Results of a [`WorldBuilder::run_chaos`] run, which survives rank
+/// deaths instead of propagating them.
+pub struct ChaosOutput<R> {
+    /// Per-rank return values in world-rank order; `None` for ranks that
+    /// died.
+    pub results: Vec<Option<R>>,
+    /// Every rank death, in world-rank order.
+    pub deaths: Vec<RankDeath>,
+    /// Message/byte totals accumulated during the run.
+    pub stats: StatsSnapshot,
+    /// The injected-fault trace in deterministic `(src, seq)` order; two
+    /// runs of the same workload under the same seed produce equal traces.
+    pub trace: Vec<FaultEvent>,
 }
 
 impl World {
@@ -64,9 +108,10 @@ impl World {
         Self::builder(size).run(f).results
     }
 
-    /// Start configuring a run (e.g. to attach a [`CostModel`]).
+    /// Start configuring a run (e.g. to attach a [`CostModel`] or a
+    /// [`FaultPlan`]).
     pub fn builder(size: usize) -> WorldBuilder {
-        WorldBuilder { size, cost: None }
+        WorldBuilder { size, cost: None, fault: None }
     }
 }
 
@@ -77,14 +122,27 @@ impl WorldBuilder {
         self
     }
 
+    /// Attach a seeded fault plan perturbing every send. Plans with kill
+    /// directives should be run with [`WorldBuilder::run_chaos`]; under
+    /// plain [`WorldBuilder::run`] a killed rank propagates its panic.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    fn build_inner(&mut self) -> Arc<WorldInner> {
+        assert!(self.size > 0, "world size must be at least 1");
+        let fault = self.fault.take().map(|p| FaultState::new(p, self.size));
+        Arc::new(WorldInner::new(self.size, self.cost.take(), fault))
+    }
+
     /// Spawn the ranks and block until they all return.
-    pub fn run<R, F>(self, f: F) -> RunOutput<R>
+    pub fn run<R, F>(mut self, f: F) -> RunOutput<R>
     where
         R: Send,
         F: Fn(Comm) -> R + Send + Sync,
     {
-        assert!(self.size > 0, "world size must be at least 1");
-        let inner = Arc::new(WorldInner::new(self.size, self.cost));
+        let inner = self.build_inner();
         let f = &f;
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.size)
@@ -96,13 +154,114 @@ impl WorldBuilder {
                     builder.spawn_scoped(scope, move || f(comm)).expect("spawn rank thread")
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect::<Vec<R>>()
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect::<Vec<R>>()
         });
         RunOutput { results, stats: inner.stats.snapshot() }
     }
+
+    /// Spawn the ranks and survive rank deaths: a rank that panics —
+    /// because the fault plan killed it, or it hit a cascading
+    /// [`PeerDied`], or an ordinary panic — is recorded in
+    /// [`ChaosOutput::deaths`], marked dead so peers' timed receives fail
+    /// fast, and the rest of the world keeps running.
+    ///
+    /// The run only returns once every rank has returned or died, so the
+    /// workload must be written to terminate under the injected faults
+    /// (survivors use timeouts; see [`Comm::recv_timeout`]).
+    pub fn run_chaos<R, F>(mut self, f: F) -> ChaosOutput<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        silence_injected_panics();
+        let inner = self.build_inner();
+        let f = &f;
+        let outcomes: Vec<Result<R, RankDeath>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.size)
+                .map(|rank| {
+                    let comm = Comm::world(Arc::clone(&inner), rank, self.size);
+                    let inner = Arc::clone(&inner);
+                    let mut builder = std::thread::Builder::new();
+                    builder = builder.stack_size(2 << 20).name(format!("rank-{rank}"));
+                    builder
+                        .spawn_scoped(scope, move || {
+                            let res =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                            res.map_err(|payload| {
+                                inner.mark_dead(rank);
+                                describe_death(rank, payload.as_ref())
+                            })
+                        })
+                        .expect("spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked outside catch_unwind"))
+                .collect()
+        });
+        let mut results = Vec::with_capacity(self.size);
+        let mut deaths = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(r) => results.push(Some(r)),
+                Err(d) => {
+                    results.push(None);
+                    deaths.push(d);
+                }
+            }
+        }
+        ChaosOutput {
+            results,
+            deaths,
+            stats: inner.stats.snapshot(),
+            trace: inner.fault.as_ref().map(|fs| fs.trace()).unwrap_or_default(),
+        }
+    }
+}
+
+/// Keep injected deaths ([`RankKilled`]) and their cascades ([`PeerDied`])
+/// off stderr: they are expected, contained by `run_chaos`, and reported
+/// through [`ChaosOutput::deaths`] — a "thread panicked" backtrace for
+/// each one is pure noise. Installed once, process-wide; every other
+/// panic payload still goes to the previous hook.
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if !p.is::<RankKilled>() && !p.is::<PeerDied>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Classify a rank's panic payload into a [`RankDeath`].
+fn describe_death(rank: usize, payload: &(dyn std::any::Any + Send)) -> RankDeath {
+    if let Some(k) = payload.downcast_ref::<RankKilled>() {
+        return RankDeath {
+            rank,
+            injected: true,
+            message: format!("killed by fault plan at send {}", k.at_send),
+        };
+    }
+    if let Some(p) = payload.downcast_ref::<PeerDied>() {
+        return RankDeath {
+            rank,
+            injected: false,
+            message: format!("cascading death: blocking receive from dead rank {}", p.peer),
+        };
+    }
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unidentified panic".to_string()
+    };
+    RankDeath { rank, injected: false, message }
 }
 
 #[cfg(test)]
@@ -142,5 +301,94 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_size_world_rejected() {
         let _ = World::run(0, |_c| ());
+    }
+
+    #[test]
+    fn chaos_without_faults_behaves_like_run() {
+        let out = World::builder(4).run_chaos(|c| c.rank() * 2);
+        assert_eq!(out.results, vec![Some(0), Some(2), Some(4), Some(6)]);
+        assert!(out.deaths.is_empty());
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn chaos_kill_reports_death_and_survivors_fail_fast() {
+        use crate::comm::RecvError;
+        use crate::fault::{FaultKind, FaultPlan};
+        use std::time::{Duration, Instant};
+        let out = World::builder(3).fault_plan(FaultPlan::new(11).kill_rank(0, 2)).run_chaos(|c| {
+            if c.rank() == 0 {
+                c.send_u64s(1, 1, &[10]); // 1st send: delivered
+                c.send_u64s(2, 1, &[20]); // 2nd send: the rank dies here
+                unreachable!("killed at send 2");
+            } else if c.rank() == 1 {
+                // The pre-death message stays receivable.
+                let v = c
+                    .recv_timeout(0.into(), 1.into(), Duration::from_secs(5))
+                    .expect("message sent before the death must arrive");
+                u64::from_le_bytes(v.payload[..8].try_into().unwrap())
+            } else {
+                // The dead rank never sent to us: fail fast, not at the
+                // deadline.
+                let t0 = Instant::now();
+                let err = c
+                    .recv_timeout(0.into(), 1.into(), Duration::from_secs(30))
+                    .expect_err("rank 0 died before its send to rank 2");
+                assert_eq!(err, RecvError::PeerDead);
+                assert!(t0.elapsed() < Duration::from_secs(10), "must not burn the timeout");
+                99
+            }
+        });
+        assert_eq!(out.results, vec![None, Some(10), Some(99)]);
+        assert_eq!(out.deaths.len(), 1);
+        assert_eq!(out.deaths[0].rank, 0);
+        assert!(out.deaths[0].injected);
+        assert_eq!(out.trace.len(), 1);
+        assert_eq!((out.trace[0].src, out.trace[0].seq), (0, 2));
+        assert_eq!(out.trace[0].kind, FaultKind::Killed);
+    }
+
+    #[test]
+    fn blocking_recv_from_dead_rank_cascades() {
+        use crate::fault::FaultPlan;
+        let out = World::builder(2).fault_plan(FaultPlan::new(3).kill_rank(0, 1)).run_chaos(|c| {
+            if c.rank() == 0 {
+                c.send_u64s(1, 1, &[1]);
+                unreachable!("killed at send 1");
+            } else {
+                // A plain blocking receive cannot complete: this rank
+                // must die too instead of hanging the run.
+                let _ = c.recv(0.into(), 1.into());
+                unreachable!("peer died; receive can never complete");
+            }
+        });
+        assert_eq!(out.results, vec![None::<u64>, None]);
+        assert_eq!(out.deaths.len(), 2);
+        assert!(out.deaths[0].injected);
+        assert!(!out.deaths[1].injected);
+        assert!(out.deaths[1].message.contains("dead rank 0"));
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        use crate::fault::FaultPlan;
+        let run = |seed: u64| {
+            World::builder(4)
+                .fault_plan(FaultPlan::new(seed).delay(0.5, std::time::Duration::from_micros(200)))
+                .run_chaos(|c| {
+                    let next = (c.rank() + 1) % c.size();
+                    let prev = (c.rank() + c.size() - 1) % c.size();
+                    for i in 0..20u64 {
+                        c.send_u64s(next, 1, &[i]);
+                        assert_eq!(c.recv_u64s(prev.into(), 1.into()).1[0], i);
+                    }
+                })
+                .trace
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "identical seed must reproduce the identical trace");
+        assert!(!a.is_empty());
+        assert_ne!(a, run(43), "different seed should perturb differently");
     }
 }

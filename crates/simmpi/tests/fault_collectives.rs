@@ -1,0 +1,165 @@
+//! Collectives and wildcard receives under seeded fault injection.
+//!
+//! The fault layer perturbs *when* and *in what order* messages arrive
+//! (delay, same-flow reorder) but collectives and wildcard receives are
+//! specified purely in terms of *what* arrives. These tests pin that
+//! contract: under any delay/reorder plan, a barrier still synchronizes,
+//! ragged gathers/scatters and reductions still produce exact values, and
+//! an `ANY_SOURCE` drain still sees every message exactly once. A final
+//! test pins the framing exemption: collective tags are never dropped, so
+//! even a drop-everything plan cannot stall a collective.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use simmpi::{ChaosOutput, FaultKind, FaultPlan, World, ANY_SOURCE};
+
+const N: usize = 4;
+const ROUNDS: usize = 8;
+
+/// Aggressive but benign: delay roughly a third of all messages and
+/// front-queue half of the (user-tag) deliveries.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).delay(0.35, Duration::from_micros(500)).reorder(0.5)
+}
+
+fn assert_all_finished<R>(out: &ChaosOutput<R>) {
+    assert!(out.deaths.is_empty(), "benign faults must not kill ranks: {:?}", out.deaths);
+    assert!(out.results.iter().all(Option::is_some), "every rank must finish");
+}
+
+#[test]
+fn barrier_synchronizes_under_delay() {
+    let arrived: Vec<AtomicUsize> = (0..ROUNDS).map(|_| AtomicUsize::new(0)).collect();
+    let arrived = &arrived;
+    let out = World::builder(N).fault_plan(chaos_plan(0xBA44)).run_chaos(|c| {
+        for (r, count) in arrived.iter().enumerate() {
+            count.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // The barrier's whole contract: nobody passes it before
+            // everybody has entered it, delays notwithstanding.
+            assert_eq!(count.load(Ordering::SeqCst), N, "round {r}");
+        }
+    });
+    assert_all_finished(&out);
+    assert!(
+        out.trace.iter().any(|e| matches!(e.kind, FaultKind::Delayed(_))),
+        "plan must actually have delayed something"
+    );
+}
+
+#[test]
+fn ragged_gather_and_scatter_are_exact() {
+    // Rank r contributes (r+1)*(round+1) bytes of a (rank, round)-derived
+    // fill, so a swapped or truncated payload cannot collide with the
+    // expected one. Root rotates every round.
+    let fill =
+        |rank: usize, round: usize| vec![(rank * 16 + round) as u8; (rank + 1) * (round + 1)];
+    let out = World::builder(N).fault_plan(chaos_plan(0x6A77)).run_chaos(|c| {
+        for round in 0..ROUNDS {
+            let root = round % N;
+            let gathered = c.gather_bytes(root, fill(c.rank(), round).into());
+            if c.rank() == root {
+                let parts = gathered.expect("root receives the gather");
+                for (r, p) in parts.iter().enumerate() {
+                    assert_eq!(p[..], fill(r, round)[..], "gather round {round} part {r}");
+                }
+                // Scatter each part straight back to its contributor.
+                let mine = c.scatter_bytes(root, Some(parts));
+                assert_eq!(mine[..], fill(root, round)[..]);
+            } else {
+                assert!(gathered.is_none());
+                let mine = c.scatter_bytes(root, None);
+                assert_eq!(mine[..], fill(c.rank(), round)[..], "scatter round {round}");
+            }
+        }
+    });
+    assert_all_finished(&out);
+}
+
+#[test]
+fn reductions_and_alltoall_are_exact() {
+    let cell = |src: usize, dest: usize, round: usize| {
+        vec![(src * 31 + dest * 7 + round) as u8; src + dest + 1]
+    };
+    let out = World::builder(N).fault_plan(chaos_plan(0xA22E)).run_chaos(|c| {
+        for round in 0..ROUNDS {
+            let sum = c.allreduce_one(c.rank() as u64 + round as u64, |a, b| a + b);
+            assert_eq!(sum as usize, N * (N - 1) / 2 + N * round, "allreduce round {round}");
+
+            let v = [c.rank() as u64, (N - c.rank()) as u64];
+            let maxed = c.allreduce_vec(&v, |a: u64, b| a.max(b));
+            assert_eq!(maxed, vec![N as u64 - 1, N as u64], "allreduce_vec round {round}");
+
+            let parts = (0..N).map(|d| cell(c.rank(), d, round).into()).collect();
+            let got = c.alltoall_bytes(parts);
+            for (s, p) in got.iter().enumerate() {
+                assert_eq!(p[..], cell(s, c.rank(), round)[..], "alltoall round {round} src {s}");
+            }
+        }
+    });
+    assert_all_finished(&out);
+}
+
+#[test]
+fn wildcard_drain_sees_every_message_exactly_once() {
+    const MSGS: u64 = 32;
+    const TAG: u32 = 7;
+    let out =
+        World::builder(N).fault_plan(chaos_plan(0x51CC)).run_chaos(|c| -> Vec<(usize, u64)> {
+            if c.rank() == 0 {
+                // Reorder scrambles per-flow FIFO, so arrival order proves
+                // nothing — collect the multiset and sort.
+                let mut seen: Vec<(usize, u64)> = (0..(N - 1) as u64 * MSGS)
+                    .map(|_| {
+                        let (src, v) = c.recv_u64s(ANY_SOURCE, TAG.into());
+                        assert_eq!(v[1] as usize, src, "payload must agree with envelope source");
+                        (src, v[0])
+                    })
+                    .collect();
+                seen.sort_unstable();
+                seen
+            } else {
+                for i in 0..MSGS {
+                    c.send_u64s(0, TAG, &[i, c.rank() as u64]);
+                }
+                Vec::new()
+            }
+        });
+    assert_all_finished(&out);
+    let expect: Vec<(usize, u64)> =
+        (1..N).flat_map(|src| (0..MSGS).map(move |i| (src, i))).collect();
+    assert_eq!(
+        out.results[0].as_ref().unwrap()[..],
+        expect[..],
+        "every message must arrive exactly once"
+    );
+    assert!(
+        out.trace.iter().any(|e| e.kind == FaultKind::Reordered),
+        "plan must actually have reordered something"
+    );
+}
+
+/// Collective framing (barrier/bcast/gather/… tags) is exempt from drops:
+/// even a drop-everything-once plan leaves a pure-collective program
+/// fully correct, with not one Dropped event in the trace.
+#[test]
+fn collective_framing_is_exempt_from_drops() {
+    let plan = FaultPlan::new(0xE4E).drop_once(1.0).delay(0.3, Duration::from_micros(300));
+    let out = World::builder(N).fault_plan(plan).run_chaos(|c| {
+        for round in 0..ROUNDS as u64 {
+            c.barrier();
+            let v = c.bcast_one(round as usize % N, Some(round * 1000 + 1));
+            assert_eq!(v, round * 1000 + 1);
+            let all = c.allgather_one(c.rank() as u64 + round);
+            let want: Vec<u64> = (0..N as u64).map(|r| r + round).collect();
+            assert_eq!(all, want, "allgather round {round}");
+        }
+    });
+    assert_all_finished(&out);
+    assert!(
+        !out.trace.iter().any(|e| e.kind == FaultKind::Dropped),
+        "collective tags must never be droppable: {:?}",
+        out.trace
+    );
+}

@@ -33,13 +33,12 @@ proptest! {
         World::run(n, move |c| {
             let mine = Bytes::from(vec![c.rank() as u8; c.rank() + 1]);
             let gathered = c.gather_bytes(root, mine.clone());
-            let parts = gathered.map(|g| {
+            let parts = gathered.inspect(|g| {
                 // Root validates and scatters everything back.
                 for (r, b) in g.iter().enumerate() {
                     assert_eq!(b.len(), r + 1);
                     assert!(b.iter().all(|&x| x == r as u8));
                 }
-                g
             });
             let back = c.scatter_bytes(root, parts);
             assert_eq!(back, mine);

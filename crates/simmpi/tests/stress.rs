@@ -27,7 +27,7 @@ fn random_message_storm_delivers_everything() {
                     let mut payload = Vec::with_capacity(16 + extra);
                     payload.extend_from_slice(&(c.rank() as u64).to_le_bytes());
                     payload.extend_from_slice(&(seq as u64).to_le_bytes());
-                    payload.extend(std::iter::repeat(0xEE).take(extra));
+                    payload.extend(std::iter::repeat_n(0xEE, extra));
                     c.send(dest, 3, payload);
                 }
             }
@@ -115,7 +115,7 @@ fn repeated_task_worlds() {
 fn wildcard_fan_in() {
     World::run(16, |c| {
         if c.rank() == 0 {
-            let mut seen = vec![0u32; 16];
+            let mut seen = [0u32; 16];
             for _ in 0..15 * 10 {
                 let env = c.recv(ANY_SOURCE, ANY_TAG);
                 seen[env.src] += 1;

@@ -43,9 +43,8 @@ fn main() {
     wf.task("sim", PRODUCERS, move |tc| {
         let h5 = H5::open_default();
         let f = h5.create_file(path).expect("create");
-        let d = f
-            .create_dataset("state", Datatype::UInt64, Dataspace::simple(&[N]))
-            .expect("dataset");
+        let d =
+            f.create_dataset("state", Datatype::UInt64, Dataspace::simple(&[N])).expect("dataset");
         d.set_attr("step", 41u64).expect("attr");
         let chunk = N / PRODUCERS as u64;
         let lo = tc.local.rank() as u64 * chunk;
@@ -61,9 +60,8 @@ fn main() {
         let d = f.open_dataset("state").expect("state");
         let half = N / 2;
         let lo = tc.local.rank() as u64 * half;
-        let got: Vec<u64> = d
-            .read_selection(&Selection::block(&[lo], &[half]))
-            .expect("in situ read");
+        let got: Vec<u64> =
+            d.read_selection(&Selection::block(&[lo], &[half])).expect("in situ read");
         assert!(got.iter().enumerate().all(|(j, &v)| v == (lo + j as u64) * 3));
         f.close().expect("close");
         if tc.local.rank() == 0 {

@@ -16,8 +16,8 @@
 //! ```
 
 use minih5::{BBox, Selection, H5};
-use nyxsim::AmrHierarchy;
 use nyxsim::sim::{NyxSim, SimConfig};
+use nyxsim::AmrHierarchy;
 use orchestra::Workflow;
 use simmpi::TaskComm;
 
@@ -48,8 +48,7 @@ fn producer(tc: &TaskComm) {
         .expect("nonempty slab");
     // Pack (scaled density, global linear index) so a max-reduce yields
     // the argmax exactly: density in the high bits, index in the low 40.
-    let score =
-        (((local_peak * 1e3) as u64) << 40) | (lo * GRID * GRID + local_peak_idx as u64);
+    let score = (((local_peak * 1e3) as u64) << 40) | (lo * GRID * GRID + local_peak_idx as u64);
     let best = tc.local.allreduce_one::<u64, _>(score, std::cmp::max);
     let peak_linear = best & ((1 << 40) - 1);
     let px = peak_linear / (GRID * GRID);

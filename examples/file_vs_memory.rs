@@ -22,9 +22,8 @@ fn build_workflow(props: LowFiveProps, filename: &'static str) -> Workflow {
     wf.task("producer", PRODUCERS, move |tc| {
         let h5 = H5::open_default();
         let f = h5.create_file(filename).expect("create");
-        let d = f
-            .create_dataset("signal", Datatype::UInt64, Dataspace::simple(&[N]))
-            .expect("dataset");
+        let d =
+            f.create_dataset("signal", Datatype::UInt64, Dataspace::simple(&[N])).expect("dataset");
         let chunk = N / PRODUCERS as u64;
         let s = tc.local.rank() as u64 * chunk;
         let vals: Vec<u64> = (s..s + chunk).collect();
@@ -37,9 +36,7 @@ fn build_workflow(props: LowFiveProps, filename: &'static str) -> Workflow {
         let d = f.open_dataset("signal").expect("signal");
         let half = N / 2;
         let s = tc.local.rank() as u64 * half;
-        let got: Vec<u64> = d
-            .read_selection(&Selection::block(&[s], &[half]))
-            .expect("read");
+        let got: Vec<u64> = d.read_selection(&Selection::block(&[s], &[half])).expect("read");
         assert_eq!(got[0], s);
         assert_eq!(*got.last().expect("nonempty"), s + half - 1);
         f.close().expect("close");

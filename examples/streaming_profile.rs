@@ -63,9 +63,8 @@ fn main() {
                 let chunk = BASE_ROWS / PRODUCERS as u64;
                 let lo = tc.local.rank() as u64 * chunk;
                 let hi = if tc.local.rank() + 1 == PRODUCERS { BASE_ROWS } else { lo + chunk };
-                let vals: Vec<f64> = (lo * COLS..hi * COLS)
-                    .map(|i| i as f64 + 1000.0 * step as f64)
-                    .collect();
+                let vals: Vec<f64> =
+                    (lo * COLS..hi * COLS).map(|i| i as f64 + 1000.0 * step as f64).collect();
                 d.write_selection(&Selection::block(&[lo, 0], &[hi - lo, COLS]), &vals)
                     .expect("base write");
                 // Adaptive burst: this step produced extra rows — append
@@ -74,15 +73,11 @@ fn main() {
                 d.extend(&[BASE_ROWS + extra, COLS]).expect("extend");
                 let share = extra / PRODUCERS as u64;
                 let elo = BASE_ROWS + tc.local.rank() as u64 * share;
-                let ehi = if tc.local.rank() + 1 == PRODUCERS {
-                    BASE_ROWS + extra
-                } else {
-                    elo + share
-                };
+                let ehi =
+                    if tc.local.rank() + 1 == PRODUCERS { BASE_ROWS + extra } else { elo + share };
                 if ehi > elo {
-                    let vals: Vec<f64> = (elo * COLS..ehi * COLS)
-                        .map(|i| i as f64 + 1000.0 * step as f64)
-                        .collect();
+                    let vals: Vec<f64> =
+                        (elo * COLS..ehi * COLS).map(|i| i as f64 + 1000.0 * step as f64).collect();
                     d.write_selection(&Selection::block(&[elo, 0], &[ehi - elo, COLS]), &vals)
                         .expect("append write");
                 }
@@ -96,9 +91,8 @@ fn main() {
                 // Each monitor rank reads half the rows.
                 let lo = rows * tc.local.rank() as u64 / CONSUMERS as u64;
                 let hi = rows * (tc.local.rank() as u64 + 1) / CONSUMERS as u64;
-                let got: Vec<f64> = d
-                    .read_selection(&Selection::block(&[lo, 0], &[hi - lo, COLS]))
-                    .expect("read");
+                let got: Vec<f64> =
+                    d.read_selection(&Selection::block(&[lo, 0], &[hi - lo, COLS])).expect("read");
                 // Validate position encoding.
                 for (j, v) in got.iter().enumerate() {
                     let expect = (lo * COLS) as f64 + j as f64 + 1000.0 * step as f64;

@@ -1,0 +1,137 @@
+//! A minimal, offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] runs a genuine 8-round ChaCha keystream (the seed fills
+//! the key, counter starts at zero). The stream does not bit-match
+//! upstream `rand_chacha` (which seeds from 32 bytes), but it has the same
+//! properties the workspace needs: high-quality, cheap, and exactly
+//! reproducible from a `u64` seed.
+
+// These crates mirror upstream APIs verbatim, so API-shape lints
+// (method names, arg conventions) do not apply to them.
+#![allow(clippy::all)]
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// Deterministic ChaCha8 keystream generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// ChaCha input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Buffered keystream words from the current block.
+    buf: [u32; 16],
+    /// Next unread index into `buf` (16 = exhausted).
+    idx: usize,
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buf[i] = w[i].wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the u64 seed into the 256-bit key via SplitMix64, as
+        // upstream rand does for seed_from_u64.
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_exact_mut(2) {
+            let v = rand::splitmix64(&mut sm);
+            pair[0] = v as u32;
+            pair[1] = (v >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[..4].copy_from_slice(&[0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574]);
+        state[4..12].copy_from_slice(&key);
+        // counter = 0, nonce = 0.
+        ChaCha8Rng { state, buf: [0; 16], idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.idx + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buf[self.idx] as u64;
+        let hi = self.buf[self.idx + 1] as u64;
+        self.idx += 2;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn reproducible_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn uniform_f64_looks_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

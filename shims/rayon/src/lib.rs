@@ -1,0 +1,97 @@
+//! A minimal, offline stand-in for `rayon`.
+//!
+//! `par_iter()` / `par_iter_mut()` / `into_par_iter()` return ordinary
+//! sequential iterators, so downstream `.zip(..)`, `.map(..)`,
+//! `.for_each(..)` chains compile unchanged against `std::iter::Iterator`.
+//! Results are identical to rayon's (the workspace only uses
+//! order-insensitive or elementwise operations); only the wall-clock
+//! parallelism is dropped, which offline test runs do not need.
+
+// These crates mirror upstream APIs verbatim, so API-shape lints
+// (method names, arg conventions) do not apply to them.
+#![allow(clippy::all)]
+
+pub mod prelude {
+    /// `&collection → par_iter()` (sequential stand-in).
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// `&mut collection → par_iter_mut()` (sequential stand-in).
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    /// `collection → into_par_iter()` (sequential stand-in).
+    pub trait IntoParallelIterator {
+        type Iter: Iterator;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_zips_like_rayon() {
+        let mut a = vec![1, 2, 3];
+        let mut b = vec![10, 20, 30];
+        a.par_iter_mut().zip(b.par_iter_mut()).for_each(|(x, y)| {
+            *x += *y;
+            *y = 0;
+        });
+        assert_eq!(a, vec![11, 22, 33]);
+        assert_eq!(b, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let s: usize = (0..5usize).into_par_iter().sum();
+        assert_eq!(s, 10);
+    }
+}

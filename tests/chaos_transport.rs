@@ -1,0 +1,224 @@
+//! Chaos tests: the LowFive transport under seeded fault injection.
+//!
+//! Three properties, all driven by `simmpi`'s deterministic fault layer:
+//!
+//! 1. **Benign faults are invisible.** Delaying or reordering message
+//!    delivery must not change a single redistributed byte — the
+//!    index/serve/query protocol only relies on per-flow FIFO where the
+//!    fault layer preserves it (collective framing).
+//! 2. **A dropped message is survivable.** With a retry policy configured
+//!    (`set_rpc_timeout` / `set_rpc_retries`), a consumer whose request or
+//!    reply vanished resends the idempotent query and still gets exact
+//!    bytes; the call-id protocol discards the stale duplicate replies.
+//! 3. **A dead producer is an error, not a hang.** Killing the producer
+//!    mid-serve surfaces `H5Error::PeerUnavailable` on every surviving
+//!    consumer rank within the configured bounds, and the same seed
+//!    reproduces the identical failure trace.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::workload::Workload;
+use lowfive::{DistVolBuilder, LowFiveProps};
+use minih5::{H5Error, Vol, H5};
+use simmpi::{ChaosOutput, FaultKind, FaultPlan, TaskComm, TaskSpec, TaskWorld};
+
+fn workload() -> Workload {
+    Workload { producers: 2, consumers: 2, grid_per_prod: 64, particles_per_prod: 16 }
+}
+
+fn grid_bytes(w: &Workload, bb: &minih5::BBox) -> Vec<u8> {
+    w.grid_values(bb).iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn world_ranks(tc: &TaskComm, task_id: usize) -> Vec<usize> {
+    (0..tc.task_size(task_id)).map(|r| tc.world_rank_of(task_id, r)).collect()
+}
+
+/// One producer/consumer exchange of the workload's grid under `plan`.
+/// Consumers return the bytes they read (producers return `Vec::new()`);
+/// `props` lets tests arm the consumer-side retry policy.
+fn run_exchange(w: Workload, plan: FaultPlan, props: LowFiveProps) -> ChaosOutput<Vec<u8>> {
+    let specs = [TaskSpec::new("p", w.producers), TaskSpec::new("c", w.consumers)];
+    TaskWorld::run_chaos(&specs, None, plan, move |tc| {
+        let producers = world_ranks(&tc, 0);
+        let consumers = world_ranks(&tc, 1);
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone()).produce("*", consumers).build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props.clone())
+                .consume("*", producers)
+                .build()
+        };
+        let h5 = H5::with_vol(vol);
+        if tc.task_id == 0 {
+            let p = tc.local.rank();
+            let f = h5.create_file("chaos.h5").unwrap();
+            let d = f
+                .create_dataset(
+                    "grid",
+                    minih5::Datatype::UInt64,
+                    minih5::Dataspace::simple(&w.grid_dims()),
+                )
+                .unwrap();
+            d.write_bytes(
+                &w.producer_grid_sel(p),
+                grid_bytes(&w, &w.producer_grid_box(p)).into(),
+                minih5::Ownership::Shallow,
+            )
+            .unwrap();
+            f.close().unwrap();
+            Vec::new()
+        } else {
+            let c = tc.local.rank();
+            let f = h5.open_file("chaos.h5").unwrap();
+            let got = f.open_dataset("grid").unwrap().read_bytes(&w.consumer_grid_sel(c)).unwrap();
+            f.close().unwrap();
+            got.to_vec()
+        }
+    })
+}
+
+fn assert_consumer_bytes_exact(w: &Workload, out: &ChaosOutput<Vec<u8>>) {
+    assert!(out.deaths.is_empty(), "no rank should die: {:?}", out.deaths);
+    for c in 0..w.consumers {
+        let got = out.results[w.producers + c].as_ref().expect("consumer finished");
+        let want = grid_bytes(w, &w.consumer_grid_box(c));
+        assert_eq!(got[..], want[..], "consumer {c} bytes must be exact under faults");
+    }
+}
+
+#[test]
+fn delayed_delivery_is_byte_identical() {
+    let w = workload();
+    let plan = FaultPlan::new(0xD31A).delay(0.4, Duration::from_millis(2));
+    let out = run_exchange(w, plan, LowFiveProps::new());
+    assert_consumer_bytes_exact(&w, &out);
+    assert!(
+        out.trace.iter().any(|e| matches!(e.kind, FaultKind::Delayed(_))),
+        "the plan must actually have delayed something"
+    );
+}
+
+#[test]
+fn reordered_delivery_is_byte_identical() {
+    let w = workload();
+    let plan = FaultPlan::new(0x0DE8).delay(0.2, Duration::from_millis(1)).reorder(0.5);
+    let out = run_exchange(w, plan, LowFiveProps::new());
+    assert_consumer_bytes_exact(&w, &out);
+}
+
+#[test]
+fn dropped_messages_recover_via_retry() {
+    let w = workload();
+    // Probability 1: the *first* message on every consumer↔producer
+    // request/reply flow is dropped (then the ledger lets retries pass).
+    // Consumers must be armed with a timeout, or the first call would
+    // block forever.
+    let plan = FaultPlan::new(0xD809).drop_once(1.0);
+    let mut props = LowFiveProps::new();
+    props.set_rpc_timeout("*", Some(Duration::from_millis(200)));
+    props.set_rpc_retries("*", 4);
+    let out = run_exchange(w, plan, props);
+    assert_consumer_bytes_exact(&w, &out);
+    assert!(
+        out.trace.iter().any(|e| e.kind == FaultKind::Dropped),
+        "the plan must actually have dropped something"
+    );
+}
+
+/// The acceptance scenario: the sole producer is killed mid-serve; both
+/// consumers must come back with `H5Error::PeerUnavailable` — quickly,
+/// not after burning every timeout, and certainly not hanging — and the
+/// same seed must reproduce the identical trace.
+#[test]
+fn killed_producer_surfaces_peer_unavailable_everywhere() {
+    let seed = 0xFEED_BEEF;
+    let run = || {
+        let specs = [TaskSpec::new("p", 1), TaskSpec::new("c", 2)];
+        // Send 30 is well past communicator setup and the two metadata
+        // replies, and far before the ~160 replies the consumers' read
+        // loops demand: the producer dies with both consumers mid-read.
+        let plan = FaultPlan::new(seed).kill_rank(0, 30);
+        TaskWorld::run_chaos(&specs, None, plan, move |tc| -> Result<(), String> {
+            let producers = world_ranks(&tc, 0);
+            let consumers = world_ranks(&tc, 1);
+            if tc.task_id == 0 {
+                let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                    .produce("*", consumers)
+                    .build();
+                let h5 = H5::with_vol(vol);
+                let f = h5.create_file("doomed.h5").map_err(|e| e.to_string())?;
+                let d = f
+                    .create_dataset(
+                        "grid",
+                        minih5::Datatype::UInt64,
+                        minih5::Dataspace::simple(&[64]),
+                    )
+                    .map_err(|e| e.to_string())?;
+                let data: Vec<u8> = (0..64u64).flat_map(|v| v.to_le_bytes()).collect();
+                d.write_bytes(
+                    &minih5::Selection::block(&[0], &[64]),
+                    data.into(),
+                    minih5::Ownership::Shallow,
+                )
+                .map_err(|e| e.to_string())?;
+                // Dies somewhere inside the serve loop triggered here.
+                f.close().map_err(|e| e.to_string())?;
+                Ok(())
+            } else {
+                let mut props = LowFiveProps::new();
+                props.set_rpc_timeout("*", Some(Duration::from_millis(250)));
+                props.set_rpc_retries("*", 1);
+                let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                    .props(props)
+                    .consume("*", producers)
+                    .build();
+                let h5 = H5::with_vol(vol);
+                let work = || -> Result<(), H5Error> {
+                    let f = h5.open_file("doomed.h5")?;
+                    let d = f.open_dataset("grid")?;
+                    for _ in 0..40 {
+                        d.read_bytes(&minih5::Selection::block(&[0], &[64]))?;
+                    }
+                    f.close()
+                };
+                match work() {
+                    Ok(()) => Err("consumer finished although the producer died".into()),
+                    Err(H5Error::PeerUnavailable(m)) => Err(format!("peer unavailable: {m}")),
+                    Err(e) => Err(format!("wrong error kind: {e}")),
+                }
+            }
+        })
+    };
+
+    let t0 = std::time::Instant::now();
+    let out = run();
+    let elapsed = t0.elapsed();
+
+    // Exactly the injected death — the consumers survive.
+    assert_eq!(out.deaths.len(), 1, "deaths: {:?}", out.deaths);
+    assert_eq!(out.deaths[0].rank, 0);
+    assert!(out.deaths[0].injected);
+    assert!(out.results[0].is_none(), "the producer never returns");
+    for c in 1..=2 {
+        let r = out.results[c].as_ref().expect("consumer survived").as_ref();
+        let msg = r.expect_err("consumer cannot have succeeded");
+        assert!(
+            msg.starts_with("peer unavailable:"),
+            "consumer {c} must see PeerUnavailable, got: {msg}"
+        );
+    }
+    // "Within the configured timeout": dead-peer detection fails fast, so
+    // the whole run finishes in a handful of 250 ms windows at worst.
+    assert!(elapsed < Duration::from_secs(30), "took {elapsed:?} — retries not bounded?");
+
+    // Same seed ⇒ identical failure trace, replayed exactly.
+    assert_eq!(out.trace.len(), 1);
+    assert_eq!(out.trace[0].kind, FaultKind::Killed);
+    assert_eq!((out.trace[0].src, out.trace[0].seq), (0, 30));
+    let again = run();
+    assert_eq!(out.trace, again.trace, "replay with the same seed must match");
+    assert_eq!(again.deaths.len(), 1);
+}

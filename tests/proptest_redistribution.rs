@@ -1,14 +1,18 @@
 //! Property-based test of the index–serve–query redistribution: for
 //! random task sizes, grid shapes, producer decompositions, and consumer
 //! queries, every element the consumer reads must equal its global linear
-//! index (and unwritten cells must read zero).
+//! index (and unwritten cells must read zero) — and a second property
+//! samples the (geometry × fault seed) product: under any benign
+//! delay/reorder plan the redistributed bytes are identical to the
+//! fault-free run.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use lowfive::DistVolBuilder;
 use minih5::{Dataspace, Datatype, Selection, Vol, H5};
 use proptest::prelude::*;
-use simmpi::{TaskSpec, TaskWorld};
+use simmpi::{FaultPlan, TaskSpec, TaskWorld};
 
 #[derive(Debug, Clone)]
 struct Scenario {
@@ -65,10 +69,14 @@ fn scenario() -> impl Strategy<Value = Scenario> {
     })
 }
 
-fn run_scenario(s: &Scenario) {
+/// Run one redistribution; returns each consumer's values (indexed by
+/// consumer rank). With a fault plan, runs under chaos and asserts that
+/// no rank died (the plans sampled here are kill-free and benign).
+fn run_scenario(s: &Scenario, plan: Option<FaultPlan>) -> Vec<Vec<u64>> {
     let specs = [TaskSpec::new("p", s.producers), TaskSpec::new("c", s.consumers)];
+    let producers = s.producers;
     let s = s.clone();
-    TaskWorld::run(&specs, move |tc| {
+    let body = move |tc: simmpi::TaskComm| {
         let producers: Vec<usize> = (0..s.producers).collect();
         let consumers: Vec<usize> = (s.producers..s.producers + s.consumers).collect();
         let vol: Arc<dyn Vol> = if tc.task_id == 0 {
@@ -83,9 +91,7 @@ fn run_scenario(s: &Scenario) {
             let x0 = if p == 0 { 0 } else { s.cuts[p - 1] };
             let x1 = if p + 1 == s.producers { s.dims[0] } else { s.cuts[p] };
             let f = h5.create_file("prop.h5").unwrap();
-            let d = f
-                .create_dataset("x", Datatype::UInt64, Dataspace::simple(&s.dims))
-                .unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&s.dims)).unwrap();
             if x1 > x0 {
                 // Write this x-range (possibly empty for some producers).
                 let mut start = vec![0u64; s.dims.len()];
@@ -93,14 +99,12 @@ fn run_scenario(s: &Scenario) {
                 let mut size = s.dims.clone();
                 size[0] = x1 - x0;
                 let sel = Selection::block(&start, &size);
-                let vals: Vec<u64> = sel
-                    .runs(&space)
-                    .iter()
-                    .flat_map(|r| r.offset..r.offset + r.len)
-                    .collect();
+                let vals: Vec<u64> =
+                    sel.runs(&space).iter().flat_map(|r| r.offset..r.offset + r.len).collect();
                 d.write_selection(&sel, &vals).unwrap();
             }
             f.close().unwrap();
+            Vec::new()
         } else {
             let c = tc.local.rank();
             let (start, size) = &s.queries[c];
@@ -115,8 +119,18 @@ fn run_scenario(s: &Scenario) {
                 .collect();
             assert_eq!(got, expect, "query {start:?}+{size:?} over dims {:?}", s.dims);
             f.close().unwrap();
+            got
         }
-    });
+    };
+    let results: Vec<Option<Vec<u64>>> = match plan {
+        None => TaskWorld::run(&specs, body).into_iter().map(Some).collect(),
+        Some(plan) => {
+            let out = TaskWorld::run_chaos(&specs, None, plan, body);
+            assert!(out.deaths.is_empty(), "benign plan killed ranks: {:?}", out.deaths);
+            out.results
+        }
+    };
+    results.into_iter().skip(producers).map(|r| r.expect("every rank finishes")).collect()
 }
 
 proptest! {
@@ -127,6 +141,21 @@ proptest! {
     /// and arbitrary consumer boxes.
     #[test]
     fn redistribution_is_position_exact(s in scenario()) {
-        run_scenario(&s);
+        run_scenario(&s, None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Sampling the (workload geometry × fault seed) product: a seeded
+    /// delay/reorder plan (no kills) must leave every redistributed byte
+    /// identical to the fault-free run of the same geometry.
+    #[test]
+    fn faulted_redistribution_matches_fault_free(s in scenario(), seed in any::<u64>()) {
+        let clean = run_scenario(&s, None);
+        let plan = FaultPlan::new(seed).delay(0.4, Duration::from_micros(400)).reorder(0.5);
+        let chaotic = run_scenario(&s, Some(plan));
+        prop_assert_eq!(clean, chaotic, "fault seed {:#x} changed redistributed bytes", seed);
     }
 }

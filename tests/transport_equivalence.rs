@@ -92,12 +92,36 @@ fn lowfive_memory_delivers_expected_bytes() {
     });
 }
 
+/// A temp dir that is unique per invocation (two concurrent `cargo test`
+/// runs must not race on the same backing files) and removed on drop,
+/// even when the test body panics.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(label: &str) -> Self {
+        let unique = format!("{label}-{}-{:?}", std::process::id(), std::thread::current().id())
+            .replace(['(', ')', ' '], "");
+        let dir = std::env::temp_dir().join(unique);
+        std::fs::create_dir_all(&dir).unwrap();
+        ScratchDir(dir)
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.0.join(file).to_str().unwrap().to_string()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 #[test]
 fn file_transports_deliver_expected_bytes() {
     let w = workload();
-    let dir = std::env::temp_dir().join("transport-eq-files");
-    std::fs::create_dir_all(&dir).unwrap();
-    let filename = dir.join("eq.nh5").to_str().unwrap().to_string();
+    let dir = ScratchDir::new("transport-eq-files");
+    let filename = dir.path("eq.nh5");
     let specs = [TaskSpec::new("p", w.producers), TaskSpec::new("c", w.consumers)];
     TaskWorld::run(&specs, move |tc| {
         let local = tc.local.clone();
@@ -152,11 +176,8 @@ fn pure_mpi_delivers_expected_bytes() {
 #[test]
 fn dataspaces_delivers_expected_bytes() {
     let w = workload();
-    let specs = [
-        TaskSpec::new("p", w.producers),
-        TaskSpec::new("s", 1),
-        TaskSpec::new("c", w.consumers),
-    ];
+    let specs =
+        [TaskSpec::new("p", w.producers), TaskSpec::new("s", 1), TaskSpec::new("c", w.consumers)];
     TaskWorld::run(&specs, move |tc| {
         let cfg = DsConfig {
             producers: world_ranks(&tc, 0),

@@ -113,16 +113,11 @@ fn diamond_graph_fan_out_then_fan_in() {
     wf.task("source", 2, |tc| {
         let h5 = H5::open_default();
         let f = h5.create_file("base.h5").unwrap();
-        let d = f
-            .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N]))
-            .unwrap();
+        let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
         let half = N / 2;
         let s = tc.local.rank() as u64 * half;
-        d.write_selection(
-            &Selection::block(&[s], &[half]),
-            &(s..s + half).collect::<Vec<u64>>(),
-        )
-        .unwrap();
+        d.write_selection(&Selection::block(&[s], &[half]), &(s..s + half).collect::<Vec<u64>>())
+            .unwrap();
         f.close().unwrap();
     });
     for (name, mult) in [("double", 2u64), ("triple", 3u64)] {
@@ -132,9 +127,7 @@ fn diamond_graph_fan_out_then_fan_in() {
             let x = fin.open_dataset("x").unwrap().read_all::<u64>().unwrap();
             fin.close().unwrap();
             let fout = h5.create_file(&format!("{name}.h5")).unwrap();
-            let d = fout
-                .create_dataset("y", Datatype::UInt64, Dataspace::simple(&[N]))
-                .unwrap();
+            let d = fout.create_dataset("y", Datatype::UInt64, Dataspace::simple(&[N])).unwrap();
             d.write_all(&x.iter().map(|v| v * mult).collect::<Vec<u64>>()).unwrap();
             fout.close().unwrap();
         });
@@ -179,9 +172,7 @@ fn workflow_file_mode_via_properties() {
     wf.task("p", 2, move |tc| {
         let h5 = H5::open_default();
         let f = h5.create_file(path).unwrap();
-        let d = f
-            .create_dataset("v", Datatype::UInt32, Dataspace::simple(&[8]))
-            .unwrap();
+        let d = f.create_dataset("v", Datatype::UInt32, Dataspace::simple(&[8])).unwrap();
         let s = tc.local.rank() as u64 * 4;
         d.write_selection(
             &Selection::block(&[s], &[4]),
