@@ -14,8 +14,12 @@ const STEPS: usize = 3;
 const N: u64 = 1 << 12;
 
 fn run(overlap: bool) {
+    run_observed(overlap, None)
+}
+
+fn run_observed(overlap: bool, observe: Option<&obsv::Registry>) {
     let specs = [TaskSpec::new("p", 2), TaskSpec::new("c", 1)];
-    TaskWorld::run(&specs, move |tc| {
+    TaskWorld::run_observed(&specs, None, observe, move |tc| {
         let producers: Vec<usize> = (0..2).collect();
         let consumers = vec![2];
         let vol = if tc.task_id == 0 {
@@ -64,6 +68,17 @@ fn bench(c: &mut Criterion) {
     g.bench_function("synchronous_serve", |b| b.iter(|| run(false)));
     g.bench_function("async_overlap_serve", |b| b.iter(|| run(true)));
     g.finish();
+
+    // Untimed traced pass of the overlap variant: the serve thread shows
+    // up as an auxiliary lane on each producer rank, and the metrics JSON
+    // lands next to the criterion output.
+    let reg = obsv::Registry::new();
+    run_observed(true, Some(&reg));
+    let out = std::path::PathBuf::from("bench-results");
+    std::fs::create_dir_all(&out).unwrap();
+    let path = out.join("ablation_overlap.metrics.json");
+    std::fs::write(&path, reg.report().metrics_json()).expect("write metrics");
+    eprintln!("per-phase metrics -> {}", path.display());
 }
 
 criterion_group!(benches, bench);

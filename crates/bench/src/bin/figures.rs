@@ -22,7 +22,8 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use bench::runners::{
-    run_bredala, run_dataspaces, run_lowfive_file, run_lowfive_memory, run_pure_hdf5, run_pure_mpi,
+    run_bredala, run_dataspaces, run_lowfive_file, run_lowfive_file_traced, run_lowfive_memory,
+    run_lowfive_memory_traced, run_pure_hdf5, run_pure_mpi,
 };
 use bench::table2::{run_case, Table2Case};
 use bench::workload::Workload;
@@ -133,6 +134,28 @@ fn avg<F: FnMut() -> f64>(trials: usize, mut f: F) -> f64 {
     (0..trials).map(|_| f()).sum::<f64>() / trials as f64
 }
 
+/// Export an observed run: `<stem>.trace.json` (Chrome `trace_event`,
+/// loadable in Perfetto / `chrome://tracing`) and `<stem>.metrics.json`
+/// (flat per-phase counters/histograms). The trace is validated before
+/// it is written — a malformed export fails the run, not the viewer.
+fn write_obsv_artifacts(report: &obsv::Report, stem: &str) {
+    let dir = results_dir();
+    let trace = report.chrome_trace();
+    let summary = obsv::validate::validate_chrome_trace(&trace)
+        .unwrap_or_else(|e| panic!("{stem}: exporter produced an invalid trace: {e}"));
+    let trace_path = dir.join(format!("{stem}.trace.json"));
+    std::fs::write(&trace_path, trace).expect("write trace");
+    let metrics_path = dir.join(format!("{stem}.metrics.json"));
+    std::fs::write(&metrics_path, report.metrics_json()).expect("write metrics");
+    println!(
+        "  traced: {} spans over {} rank track(s) -> {} + {}",
+        summary.spans,
+        summary.ranks_with_spans.len(),
+        trace_path.display(),
+        metrics_path.display()
+    );
+}
+
 fn gib(bytes: u64) -> f64 {
     bytes as f64 / (1u64 << 30) as f64
 }
@@ -197,6 +220,14 @@ fn fig5(s: &Scale, trials: usize) {
         println!("{n:>8} {:>16} {tm:>16.4}", "-");
         csv(&out, "procs,file_s,memory_s", &format!("{n},,{tm}"));
     }
+    // One traced pass at the smallest scale: per-phase metrics plus a
+    // Chrome trace of both transport modes, rank by rank.
+    let n = s.sweep_slow[0];
+    let w = Workload::paper_split(n, s.grid_per_prod, s.particles_per_prod);
+    let reg = obsv::Registry::new();
+    run_lowfive_file_traced(&w, &tmpdir(&format!("fig5t-{n}")), &reg);
+    run_lowfive_memory_traced(&w, &reg);
+    write_obsv_artifacts(&reg.report(), "fig5");
 }
 
 fn fig6(s: &Scale, trials: usize) {

@@ -56,23 +56,41 @@ fn grid_bytes(w: &Workload, bb: &BBox) -> Vec<u8> {
 /// datasets through the distributed VOL and serve; consumers read their
 /// slabs.
 pub fn run_lowfive_memory(w: &Workload) -> Measurement {
-    run_lowfive(w, true, None)
+    run_lowfive(w, true, None, None)
 }
 
 /// LowFive file mode (Figs. 5, 6): same API calls, but the data go to a
 /// shared file in `dir` and the consumers read it back from storage.
 pub fn run_lowfive_file(w: &Workload, dir: &Path) -> Measurement {
-    run_lowfive(w, false, Some(dir))
+    run_lowfive(w, false, Some(dir), None)
 }
 
-fn run_lowfive(w: &Workload, memory: bool, dir: Option<&Path>) -> Measurement {
+/// As [`run_lowfive_memory`], recording spans/counters/histograms into
+/// `observe` so callers can export a Chrome trace and metrics JSON next
+/// to the timing numbers.
+pub fn run_lowfive_memory_traced(w: &Workload, observe: &obsv::Registry) -> Measurement {
+    run_lowfive(w, true, None, Some(observe))
+}
+
+/// As [`run_lowfive_file`], traced (see [`run_lowfive_memory_traced`]).
+pub fn run_lowfive_file_traced(w: &Workload, dir: &Path, observe: &obsv::Registry) -> Measurement {
+    run_lowfive(w, false, Some(dir), Some(observe))
+}
+
+fn run_lowfive(
+    w: &Workload,
+    memory: bool,
+    dir: Option<&Path>,
+    observe: Option<&obsv::Registry>,
+) -> Measurement {
     let filename = match dir {
         Some(d) => d.join("lowfive-sweep.nh5").to_str().expect("utf-8 path").to_string(),
         None => "sweep.h5".to_string(),
     };
     let specs = [TaskSpec::new("producer", w.producers), TaskSpec::new("consumer", w.consumers)];
     let w = *w;
-    let out = TaskWorld::run_with(&specs, None, move |tc| {
+    let out = TaskWorld::run_observed(&specs, None, observe, move |tc| {
+        let _task = obsv::span_tagged(obsv::Phase::Task, tc.task_id as u64);
         let mut props = LowFiveProps::new();
         if !memory {
             props.set_memory("*", false).set_passthrough("*", true);

@@ -173,7 +173,12 @@ impl<'a> RpcServer<'a> {
             let env = self.comm.recv(ANY_SOURCE, TAG_REQUEST.into());
             let (method, call_id, args) = decode_request(&env.payload);
             let caller = Caller { rank: env.src, call_id };
-            match handler(caller, method, args) {
+            // The serve-side span carries the same call id as the client's
+            // call span, so a trace viewer can correlate the two tracks.
+            let sp = obsv::span_tagged(obsv::Phase::RpcServe, call_id);
+            let outcome = handler(caller, method, args);
+            drop(sp);
+            match outcome {
                 ServeOutcome::Reply(reply) => self.reply_to(caller, reply),
                 ServeOutcome::Continue => {}
                 ServeOutcome::Stop(reply) => {
@@ -196,7 +201,10 @@ impl<'a> RpcServer<'a> {
         let env = self.comm.try_recv(ANY_SOURCE, TAG_REQUEST.into())?;
         let (method, call_id, args) = decode_request(&env.payload);
         let caller = Caller { rank: env.src, call_id };
-        Some(match handler(caller, method, args) {
+        let sp = obsv::span_tagged(obsv::Phase::RpcServe, call_id);
+        let outcome = handler(caller, method, args);
+        drop(sp);
+        Some(match outcome {
             ServeOutcome::Reply(reply) => {
                 self.reply_to(caller, reply);
                 false
@@ -235,11 +243,15 @@ impl<'a> RpcClient<'a> {
     /// Call `method` on `server` and block for the reply.
     pub fn call(&self, server: usize, method: u32, args: &[u8]) -> Bytes {
         let call_id = fresh_call_id();
+        obsv::counter_add(obsv::Ctr::RpcCalls, 1);
+        let sp = obsv::span_tagged(obsv::Phase::RpcCall, call_id);
         self.comm.send(server, TAG_REQUEST, encode_request(method, call_id, args));
         loop {
             let env = self.comm.recv(SrcSel::Rank(server), TAG_REPLY.into());
             let (id, body) = decode_reply(&env.payload);
             if id == call_id {
+                obsv::hist_record(obsv::Hist::RpcReplySize, body.len() as u64);
+                obsv::hist_record(obsv::Hist::RpcLatencyNs, sp.finish_ns());
                 return body;
             }
             // Stale reply to an earlier timed-out call from this rank.
@@ -259,23 +271,34 @@ impl<'a> RpcClient<'a> {
         timeout: Duration,
     ) -> Result<Bytes, RpcError> {
         let call_id = fresh_call_id();
+        obsv::counter_add(obsv::Ctr::RpcCalls, 1);
+        let sp = obsv::span_tagged(obsv::Phase::RpcCall, call_id);
         self.comm.send(server, TAG_REQUEST, encode_request(method, call_id, args));
         let deadline = Instant::now() + timeout;
         loop {
             let now = Instant::now();
             let remaining = deadline.saturating_duration_since(now);
             if remaining.is_zero() {
+                obsv::counter_add(obsv::Ctr::RpcTimeouts, 1);
                 return Err(RpcError::TimedOut);
             }
             match self.comm.recv_timeout(SrcSel::Rank(server), TAG_REPLY.into(), remaining) {
                 Ok(env) => {
                     let (id, body) = decode_reply(&env.payload);
                     if id == call_id {
+                        obsv::hist_record(obsv::Hist::RpcReplySize, body.len() as u64);
+                        obsv::hist_record(obsv::Hist::RpcLatencyNs, sp.finish_ns());
                         return Ok(body);
                     }
                 }
-                Err(RecvError::TimedOut) => return Err(RpcError::TimedOut),
-                Err(RecvError::PeerDead) => return Err(RpcError::PeerDead),
+                Err(RecvError::TimedOut) => {
+                    obsv::counter_add(obsv::Ctr::RpcTimeouts, 1);
+                    return Err(RpcError::TimedOut);
+                }
+                Err(RecvError::PeerDead) => {
+                    obsv::counter_add(obsv::Ctr::RpcPeersDead, 1);
+                    return Err(RpcError::PeerDead);
+                }
             }
         }
     }
@@ -295,6 +318,9 @@ impl<'a> RpcClient<'a> {
         assert!(policy.attempts >= 1, "retry policy needs at least one attempt");
         let mut backoff = policy.backoff;
         for attempt in 0..policy.attempts {
+            if attempt > 0 {
+                obsv::counter_add(obsv::Ctr::RpcRetries, 1);
+            }
             match self.call_timeout(server, method, args, policy.timeout) {
                 Ok(body) => return Ok(body),
                 Err(RpcError::PeerDead) => return Err(RpcError::PeerDead),
@@ -314,6 +340,7 @@ impl<'a> RpcClient<'a> {
 
     /// Send a request without waiting for (or expecting) a reply.
     pub fn notify(&self, server: usize, method: u32, args: &[u8]) {
+        obsv::counter_add(obsv::Ctr::RpcNotifies, 1);
         self.comm.send(server, TAG_REQUEST, encode_request(method, NOTIFY_ID, args));
     }
 }

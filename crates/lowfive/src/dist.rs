@@ -299,7 +299,7 @@ impl DistMetadataVol {
     // -----------------------------------------------------------------
 
     fn index(&self, filename: &str) -> H5Result<()> {
-        let t0 = std::time::Instant::now();
+        let sp = obsv::span(obsv::Phase::Index);
         let n = self.local.size();
         let dsets = self.meta.datasets_of_file(filename)?;
         let mut bundles: Vec<Vec<(String, String, BBox)>> = vec![Vec::new(); n];
@@ -336,7 +336,7 @@ impl DistMetadataVol {
         }
         drop(idx);
         let mut p = self.profile.lock();
-        p.index_seconds += t0.elapsed().as_secs_f64();
+        p.index_seconds += sp.finish();
         p.index_boxes += nboxes;
         Ok(())
     }
@@ -346,7 +346,8 @@ impl DistMetadataVol {
     // -----------------------------------------------------------------
 
     fn serve(&self, filename: &str, expected_dones: usize) {
-        let t0 = std::time::Instant::now();
+        let sp = obsv::span(obsv::Phase::Serve);
+        obsv::counter_add(obsv::Ctr::ServeSessions, 1);
         // Answer metadata requests that arrived for this file before we
         // closed it (consumers running ahead to the next snapshot).
         {
@@ -407,6 +408,7 @@ impl DistMetadataVol {
                     p.data_requests += 1;
                     if let Ok(b) = &reply {
                         p.bytes_served += b.len() as u64;
+                        obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
                     }
                 }
                 ServeOutcome::Reply(enc_result(reply))
@@ -427,7 +429,7 @@ impl DistMetadataVol {
             ))))),
         });
         let mut p = self.profile.lock();
-        p.serve_seconds += t0.elapsed().as_secs_f64();
+        p.serve_seconds += sp.finish();
         p.serve_sessions += 1;
     }
 
@@ -481,10 +483,17 @@ impl DistMetadataVol {
         let mut guard = self.serve_thread.lock();
         if guard.is_none() {
             let me = self.self_weak.upgrade().expect("self is alive during close");
+            // The serve thread records into its own lane (same rank) so
+            // its spans land in the trace next to the rank that spawned
+            // it, without sharing the rank thread's ring.
+            let parent = obsv::current();
             *guard = Some(
                 std::thread::Builder::new()
                     .name(format!("lowfive-serve-{}", self.world.rank()))
-                    .spawn(move || me.serve_async_loop())
+                    .spawn(move || {
+                        let _obs = parent.and_then(|r| r.fork()).map(obsv::install);
+                        me.serve_async_loop()
+                    })
                     .expect("spawn serve thread"),
             );
         }
@@ -512,7 +521,7 @@ impl DistMetadataVol {
     /// queries for every open (or completed) session and exits once a
     /// drain is requested and no session remains open.
     fn serve_async_loop(&self) {
-        let t0 = std::time::Instant::now();
+        let sp = obsv::span(obsv::Phase::Serve);
         let server = RpcServer::new(&self.world);
         server.serve(|caller, method, args| match method {
             M_METADATA => {
@@ -564,6 +573,7 @@ impl DistMetadataVol {
                     p.data_requests += 1;
                     if let Ok(b) = &reply {
                         p.bytes_served += b.len() as u64;
+                        obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
                     }
                 }
                 ServeOutcome::Reply(enc_result(reply))
@@ -577,6 +587,7 @@ impl DistMetadataVol {
                         s.open.remove(&file);
                         s.completed.insert(file);
                         self.profile.lock().serve_sessions += 1;
+                        obsv::counter_add(obsv::Ctr::ServeSessions, 1);
                     }
                 }
                 if s.draining && s.open.is_empty() {
@@ -598,7 +609,7 @@ impl DistMetadataVol {
                 "unknown RPC method {m}"
             ))))),
         });
-        self.profile.lock().serve_seconds += t0.elapsed().as_secs_f64();
+        self.profile.lock().serve_seconds += sp.finish();
     }
 
     // -----------------------------------------------------------------
@@ -635,7 +646,7 @@ impl DistMetadataVol {
     }
 
     fn consumer_open(&self, name: &str, link: &Link) -> H5Result<ObjId> {
-        let t0 = std::time::Instant::now();
+        let sp = obsv::span(obsv::Phase::Open);
         let meta = if self.props.metadata_broadcast_for(name) {
             // Collective variant (paper §V-C): one rank fetches, the task
             // broadcasts — m−1 fewer round trips to the producers.
@@ -671,7 +682,7 @@ impl DistMetadataVol {
         rs.entries
             .insert(id, RemoteEntry { node: root, filename: Arc::from(name), path: String::new() });
         drop(rs);
-        self.profile.lock().open_seconds += t0.elapsed().as_secs_f64();
+        self.profile.lock().open_seconds += sp.finish();
         Ok(id)
     }
 
@@ -694,11 +705,15 @@ impl DistMetadataVol {
             return Ok(Bytes::from(out));
         }
         let n = producers.len();
+        // The whole remote read is one query span; the redirect and fetch
+        // steps nest inside it, so the trace shows Algorithm 3's two round
+        // trips within each dataset read.
+        let _sp_query = obsv::span(obsv::Phase::Query);
 
         // Step 1 (redirect): ask the producers responsible for the blocks
         // of the common decomposition intersected by our bounding box
         // which producers actually hold intersecting data.
-        let t_redirect = std::time::Instant::now();
+        let sp_redirect = obsv::span(obsv::Phase::Redirect);
         let owners: Vec<usize> = {
             let dims = effective_dims(&space);
             let decomp = RegularDecomposer::new(&dims, n);
@@ -717,11 +732,11 @@ impl DistMetadataVol {
             }
             owners.into_iter().collect()
         };
-        self.profile.lock().redirect_seconds += t_redirect.elapsed().as_secs_f64();
+        self.profile.lock().redirect_seconds += sp_redirect.finish();
 
         // Step 2: fetch the data from each owner and scatter the segments
         // straight into our packed read buffer.
-        let t_fetch = std::time::Instant::now();
+        let sp_fetch = obsv::span(obsv::Phase::Fetch);
         let mut fetched = 0u64;
         for p in owners {
             let reply = self.call_producer(
@@ -731,6 +746,7 @@ impl DistMetadataVol {
                 &enc_data_req(&filename, &path, sel),
             )?;
             fetched += reply.len() as u64;
+            obsv::hist_record(obsv::Hist::BytesFetched, reply.len() as u64);
             let dr = dec_data_reply(&dec_result(&reply)?)?;
             let mut cum = 0usize;
             for (off, len) in dr.segs {
@@ -742,7 +758,7 @@ impl DistMetadataVol {
         }
         {
             let mut p = self.profile.lock();
-            p.fetch_seconds += t_fetch.elapsed().as_secs_f64();
+            p.fetch_seconds += sp_fetch.finish();
             p.bytes_fetched += fetched;
         }
         Ok(Bytes::from(out))
@@ -805,12 +821,30 @@ impl Vol for DistMetadataVol {
             // File mode on a consume link: the file comes from a peer task
             // that may still be writing it. Poll until it opens as a
             // complete file (bounded), mirroring the blocking semantics of
-            // the in-memory open.
-            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+            // the in-memory open. The budget honors the file's configured
+            // RPC policy (`set_rpc_timeout` x `set_rpc_retries`), falling
+            // back to the historical 120 s default when none is set.
+            let policy = self.props.rpc_policy_for(name);
+            let budget = policy
+                .map(|p| p.timeout.saturating_mul(p.attempts.max(1)))
+                .unwrap_or(std::time::Duration::from_secs(120));
+            let deadline = std::time::Instant::now() + budget;
             loop {
                 match self.meta.file_open(name) {
                     Ok(id) => return Ok(id),
-                    Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                    Err(e) if std::time::Instant::now() >= deadline => {
+                        // With an explicit policy this is the same "peer
+                        // did not deliver in time" condition as a memory-
+                        // mode RPC timeout; surface it the same way.
+                        return Err(match policy {
+                            Some(p) => H5Error::PeerUnavailable(format!(
+                                "file {name:?} was not completely written within \
+                                 {:?} x{} ({e})",
+                                p.timeout, p.attempts
+                            )),
+                            None => e,
+                        });
+                    }
                     Err(H5Error::Io(_)) | Err(H5Error::Format(_)) => {
                         std::thread::sleep(std::time::Duration::from_millis(1));
                     }

@@ -1,0 +1,75 @@
+//! CLI validator for exported Chrome traces.
+//!
+//! Usage: `trace_check [--require-ranks N] TRACE.json [MORE.json ...]`
+//!
+//! Exits non-zero if any trace fails structural validation (parse,
+//! round-trip, non-negative durations, strict per-track nesting) or
+//! declares fewer than `N` ranks carrying spans. CI runs this against the
+//! trace emitted by `examples/streaming_profile.rs`.
+
+use std::process::ExitCode;
+
+use obsv::validate::validate_chrome_trace;
+
+fn main() -> ExitCode {
+    let mut require_ranks: usize = 1;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require-ranks" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--require-ranks needs an integer");
+                    return ExitCode::from(2);
+                };
+                require_ranks = n;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: trace_check [--require-ranks N] TRACE.json ...");
+                return ExitCode::SUCCESS;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: trace_check [--require-ranks N] TRACE.json ...");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_chrome_trace(&text) {
+            Ok(summary) => {
+                let n = summary.ranks_with_spans.len();
+                if n < require_ranks {
+                    eprintln!("{path}: only {n} rank(s) carry spans, required {require_ranks}");
+                    failed = true;
+                } else {
+                    println!(
+                        "{path}: ok — {} spans across {} rank(s), {} declared",
+                        summary.spans,
+                        n,
+                        summary.ranks_declared.len()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,424 @@
+//! Workspace observability: per-rank spans, counters, and histograms with
+//! Chrome-trace export.
+//!
+//! The paper's evaluation (§V-C) depends on attributing time to transport
+//! phases — index, serve, query, redirect, fetch — per rank. This crate is
+//! the one clock and event model every layer shares:
+//!
+//! * [`span`] / [`span_tagged`] record typed enter/exit pairs into a
+//!   fixed-capacity per-lane ring ([`ring::EventRing`]) — RAII guards make
+//!   spans strictly nested per lane by construction;
+//! * [`counter_add`] bumps one of a fixed set of monotonic counters
+//!   ([`Ctr`]) with a relaxed atomic add;
+//! * [`hist_record`] feeds log2-bucket histograms ([`Hist`]) for message
+//!   latencies and sizes;
+//! * a [`Registry`] hands each rank thread a [`Recorder`] lane and merges
+//!   everything into a [`Report`] after `World` join;
+//! * [`Report::chrome_trace`] emits Chrome `trace_event` JSON (one track
+//!   per rank, loadable in `chrome://tracing` / Perfetto) and
+//!   [`Report::metrics_json`] a flat metrics document consumed by `bench`.
+//!
+//! ## Overhead contract
+//!
+//! With the default `record` feature **disabled** every record call is an
+//! empty inline function — compile-time zero. Enabled but with no recorder
+//! installed on the thread, a record call is one thread-local read.
+//! Enabled and installed, a counter is an atomic `fetch_add`, a histogram
+//! three, and a span edge a bounds-checked slot write into a
+//! pre-allocated ring — never an allocation. The span *clock* stays
+//! functional in all configurations because `lowfive`'s
+//! `TransportProfile` seconds are derived from it.
+
+use std::cell::RefCell;
+
+pub mod export;
+pub mod hist;
+pub mod json;
+mod registry;
+pub mod ring;
+pub mod validate;
+
+pub use hist::{bucket_hi, bucket_index, bucket_lo, HistData, NUM_BUCKETS};
+pub use registry::{LaneReport, PhaseTotal, Recorder, Registry, Report};
+pub use ring::{Event, EventKind, EventRing};
+
+/// Process-wide monotonic clock. Every span in every crate stamps against
+/// the same origin, so cross-rank timelines line up in the exported trace.
+pub mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+    /// Nanoseconds since the first call in this process.
+    #[inline]
+    pub fn now_ns() -> u64 {
+        ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Transport phase a span belongs to. The vocabulary is fixed so per-phase
+/// state lives in arrays, not maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// Producer builds the distributed spatial index (Algorithm 1).
+    Index,
+    /// Producer answers consumer queries after file close (Algorithm 2).
+    Serve,
+    /// Consumer blocks in `open_file` until producers are ready.
+    Open,
+    /// Consumer-side dataset read against remote producers (Algorithm 3).
+    Query,
+    /// Query step 1: ask the index owner which ranks hold the data.
+    Redirect,
+    /// Query step 2: fetch intersecting blocks from data owners.
+    Fetch,
+    /// One RPC from the client side, tagged with its call id.
+    RpcCall,
+    /// Server-side handling of one RPC, tagged with the same call id.
+    RpcServe,
+    /// One orchestra task body, tagged with the task id.
+    Task,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 9] = [
+        Phase::Index,
+        Phase::Serve,
+        Phase::Open,
+        Phase::Query,
+        Phase::Redirect,
+        Phase::Fetch,
+        Phase::RpcCall,
+        Phase::RpcServe,
+        Phase::Task,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Index => "index",
+            Phase::Serve => "serve",
+            Phase::Open => "open",
+            Phase::Query => "query",
+            Phase::Redirect => "redirect",
+            Phase::Fetch => "fetch",
+            Phase::RpcCall => "rpc_call",
+            Phase::RpcServe => "rpc_serve",
+            Phase::Task => "task",
+        }
+    }
+}
+
+/// Monotonic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Ctr {
+    /// Point-to-point payloads handed to the transport (mirrors
+    /// `simmpi::TransportStats` messages).
+    MsgsSent,
+    /// Payload bytes handed to the transport (mirrors `TransportStats`).
+    BytesSent,
+    /// Primitive collective entries (barrier/bcast/gather/scatter/alltoall).
+    Collectives,
+    /// RPC send attempts (every attempt of a retried call counts).
+    RpcCalls,
+    /// Fire-and-forget RPC notifications.
+    RpcNotifies,
+    /// Re-sent RPC attempts after a timeout.
+    RpcRetries,
+    /// RPC attempts that hit their deadline.
+    RpcTimeouts,
+    /// RPC attempts aborted because the peer was marked dead.
+    RpcPeersDead,
+    /// Producer serve sessions entered.
+    ServeSessions,
+    /// Orchestra task bodies started.
+    TasksStarted,
+    /// Orchestra task bodies finished.
+    TasksFinished,
+}
+
+pub const NUM_CTRS: usize = 11;
+
+impl Ctr {
+    pub const ALL: [Ctr; NUM_CTRS] = [
+        Ctr::MsgsSent,
+        Ctr::BytesSent,
+        Ctr::Collectives,
+        Ctr::RpcCalls,
+        Ctr::RpcNotifies,
+        Ctr::RpcRetries,
+        Ctr::RpcTimeouts,
+        Ctr::RpcPeersDead,
+        Ctr::ServeSessions,
+        Ctr::TasksStarted,
+        Ctr::TasksFinished,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctr::MsgsSent => "msgs_sent",
+            Ctr::BytesSent => "bytes_sent",
+            Ctr::Collectives => "collectives",
+            Ctr::RpcCalls => "rpc_calls",
+            Ctr::RpcNotifies => "rpc_notifies",
+            Ctr::RpcRetries => "rpc_retries",
+            Ctr::RpcTimeouts => "rpc_timeouts",
+            Ctr::RpcPeersDead => "rpc_peers_dead",
+            Ctr::ServeSessions => "serve_sessions",
+            Ctr::TasksStarted => "tasks_started",
+            Ctr::TasksFinished => "tasks_finished",
+        }
+    }
+}
+
+/// Log2-bucket histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Point-to-point payload sizes in bytes; `sum` must equal
+    /// `TransportStats` bytes for the same run (cross-checked in tests).
+    MsgSize,
+    /// Send-to-delivery latency per message, nanoseconds.
+    MsgLatencyNs,
+    /// Client-observed RPC round-trip latency, nanoseconds.
+    RpcLatencyNs,
+    /// RPC reply body sizes, bytes.
+    RpcReplySize,
+    /// Dataset bytes served per producer-side data reply.
+    BytesServed,
+    /// Dataset bytes fetched per consumer-side data request.
+    BytesFetched,
+}
+
+pub const NUM_HISTS: usize = 6;
+
+impl Hist {
+    pub const ALL: [Hist; NUM_HISTS] = [
+        Hist::MsgSize,
+        Hist::MsgLatencyNs,
+        Hist::RpcLatencyNs,
+        Hist::RpcReplySize,
+        Hist::BytesServed,
+        Hist::BytesFetched,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::MsgSize => "msg_size",
+            Hist::MsgLatencyNs => "msg_latency_ns",
+            Hist::RpcLatencyNs => "rpc_latency_ns",
+            Hist::RpcReplySize => "rpc_reply_size",
+            Hist::BytesServed => "bytes_served",
+            Hist::BytesFetched => "bytes_fetched",
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Install `recorder` as this thread's sink; restored to the previous
+/// recorder (usually none) when the guard drops. Rank threads call this on
+/// entry; helper threads install a [`Recorder::fork`] of their parent's.
+pub fn install(recorder: Recorder) -> InstallGuard {
+    let prev = CURRENT.with(|cur| cur.borrow_mut().replace(recorder));
+    InstallGuard { prev }
+}
+
+/// RAII guard returned by [`install`].
+pub struct InstallGuard {
+    prev: Option<Recorder>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|cur| *cur.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The recorder installed on this thread, if any.
+pub fn current() -> Option<Recorder> {
+    CURRENT.with(|cur| cur.borrow().clone())
+}
+
+/// True when recording is compiled in and a recorder is installed here.
+#[inline]
+pub fn active() -> bool {
+    cfg!(feature = "record") && CURRENT.with(|cur| cur.borrow().is_some())
+}
+
+/// Add `delta` to counter `c` on this thread's recorder, if any.
+#[inline]
+pub fn counter_add(c: Ctr, delta: u64) {
+    if !cfg!(feature = "record") {
+        return;
+    }
+    CURRENT.with(|cur| {
+        if let Some(rec) = cur.borrow().as_ref() {
+            rec.add(c, delta);
+        }
+    });
+}
+
+/// Record `value` into histogram `h` on this thread's recorder, if any.
+#[inline]
+pub fn hist_record(h: Hist, value: u64) {
+    if !cfg!(feature = "record") {
+        return;
+    }
+    CURRENT.with(|cur| {
+        if let Some(rec) = cur.borrow().as_ref() {
+            rec.record_hist(h, value);
+        }
+    });
+}
+
+#[inline]
+fn record_edge(kind: EventKind, phase: Phase, tag: u64, t_ns: u64) {
+    if !cfg!(feature = "record") {
+        return;
+    }
+    CURRENT.with(|cur| {
+        if let Some(rec) = cur.borrow().as_ref() {
+            rec.push_event(Event { kind, phase, tag, t_ns });
+        }
+    });
+}
+
+/// Open an untagged span; the returned guard closes it on drop.
+#[inline]
+pub fn span(phase: Phase) -> SpanGuard {
+    span_tagged(phase, 0)
+}
+
+/// Open a span carrying a correlation tag (RPC call id, task id, …).
+#[inline]
+pub fn span_tagged(phase: Phase, tag: u64) -> SpanGuard {
+    let start_ns = clock::now_ns();
+    record_edge(EventKind::Enter, phase, tag, start_ns);
+    SpanGuard { phase, tag, start_ns, closed: false }
+}
+
+/// RAII span. Always measures elapsed time (the profile APIs depend on
+/// it); ring events are recorded only when a recorder is installed.
+#[must_use = "dropping immediately produces a zero-length span"]
+pub struct SpanGuard {
+    phase: Phase,
+    tag: u64,
+    start_ns: u64,
+    closed: bool,
+}
+
+impl SpanGuard {
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    pub fn elapsed_ns(&self) -> u64 {
+        clock::now_ns().saturating_sub(self.start_ns)
+    }
+
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_ns() as f64 * 1e-9
+    }
+
+    /// Close the span now; returns elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        self.close();
+        (clock::now_ns().saturating_sub(self.start_ns)) as f64 * 1e-9
+    }
+
+    /// Close the span now; returns elapsed nanoseconds.
+    pub fn finish_ns(mut self) -> u64 {
+        self.close();
+        clock::now_ns().saturating_sub(self.start_ns)
+    }
+
+    fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            record_edge(EventKind::Exit, self.phase, self.tag, clock::now_ns());
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = clock::now_ns();
+        let b = clock::now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn record_without_recorder_is_a_noop() {
+        counter_add(Ctr::MsgsSent, 1);
+        hist_record(Hist::MsgSize, 42);
+        let sp = span(Phase::Index);
+        assert!(sp.finish() >= 0.0);
+        assert!(!active());
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "record"), ignore = "needs event recording")]
+    fn install_scopes_and_restores() {
+        let reg = Registry::new();
+        {
+            let _g = install(reg.recorder(0));
+            assert!(active());
+            counter_add(Ctr::MsgsSent, 2);
+            {
+                let _inner = install(reg.recorder(1));
+                counter_add(Ctr::MsgsSent, 5);
+            }
+            // Restored to rank 0 after the inner guard dropped.
+            counter_add(Ctr::BytesSent, 9);
+        }
+        assert!(!active());
+        let report = reg.report();
+        assert_eq!(report.counter(Ctr::MsgsSent), 7);
+        assert_eq!(report.counter(Ctr::BytesSent), 9);
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "record"), ignore = "needs event recording")]
+    fn spans_pair_up_in_report() {
+        let reg = Registry::new();
+        {
+            let _g = install(reg.recorder(3));
+            let outer = span(Phase::Query);
+            let inner = span_tagged(Phase::Fetch, 77);
+            drop(inner);
+            drop(outer);
+        }
+        let report = reg.report();
+        let totals = report.phase_totals();
+        let query = totals.iter().find(|t| t.phase == Phase::Query).expect("query total");
+        let fetch = totals.iter().find(|t| t.phase == Phase::Fetch).expect("fetch total");
+        assert_eq!(query.spans, 1);
+        assert_eq!(fetch.spans, 1);
+        assert!(query.seconds >= fetch.seconds);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let phases: std::collections::HashSet<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(phases.len(), Phase::ALL.len());
+        let ctrs: std::collections::HashSet<_> = Ctr::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(ctrs.len(), NUM_CTRS);
+        let hists: std::collections::HashSet<_> = Hist::ALL.iter().map(|h| h.name()).collect();
+        assert_eq!(hists.len(), NUM_HISTS);
+    }
+}

@@ -1,0 +1,263 @@
+//! Recorder lanes and the registry that merges them.
+//!
+//! A [`Registry`] lives on the launching thread. Each rank thread gets its
+//! own [`Recorder`] *lane* (single-writer ring + counters + histograms), so
+//! recording never contends across ranks. Helper threads — the producer's
+//! async serve thread, for instance — call [`Recorder::fork`] to get a
+//! sibling lane under the same rank instead of sharing a ring, which keeps
+//! every lane's event stream time-ordered and strictly nested. After the
+//! world joins, [`Registry::report`] merges all lanes into a [`Report`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::hist::{AtomicHist, HistData};
+use crate::ring::{Event, EventRing};
+use crate::{Ctr, Hist, Phase, NUM_CTRS, NUM_HISTS};
+
+/// Default per-lane event capacity (enter + exit per span).
+const DEFAULT_EVENTS_PER_LANE: usize = 64 * 1024;
+
+/// Shared sink for one run; clone handles freely.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+struct RegistryInner {
+    events_per_lane: usize,
+    lanes: Mutex<Vec<Recorder>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EVENTS_PER_LANE)
+    }
+
+    /// `events_per_lane` bounds each lane's ring; overflow drops oldest.
+    pub fn with_capacity(events_per_lane: usize) -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                events_per_lane: events_per_lane.max(2),
+                lanes: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Create a fresh lane for `rank`. Each call returns a new lane (the
+    /// lane index counts prior lanes of the same rank), so concurrent
+    /// threads of one rank never share a ring.
+    pub fn recorder(&self, rank: usize) -> Recorder {
+        let mut lanes = self.inner.lanes.lock();
+        let lane = lanes.iter().filter(|r| r.rank() == rank).count();
+        let rec = Recorder {
+            inner: Arc::new(RecorderInner {
+                rank,
+                lane,
+                registry: Arc::downgrade(&self.inner),
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                hists: std::array::from_fn(|_| AtomicHist::default()),
+                ring: Mutex::new(EventRing::new(self.inner.events_per_lane)),
+            }),
+        };
+        lanes.push(rec.clone());
+        rec
+    }
+
+    /// Merge every lane into a point-in-time report. Call after the rank
+    /// threads have joined; calling mid-run gives a consistent-per-lane
+    /// (but racy across lanes) snapshot, which is fine for progress dumps.
+    pub fn report(&self) -> Report {
+        let lanes = self.inner.lanes.lock();
+        let mut out: Vec<LaneReport> = lanes.iter().map(Recorder::snapshot).collect();
+        out.sort_by_key(|l| (l.rank, l.lane));
+        Report { lanes: out }
+    }
+}
+
+/// One lane's sink. Cheap to clone (an `Arc`).
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+struct RecorderInner {
+    rank: usize,
+    lane: usize,
+    registry: Weak<RegistryInner>,
+    counters: [AtomicU64; NUM_CTRS],
+    hists: [AtomicHist; NUM_HISTS],
+    ring: Mutex<EventRing>,
+}
+
+impl Recorder {
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    pub fn lane(&self) -> usize {
+        self.inner.lane
+    }
+
+    /// New sibling lane for the same rank, for helper threads spawned by a
+    /// rank thread. Returns `None` if the registry is gone.
+    pub fn fork(&self) -> Option<Recorder> {
+        self.inner.registry.upgrade().map(|inner| Registry { inner }.recorder(self.inner.rank))
+    }
+
+    pub(crate) fn add(&self, c: Ctr, delta: u64) {
+        self.inner.counters[c as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hist(&self, h: Hist, value: u64) {
+        self.inner.hists[h as usize].record(value);
+    }
+
+    pub(crate) fn push_event(&self, event: Event) {
+        self.inner.ring.lock().push(event);
+    }
+
+    fn snapshot(&self) -> LaneReport {
+        let ring = self.inner.ring.lock();
+        LaneReport {
+            rank: self.inner.rank,
+            lane: self.inner.lane,
+            events: ring.to_vec(),
+            dropped: ring.dropped(),
+            counters: std::array::from_fn(|i| self.inner.counters[i].load(Ordering::Relaxed)),
+            hists: std::array::from_fn(|i| self.inner.hists[i].snapshot()),
+        }
+    }
+}
+
+/// Snapshot of one lane.
+#[derive(Debug, Clone)]
+pub struct LaneReport {
+    pub rank: usize,
+    pub lane: usize,
+    /// Surviving ring events, oldest first.
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow.
+    pub dropped: u64,
+    pub counters: [u64; NUM_CTRS],
+    pub hists: [HistData; NUM_HISTS],
+}
+
+/// Aggregated time attributed to one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTotal {
+    pub phase: Phase,
+    /// Completed (paired) spans.
+    pub spans: u64,
+    /// Wall seconds summed over paired spans, all lanes.
+    pub seconds: f64,
+}
+
+/// Merged view over all lanes; exporters live in [`crate::export`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub lanes: Vec<LaneReport>,
+}
+
+impl Report {
+    /// Distinct ranks, ascending.
+    pub fn ranks(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.lanes.iter().map(|l| l.rank).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Counter total over all lanes.
+    pub fn counter(&self, c: Ctr) -> u64 {
+        self.lanes.iter().map(|l| l.counters[c as usize]).sum()
+    }
+
+    /// Histogram merged over all lanes.
+    pub fn hist(&self, h: Hist) -> HistData {
+        let mut out = HistData::default();
+        for lane in &self.lanes {
+            out.merge(&lane.hists[h as usize]);
+        }
+        out
+    }
+
+    /// Ring events lost to overflow, all lanes.
+    pub fn dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dropped).sum()
+    }
+
+    /// Per-phase span counts and seconds over all lanes (paired spans
+    /// only; an unclosed span contributes up to the lane's last event).
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        let mut spans = [0u64; Phase::ALL.len()];
+        let mut ns = [0u64; Phase::ALL.len()];
+        for lane in &self.lanes {
+            for sp in crate::export::pair_spans(&lane.events) {
+                spans[sp.phase as usize] += 1;
+                ns[sp.phase as usize] += sp.end_ns - sp.start_ns;
+            }
+        }
+        Phase::ALL
+            .iter()
+            .map(|&phase| PhaseTotal {
+                phase,
+                spans: spans[phase as usize],
+                seconds: ns[phase as usize] as f64 * 1e-9,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_per_call_and_per_rank() {
+        let reg = Registry::new();
+        let a = reg.recorder(0);
+        let b = reg.recorder(0);
+        let c = reg.recorder(2);
+        assert_eq!((a.rank(), a.lane()), (0, 0));
+        assert_eq!((b.rank(), b.lane()), (0, 1));
+        assert_eq!((c.rank(), c.lane()), (2, 0));
+        assert_eq!(reg.report().ranks(), vec![0, 2]);
+    }
+
+    #[test]
+    fn fork_opens_a_sibling_lane() {
+        let reg = Registry::new();
+        let a = reg.recorder(5);
+        let f = a.fork().expect("registry alive");
+        assert_eq!(f.rank(), 5);
+        assert_eq!(f.lane(), 1);
+        f.add(Ctr::MsgsSent, 3);
+        a.add(Ctr::MsgsSent, 1);
+        assert_eq!(reg.report().counter(Ctr::MsgsSent), 4);
+    }
+
+    #[test]
+    fn fork_after_registry_drop_is_none() {
+        let rec = Registry::new().recorder(0);
+        assert!(rec.fork().is_none());
+    }
+
+    #[test]
+    fn hists_merge_across_lanes() {
+        let reg = Registry::new();
+        reg.recorder(0).record_hist(Hist::MsgSize, 10);
+        reg.recorder(1).record_hist(Hist::MsgSize, 30);
+        let h = reg.report().hist(Hist::MsgSize);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 40);
+    }
+}

@@ -1,0 +1,118 @@
+//! Fixed-capacity event ring with drop-oldest overflow.
+//!
+//! One ring per recorder lane, written only by the owning thread. Capacity
+//! is allocated up front; a full ring overwrites the oldest slot and bumps
+//! a `dropped` count rather than allocating or corrupting the trace — the
+//! exporter later discards `Exit` events whose `Enter` fell off the front.
+
+/// Whether an event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    Enter,
+    Exit,
+}
+
+/// One recorded span edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub kind: EventKind,
+    pub phase: crate::Phase,
+    /// Free-form correlation id (RPC call id, task id, …); 0 when unused.
+    pub tag: u64,
+    /// Nanoseconds since the process-wide clock origin.
+    pub t_ns: u64,
+}
+
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Vec<Event>,
+    cap: usize,
+    /// Monotonic count of events ever pushed; `head % cap` is the next
+    /// write position once the ring has wrapped.
+    head: u64,
+}
+
+impl EventRing {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        EventRing { slots: Vec::with_capacity(cap), cap, head: 0 }
+    }
+
+    /// Record one event; O(1), no allocation after construction.
+    pub fn push(&mut self, event: Event) {
+        if self.slots.len() < self.cap {
+            self.slots.push(event);
+        } else {
+            let idx = (self.head % self.cap as u64) as usize;
+            self.slots[idx] = event;
+        }
+        self.head += 1;
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.head.saturating_sub(self.cap as u64)
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.head
+    }
+
+    /// Surviving events, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        if self.head <= self.cap as u64 {
+            self.slots.clone()
+        } else {
+            let split = (self.head % self.cap as u64) as usize;
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.slots[split..]);
+            out.extend_from_slice(&self.slots[..split]);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+
+    fn ev(t: u64) -> Event {
+        Event { kind: EventKind::Enter, phase: Phase::Index, tag: t, t_ns: t }
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = EventRing::new(4);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.to_vec().iter().map(|e| e.t_ns).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_in_order() {
+        let mut r = EventRing::new(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.pushed(), 10);
+        assert_eq!(r.to_vec().iter().map(|e| e.t_ns).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let mut r = EventRing::new(3);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.to_vec().len(), 3);
+        r.push(ev(3));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.to_vec().iter().map(|e| e.t_ns).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+}

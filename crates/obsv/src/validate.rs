@@ -1,0 +1,190 @@
+//! Structural validation of exported Chrome traces.
+//!
+//! Shared by the e2e test suite and the `trace_check` CLI the CI job runs:
+//! the trace must survive a parse → serialize → parse round trip, every
+//! complete event needs a non-negative duration, spans must be strictly
+//! nested per track, and each declared rank should carry spans.
+
+use crate::json::{self, Value};
+
+/// What a valid trace contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Ranks declared via `thread_name` metadata, ascending.
+    pub ranks_declared: Vec<usize>,
+    /// Ranks that own at least one complete (`"X"`) event, ascending.
+    pub ranks_with_spans: Vec<usize>,
+    /// Total complete events.
+    pub spans: usize,
+}
+
+/// Validate `text` as a Chrome `trace_event` document produced by
+/// [`crate::Report::chrome_trace`]. Returns a summary or the first
+/// structural violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(text).map_err(|e| format!("trace does not parse: {e}"))?;
+
+    // Round trip: serializing the parsed value must reproduce an
+    // equivalent document (exercises writer/parser agreement the same way
+    // a serde round-trip test would).
+    let again = json::parse(&doc.to_json()).map_err(|e| format!("round-trip parse failed: {e}"))?;
+    if again != doc {
+        return Err("round-trip changed the document".to_string());
+    }
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+
+    let mut ranks_declared: Vec<usize> = Vec::new();
+    // (tid, rank) for every declared track.
+    let mut track_ranks: Vec<(u64, usize)> = Vec::new();
+    // Per-tid list of (ts_ns, dur_ns).
+    let mut per_tid: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
+    let mut spans = 0usize;
+
+    for (i, e) in events.iter().enumerate() {
+        let ph =
+            e.get("ph").and_then(Value::as_str).ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => {
+                if e.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    let args = e.get("args").ok_or_else(|| format!("event {i}: missing args"))?;
+                    let rank = args
+                        .get("rank")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("event {i}: thread_name without rank"))?
+                        as usize;
+                    let tid = e
+                        .get("tid")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("event {i}: thread_name without tid"))?;
+                    ranks_declared.push(rank);
+                    track_ranks.push((tid, rank));
+                }
+            }
+            "X" => {
+                let tid = e
+                    .get("tid")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: X without tid"))?;
+                let ts = e
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without ts"))?;
+                let dur = e
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without dur"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur ({ts}, {dur})"));
+                }
+                let args = e.get("args").ok_or_else(|| format!("event {i}: X without args"))?;
+                let ts_ns = args
+                    .get("ts_ns")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: X without integer ts_ns"))?;
+                let dur_ns = args
+                    .get("dur_ns")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: X without integer dur_ns"))?;
+                match per_tid.iter_mut().find(|(t, _)| *t == tid) {
+                    Some((_, list)) => list.push((ts_ns, dur_ns)),
+                    None => per_tid.push((tid, vec![(ts_ns, dur_ns)])),
+                }
+                spans += 1;
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+
+    // Strict nesting per track: sorted by start (longest first on ties),
+    // every span must lie entirely within whichever span encloses it.
+    for (tid, list) in per_tid.iter_mut() {
+        let mut sorted = list.clone();
+        sorted.sort_by_key(|&(ts, dur)| (ts, std::cmp::Reverse(dur)));
+        let mut stack: Vec<u64> = Vec::new(); // end timestamps
+        for (ts, dur) in sorted {
+            let end = ts + dur;
+            while matches!(stack.last(), Some(&top) if top <= ts) {
+                stack.pop();
+            }
+            if let Some(&top) = stack.last() {
+                if end > top {
+                    return Err(format!(
+                        "track {tid}: span [{ts}, {end}) overlaps enclosing span ending at {top}"
+                    ));
+                }
+            }
+            stack.push(end);
+        }
+    }
+
+    let mut ranks_with_spans: Vec<usize> = per_tid
+        .iter()
+        .filter(|(_, list)| !list.is_empty())
+        .filter_map(|(tid, _)| track_ranks.iter().find(|(t, _)| t == tid).map(|(_, r)| *r))
+        .collect();
+    ranks_with_spans.sort_unstable();
+    ranks_with_spans.dedup();
+    ranks_declared.sort_unstable();
+    ranks_declared.dedup();
+
+    Ok(TraceSummary { ranks_declared, ranks_with_spans, spans })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install, span, span_tagged, Phase, Registry};
+
+    #[test]
+    #[cfg_attr(not(feature = "record"), ignore = "needs event recording")]
+    fn validates_a_real_trace() {
+        let reg = Registry::new();
+        for rank in 0..3 {
+            let _g = install(reg.recorder(rank));
+            let outer = span(Phase::Query);
+            let inner = span_tagged(Phase::Fetch, rank as u64);
+            drop(inner);
+            drop(outer);
+        }
+        let summary = validate_chrome_trace(&reg.report().chrome_trace()).expect("valid");
+        assert_eq!(summary.ranks_declared, vec![0, 1, 2]);
+        assert_eq!(summary.ranks_with_spans, vec![0, 1, 2]);
+        assert_eq!(summary.spans, 6);
+    }
+
+    #[test]
+    fn rejects_overlapping_spans() {
+        // Two spans on one track that overlap without nesting.
+        let text = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"rank 0","rank":0,"lane":0}},
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":10,"args":{"tag":0,"ts_ns":0,"dur_ns":10000}},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":5,"dur":10,"args":{"tag":0,"ts_ns":5000,"dur_ns":10000}}
+        ]}"#;
+        let err = validate_chrome_trace(text).expect_err("overlap must fail");
+        assert!(err.contains("overlaps"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_missing_fields() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        let no_dur = r#"{"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0,"ts":1,"args":{}}]}"#;
+        assert!(validate_chrome_trace(no_dur).is_err());
+    }
+
+    #[test]
+    fn sibling_spans_may_touch() {
+        let text = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"rank 0","rank":0,"lane":0}},
+            {"name":"p","ph":"X","pid":0,"tid":0,"ts":0,"dur":20,"args":{"tag":0,"ts_ns":0,"dur_ns":20000}},
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":10,"args":{"tag":0,"ts_ns":0,"dur_ns":10000}},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":10,"dur":10,"args":{"tag":0,"ts_ns":10000,"dur_ns":10000}}
+        ]}"#;
+        let summary = validate_chrome_trace(text).expect("touching siblings are nested");
+        assert_eq!(summary.spans, 3);
+    }
+}

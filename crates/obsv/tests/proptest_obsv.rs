@@ -1,0 +1,102 @@
+//! Property tests for the observability primitives.
+//!
+//! * Histogram merge is associative and commutative and never loses
+//!   counts: however per-rank snapshots are combined, the totals and every
+//!   bucket equal a single histogram fed all values.
+//! * The span ring drops only the *oldest* events on overflow and
+//!   reports exactly how many were dropped — the surviving suffix is
+//!   contiguous and in order, never corrupted.
+
+use obsv::ring::{Event, EventKind, EventRing};
+use obsv::{HistData, Phase};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..64)
+}
+
+fn hist_of(values: &[u64]) -> HistData {
+    let mut h = HistData::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &HistData, b: &HistData) -> HistData {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn hist_merge_commutative(a in values(), b in values()) {
+        // Raw u64 values: `sum` is wrapping, and wrapping addition is
+        // itself associative and commutative, so no clamping is needed.
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    #[test]
+    fn hist_merge_associative(a in values(), b in values(), c in values()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let left = merged(&merged(&ha, &hb), &hc);
+        let right = merged(&ha, &merged(&hb, &hc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn hist_merge_lossless(a in values(), b in values()) {
+        let m = merged(&hist_of(&a), &hist_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        // Merging two snapshots is indistinguishable from one histogram
+        // that saw every value: same count, same sum, same buckets.
+        prop_assert_eq!(m, hist_of(&all));
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_only(cap in 1usize..48, n in 0usize..200) {
+        let mut ring = EventRing::new(cap);
+        for i in 0..n {
+            ring.push(Event {
+                kind: EventKind::Enter,
+                phase: Phase::Index,
+                tag: i as u64,
+                t_ns: i as u64,
+            });
+        }
+        let expect_dropped = n.saturating_sub(cap) as u64;
+        prop_assert_eq!(ring.dropped(), expect_dropped);
+        prop_assert_eq!(ring.pushed(), n as u64);
+        let kept = ring.to_vec();
+        prop_assert_eq!(kept.len(), n.min(cap));
+        // Survivors are exactly the newest `min(n, cap)` events, in push
+        // order, with nothing rewritten.
+        for (j, e) in kept.iter().enumerate() {
+            prop_assert_eq!(e.tag, (expect_dropped as usize + j) as u64);
+        }
+    }
+}
+
+/// Ring overflow surfaces as a per-lane `dropped` count in the merged
+/// report, and the trace still validates (no corruption).
+#[test]
+#[cfg_attr(not(feature = "record"), ignore = "needs event recording")]
+fn overflow_reports_dropped_and_trace_stays_valid() {
+    let reg = obsv::Registry::with_capacity(8);
+    {
+        let _g = obsv::install(reg.recorder(0));
+        for i in 0..32u64 {
+            let _sp = obsv::span_tagged(Phase::RpcCall, i);
+        }
+    }
+    let report = reg.report();
+    // 64 edges pushed into an 8-slot ring.
+    assert_eq!(report.dropped(), 56);
+    assert_eq!(report.lanes[0].dropped, 56);
+    let summary =
+        obsv::validate::validate_chrome_trace(&report.chrome_trace()).expect("truncated trace");
+    assert_eq!(summary.spans, 4, "8 surviving edges pair into 4 spans");
+}

@@ -75,6 +75,7 @@ pub struct Workflow {
     links: Vec<LinkDef>,
     props: LowFiveProps,
     overlap: bool,
+    observe: Option<obsv::Registry>,
 }
 
 impl Workflow {
@@ -120,6 +121,17 @@ impl Workflow {
     /// outstanding sessions when each task body returns.
     pub fn overlap(&mut self, on: bool) -> &mut Self {
         self.overlap = on;
+        self
+    }
+
+    /// Record spans, counters, and histograms into `registry` while the
+    /// workflow runs: every rank gets a recorder lane, each task body runs
+    /// under a [`obsv::Phase::Task`] span tagged with its task id, and the
+    /// transport layers below (LowFive, RPC, simmpi) report into the same
+    /// lanes. Export the result with [`obsv::Registry::report`] after
+    /// [`Workflow::run`] returns.
+    pub fn observe(&mut self, registry: obsv::Registry) -> &mut Self {
+        self.observe = Some(registry);
         self
     }
 
@@ -252,7 +264,7 @@ impl Workflow {
         }
         let specs: Vec<TaskSpec> =
             self.tasks.iter().map(|t| TaskSpec::new(t.name.clone(), t.procs)).collect();
-        TaskWorld::run(&specs, |tc| {
+        TaskWorld::run_observed(&specs, None, self.observe.as_ref(), |tc| {
             // Build this rank's plugin from the link topology.
             let mut builder = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
                 .props(self.props.clone())
@@ -274,6 +286,11 @@ impl Workflow {
                 }
             }
             let body = Arc::clone(&self.tasks[tc.task_id].body);
+            // The Task span covers the body *and* the drain: overlap-mode
+            // serve time a producer spends after its body returns is still
+            // that task's work.
+            let sp = obsv::span_tagged(obsv::Phase::Task, tc.task_id as u64);
+            obsv::counter_add(obsv::Ctr::TasksStarted, 1);
             if any_link || !self.links.is_empty() {
                 let dist = builder.build();
                 let vol: Arc<dyn Vol> = dist.clone();
@@ -285,6 +302,8 @@ impl Workflow {
             } else {
                 body(&tc);
             }
+            obsv::counter_add(obsv::Ctr::TasksFinished, 1);
+            drop(sp);
         });
     }
 }

@@ -27,6 +27,7 @@ const TAG_ALLTOALL: Tag = COLLECTIVE_TAG_BASE + 0x103;
 impl Comm {
     /// Dissemination barrier: every rank blocks until all ranks arrive.
     pub fn barrier(&self) {
+        obsv::counter_add(obsv::Ctr::Collectives, 1);
         let n = self.size();
         if n == 1 {
             return;
@@ -46,6 +47,7 @@ impl Comm {
     /// Binomial-tree broadcast. `root` passes `Some(data)`; everyone
     /// receives the broadcast value.
     pub fn bcast_bytes(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        obsv::counter_add(obsv::Ctr::Collectives, 1);
         let n = self.size();
         let vrank = (self.rank() + n - root) % n;
         let mut buf = if vrank == 0 {
@@ -103,6 +105,7 @@ impl Comm {
     /// Gather every rank's payload at `root` (variable lengths allowed).
     /// Returns `Some(vec indexed by rank)` at root, `None` elsewhere.
     pub fn gather_bytes(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
+        obsv::counter_add(obsv::Ctr::Collectives, 1);
         if self.rank() != root {
             self.send_internal(root, TAG_GATHER, data);
             return None;
@@ -121,6 +124,7 @@ impl Comm {
     /// Scatter one payload to each rank from `root`; returns this rank's
     /// piece. `parts` must be `Some` (length = size) at root.
     pub fn scatter_bytes(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
+        obsv::counter_add(obsv::Ctr::Collectives, 1);
         if self.rank() == root {
             let parts = parts.expect("scatter root must supply parts");
             assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
@@ -142,6 +146,7 @@ impl Comm {
     /// payload from every rank (variable lengths — `MPI_Alltoallv`).
     /// Returns payloads indexed by source rank.
     pub fn alltoall_bytes(&self, parts: Vec<Bytes>) -> Vec<Bytes> {
+        obsv::counter_add(obsv::Ctr::Collectives, 1);
         assert_eq!(parts.len(), self.size(), "one part per rank");
         let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
         for (dest, p) in parts.into_iter().enumerate() {

@@ -130,7 +130,18 @@ impl Comm {
             }
         }
         self.inner.stats.record_send(payload.len());
-        let env = WireEnvelope { world_src, wire_tag, payload };
+        // Observability mirrors TransportStats exactly: both fire after
+        // fault drops, so histogram sums and StatsSnapshot agree by
+        // construction (cross-checked in tests/obsv_accounting.rs).
+        let sent_ns = if obsv::active() {
+            obsv::counter_add(obsv::Ctr::MsgsSent, 1);
+            obsv::counter_add(obsv::Ctr::BytesSent, payload.len() as u64);
+            obsv::hist_record(obsv::Hist::MsgSize, payload.len() as u64);
+            obsv::clock::now_ns()
+        } else {
+            0
+        };
+        let env = WireEnvelope { world_src, wire_tag, payload, sent_ns };
         let mailbox = &self.inner.mailboxes[world_dest];
         if front {
             mailbox.push_front(env);
@@ -166,6 +177,12 @@ impl Comm {
     fn localize(&self, wire: WireEnvelope) -> Envelope {
         if let Some(cm) = &self.inner.cost {
             std::thread::sleep(cm.delay(wire.payload.len()));
+        }
+        if wire.sent_ns != 0 {
+            obsv::hist_record(
+                obsv::Hist::MsgLatencyNs,
+                obsv::clock::now_ns().saturating_sub(wire.sent_ns),
+            );
         }
         let (_, tag) = crate::envelope::split_wire_tag(wire.wire_tag);
         let src = self.local_of_world[wire.world_src]

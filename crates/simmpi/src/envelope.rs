@@ -93,6 +93,10 @@ pub(crate) struct WireEnvelope {
     pub world_src: usize,
     pub wire_tag: WireTag,
     pub payload: Bytes,
+    /// `obsv` clock stamp taken at send time, or 0 when the sending
+    /// thread had no recorder — lets the receive side attribute
+    /// send-to-delivery latency without a second clock.
+    pub sent_ns: u64,
 }
 
 pub(crate) fn make_wire_tag(ctx: u32, tag: Tag) -> WireTag {

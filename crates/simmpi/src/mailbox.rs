@@ -162,6 +162,7 @@ mod tests {
             world_src: src,
             wire_tag: make_wire_tag(ctx, tag),
             payload: Bytes::copy_from_slice(body),
+            sent_ns: 0,
         }
     }
 

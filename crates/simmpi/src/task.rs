@@ -97,12 +97,30 @@ impl TaskWorld {
         R: Send,
         F: Fn(TaskComm) -> R + Send + Sync,
     {
+        Self::run_observed(specs, cost, None, f)
+    }
+
+    /// As [`TaskWorld::run_with`], recording spans/counters/histograms
+    /// into `observe` (one recorder lane per world rank) when given.
+    pub fn run_observed<R, F>(
+        specs: &[TaskSpec],
+        cost: Option<CostModel>,
+        observe: Option<&obsv::Registry>,
+        f: F,
+    ) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(TaskComm) -> R + Send + Sync,
+    {
         let (offsets, total) = layout(specs);
         let offsets_ref = &offsets;
         let f = &f;
         let mut builder = World::builder(total);
         if let Some(cm) = cost {
             builder = builder.cost_model(cm);
+        }
+        if let Some(reg) = observe {
+            builder = builder.observe(reg.clone());
         }
         builder.run(move |world| dispatch(specs, offsets_ref, world, f))
     }

@@ -57,6 +57,7 @@ pub struct WorldBuilder {
     size: usize,
     cost: Option<CostModel>,
     fault: Option<FaultPlan>,
+    observe: Option<obsv::Registry>,
 }
 
 /// Results of a completed run plus transport statistics.
@@ -111,7 +112,7 @@ impl World {
     /// Start configuring a run (e.g. to attach a [`CostModel`] or a
     /// [`FaultPlan`]).
     pub fn builder(size: usize) -> WorldBuilder {
-        WorldBuilder { size, cost: None, fault: None }
+        WorldBuilder { size, cost: None, fault: None, observe: None }
     }
 }
 
@@ -130,6 +131,14 @@ impl WorldBuilder {
         self
     }
 
+    /// Attach an observability registry: every rank thread gets its own
+    /// recorder lane, so spans/counters/histograms recorded anywhere in
+    /// the stack land in `registry.report()` after the run.
+    pub fn observe(mut self, registry: obsv::Registry) -> Self {
+        self.observe = Some(registry);
+        self
+    }
+
     fn build_inner(&mut self) -> Arc<WorldInner> {
         assert!(self.size > 0, "world size must be at least 1");
         let fault = self.fault.take().map(|p| FaultState::new(p, self.size));
@@ -143,15 +152,22 @@ impl WorldBuilder {
         F: Fn(Comm) -> R + Send + Sync,
     {
         let inner = self.build_inner();
+        let observe = self.observe.take();
         let f = &f;
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.size)
                 .map(|rank| {
                     let comm = Comm::world(Arc::clone(&inner), rank, self.size);
+                    let recorder = observe.as_ref().map(|reg| reg.recorder(rank));
                     let mut builder = std::thread::Builder::new();
                     // Keep stacks modest: sweeps spawn hundreds of ranks.
                     builder = builder.stack_size(2 << 20).name(format!("rank-{rank}"));
-                    builder.spawn_scoped(scope, move || f(comm)).expect("spawn rank thread")
+                    builder
+                        .spawn_scoped(scope, move || {
+                            let _obs = recorder.map(obsv::install);
+                            f(comm)
+                        })
+                        .expect("spawn rank thread")
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect::<Vec<R>>()
@@ -175,16 +191,19 @@ impl WorldBuilder {
     {
         silence_injected_panics();
         let inner = self.build_inner();
+        let observe = self.observe.take();
         let f = &f;
         let outcomes: Vec<Result<R, RankDeath>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.size)
                 .map(|rank| {
                     let comm = Comm::world(Arc::clone(&inner), rank, self.size);
+                    let recorder = observe.as_ref().map(|reg| reg.recorder(rank));
                     let inner = Arc::clone(&inner);
                     let mut builder = std::thread::Builder::new();
                     builder = builder.stack_size(2 << 20).name(format!("rank-{rank}"));
                     builder
                         .spawn_scoped(scope, move || {
+                            let _obs = recorder.map(obsv::install);
                             let res =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
                             res.map_err(|payload| {

@@ -222,3 +222,84 @@ fn killed_producer_surfaces_peer_unavailable_everywhere() {
     assert_eq!(out.trace, again.trace, "replay with the same seed must match");
     assert_eq!(again.deaths.len(), 1);
 }
+
+/// Satellite regression: a *file-mode* consume link used to poll for the
+/// producer's file against a hard-coded 120 s deadline, ignoring the
+/// file's RPC policy. The open must now fail within
+/// `timeout x (retries + 1)` with `PeerUnavailable` when the producer
+/// never delivers — and a file that shows up late but within budget must
+/// still open.
+#[test]
+fn file_mode_open_honors_rpc_policy() {
+    let dir = std::env::temp_dir().join(format!("lf-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let missing = dir.join("never-written.nh5").to_str().unwrap().to_string();
+
+    // A dead producer: task 0 exits without writing anything.
+    let specs = [TaskSpec::new("p", 1), TaskSpec::new("c", 1)];
+    let missing2 = missing.clone();
+    let t0 = std::time::Instant::now();
+    let out = TaskWorld::run(&specs, move |tc| {
+        if tc.task_id == 0 {
+            return Ok(());
+        }
+        let mut props = LowFiveProps::new();
+        props.set_memory("*", false).set_passthrough("*", true);
+        props.set_rpc_timeout("*", Some(Duration::from_millis(100)));
+        props.set_rpc_retries("*", 2);
+        let producers = world_ranks(&tc, 0);
+        let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+            .props(props)
+            .consume("*", producers)
+            .build();
+        match H5::with_vol(vol).open_file(&missing2) {
+            Ok(_) => Err("open of a never-written file cannot succeed".to_string()),
+            Err(H5Error::PeerUnavailable(m)) => Ok(Err::<(), String>(m)),
+            Err(e) => Err(format!("wrong error kind: {e}")),
+        }
+        .map(|_| ())
+    });
+    let elapsed = t0.elapsed();
+    out.into_iter().for_each(|r| r.unwrap());
+    // Budget is 100 ms x 3 attempts = 300 ms; anything close to the old
+    // 120 s default means the policy was ignored.
+    assert!(elapsed < Duration::from_secs(10), "fast failure expected, took {elapsed:?}");
+
+    // Late arrival within budget: the producer writes after a delay and
+    // the consumer's poll loop must pick the file up and read it back.
+    let late = dir.join("late.nh5").to_str().unwrap().to_string();
+    let late2 = late.clone();
+    let out = TaskWorld::run(&specs, move |tc| {
+        let mut props = LowFiveProps::new();
+        props.set_memory("*", false).set_passthrough("*", true);
+        if tc.task_id == 0 {
+            std::thread::sleep(Duration::from_millis(50));
+            let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .produce("*", world_ranks(&tc, 1))
+                .build();
+            let h5 = H5::with_vol(vol);
+            let f = h5.create_file(&late2).unwrap();
+            let d = f
+                .create_dataset("x", minih5::Datatype::UInt64, minih5::Dataspace::simple(&[4]))
+                .unwrap();
+            d.write_all(&[7u64, 8, 9, 10]).unwrap();
+            f.close().unwrap();
+            Vec::new()
+        } else {
+            props.set_rpc_timeout("*", Some(Duration::from_secs(5)));
+            props.set_rpc_retries("*", 1);
+            let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("*", world_ranks(&tc, 0))
+                .build();
+            let h5 = H5::with_vol(vol);
+            let f = h5.open_file(&late2).unwrap();
+            let got = f.open_dataset("x").unwrap().read_all::<u64>().unwrap();
+            f.close().unwrap();
+            got
+        }
+    });
+    assert_eq!(out[1], vec![7, 8, 9, 10]);
+    std::fs::remove_dir_all(&dir).ok();
+}
