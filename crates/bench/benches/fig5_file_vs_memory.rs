@@ -5,10 +5,12 @@
 //! metrics JSON into `bench-results/` next to the figure CSVs.
 
 use bench::runners::{
-    run_lowfive_file, run_lowfive_file_traced, run_lowfive_memory, run_lowfive_memory_traced,
+    run_lowfive_fetch, run_lowfive_file, run_lowfive_file_traced, run_lowfive_memory,
+    run_lowfive_memory_traced,
 };
 use bench::workload::Workload;
 use criterion::{criterion_group, criterion_main, Criterion};
+use simmpi::CostModel;
 
 fn bench(c: &mut Criterion) {
     let w = Workload::paper_split(8, 4_096, 4_096);
@@ -19,6 +21,27 @@ fn bench(c: &mut Criterion) {
     g.bench_function("lowfive_file_mode", |b| b.iter(|| run_lowfive_file(&w, &dir)));
     g.bench_function("lowfive_memory_mode", |b| b.iter(|| run_lowfive_memory(&w)));
     g.finish();
+
+    // Fig. 5 pipelining variant: the consumer fetch path with batching and
+    // overlap on vs. off, under the same interconnect cost model, so the
+    // serial round-trips pay their latency while the pipelined fan-out
+    // overlaps it.
+    let cost = CostModel::interconnect();
+    let mut g = c.benchmark_group("fig5_fetch_pipeline");
+    g.sample_size(10);
+    g.bench_function("fetch_serial", |b| b.iter(|| run_lowfive_fetch(&w, false, Some(cost))));
+    g.bench_function("fetch_pipelined", |b| b.iter(|| run_lowfive_fetch(&w, true, Some(cost))));
+    g.finish();
+    let serial = run_lowfive_fetch(&w, false, Some(cost));
+    let pipelined = run_lowfive_fetch(&w, true, Some(cost));
+    eprintln!(
+        "fetch pipeline: serial {:.4}s / {} msgs -> pipelined {:.4}s / {} msgs ({:.2}x)",
+        serial.seconds,
+        serial.messages,
+        pipelined.seconds,
+        pipelined.messages,
+        serial.seconds / pipelined.seconds
+    );
 
     // Untimed traced pass: where did the benchmarked seconds go?
     let reg = obsv::Registry::new();

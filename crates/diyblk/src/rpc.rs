@@ -28,7 +28,19 @@
 //! (queries, fetches). A dead server (detected by the fault layer) fails
 //! fast with [`RpcError::PeerDead`] — retrying cannot help, the rank is
 //! gone for the rest of the run.
+//!
+//! ## Pipelined multi-calls
+//!
+//! [`RpcClient::call_many`] issues a whole fan-out of requests at once —
+//! one per [`Call`] — and completes them *as the replies arrive*, in
+//! whatever order the servers answer. Each in-flight request keeps its own
+//! call id, per-attempt deadline, and bounded-retry state, so a timeout or
+//! a death on one server never stalls the others; while one server is
+//! still computing its reply, the client is already consuming replies from
+//! the rest. This is the primitive under LowFive's pipelined consumer
+//! fetch path (see `lowfive::dist`).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -151,6 +163,7 @@ pub struct RpcServer<'a> {
 }
 
 impl<'a> RpcServer<'a> {
+    /// Serve requests arriving on `comm`.
     pub fn new(comm: &'a Comm) -> Self {
         RpcServer { comm }
     }
@@ -236,6 +249,7 @@ pub struct RpcClient<'a> {
 }
 
 impl<'a> RpcClient<'a> {
+    /// Issue calls over `comm`.
     pub fn new(comm: &'a Comm) -> Self {
         RpcClient { comm }
     }
@@ -342,6 +356,215 @@ impl<'a> RpcClient<'a> {
     pub fn notify(&self, server: usize, method: u32, args: &[u8]) {
         obsv::counter_add(obsv::Ctr::RpcNotifies, 1);
         self.comm.send(server, TAG_REQUEST, encode_request(method, NOTIFY_ID, args));
+    }
+
+    /// Issue every request in `calls` at once and complete them as the
+    /// replies arrive, invoking `on_reply(index, result)` once per call in
+    /// **completion order** (the index is the call's position in `calls`).
+    ///
+    /// With `policy: None` each call waits indefinitely, like
+    /// [`RpcClient::call`] — except that a server known dead fails that
+    /// call fast with [`RpcError::PeerDead`] instead of hanging the whole
+    /// fan-out. With a [`RetryPolicy`], every call independently gets
+    /// `policy.attempts` tries of `policy.timeout` each with exponential
+    /// backoff between them, exactly like [`RpcClient::call_retry`] — but
+    /// a retry of one call proceeds concurrently with the still-pending
+    /// others instead of serializing behind them. Only use a policy with
+    /// *idempotent* methods: a retry re-executes the request.
+    ///
+    /// Stale replies (to earlier timed-out attempts, from this or any
+    /// previous call on this rank) are recognized by call id and
+    /// discarded. Requests to the *same* server stay FIFO on its serve
+    /// loop, so batching per server and fanning out across servers is the
+    /// intended usage.
+    pub fn call_many<F>(&self, calls: &[Call], policy: Option<RetryPolicy>, mut on_reply: F)
+    where
+        F: FnMut(usize, Result<Bytes, RpcError>),
+    {
+        if calls.is_empty() {
+            return;
+        }
+        if let Some(p) = policy {
+            assert!(p.attempts >= 1, "retry policy needs at least one attempt");
+        }
+        obsv::counter_add(obsv::Ctr::RpcMultiCalls, 1);
+        obsv::hist_record(obsv::Hist::RpcInflight, calls.len() as u64);
+        let _sp = obsv::span(obsv::Phase::RpcCall);
+
+        /// Where one fan-out entry currently is.
+        enum SlotState {
+            /// Request is on the wire; waiting for the reply to `call_id`.
+            Waiting { call_id: u64, deadline: Option<Instant> },
+            /// Timed out; resend once `resend_at` passes (backoff sleep
+            /// without blocking the other in-flight calls).
+            Backoff { resend_at: Instant },
+            /// Completed (reply delivered or error reported).
+            Done,
+        }
+        struct Slot {
+            server: usize,
+            method: u32,
+            args: Bytes,
+            /// Resends still allowed after the current attempt.
+            attempts_left: u32,
+            backoff: Duration,
+            sent_ns: u64,
+            state: SlotState,
+        }
+
+        // How often the wait loop wakes to notice dead peers even when no
+        // deadline is near (wildcard receives cannot abort on death).
+        const LIVENESS_POLL: Duration = Duration::from_millis(25);
+
+        let mut slots: Vec<Slot> = calls
+            .iter()
+            .map(|c| Slot {
+                server: c.server,
+                method: c.method,
+                args: c.args.clone(),
+                attempts_left: policy.map(|p| p.attempts - 1).unwrap_or(0),
+                backoff: policy.map(|p| p.backoff).unwrap_or(Duration::ZERO),
+                sent_ns: 0,
+                state: SlotState::Done, // placeholder until the first send
+            })
+            .collect();
+        let mut by_id: HashMap<u64, usize> = HashMap::with_capacity(slots.len());
+        let mut remaining = slots.len();
+
+        let send_attempt = |slot: &mut Slot, by_id: &mut HashMap<u64, usize>, idx: usize| {
+            let call_id = fresh_call_id();
+            obsv::counter_add(obsv::Ctr::RpcCalls, 1);
+            slot.sent_ns = obsv::clock::now_ns();
+            self.comm.send(
+                slot.server,
+                TAG_REQUEST,
+                encode_request(slot.method, call_id, &slot.args),
+            );
+            slot.state = SlotState::Waiting {
+                call_id,
+                deadline: policy.map(|p| Instant::now() + p.timeout),
+            };
+            by_id.insert(call_id, idx);
+        };
+
+        for (i, slot) in slots.iter_mut().enumerate() {
+            send_attempt(slot, &mut by_id, i);
+        }
+
+        while remaining > 0 {
+            let now = Instant::now();
+            // Housekeeping pass: dead peers, expired deadlines, due
+            // resends. Completion never touches other slots, so one pass
+            // per wake suffices.
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if matches!(slot.state, SlotState::Done) {
+                    continue;
+                }
+                if !self.comm.peer_alive(slot.server) {
+                    if let SlotState::Waiting { call_id, .. } = slot.state {
+                        by_id.remove(&call_id);
+                    }
+                    slot.state = SlotState::Done;
+                    remaining -= 1;
+                    obsv::counter_add(obsv::Ctr::RpcPeersDead, 1);
+                    on_reply(i, Err(RpcError::PeerDead));
+                    continue;
+                }
+                match slot.state {
+                    SlotState::Waiting { call_id, deadline: Some(d) } if d <= now => {
+                        by_id.remove(&call_id);
+                        obsv::counter_add(obsv::Ctr::RpcTimeouts, 1);
+                        if slot.attempts_left == 0 {
+                            slot.state = SlotState::Done;
+                            remaining -= 1;
+                            on_reply(i, Err(RpcError::TimedOut));
+                        } else {
+                            slot.attempts_left -= 1;
+                            obsv::counter_add(obsv::Ctr::RpcRetries, 1);
+                            if slot.backoff.is_zero() {
+                                send_attempt(slot, &mut by_id, i);
+                            } else {
+                                let resend_at = now + slot.backoff;
+                                slot.backoff *= 2;
+                                slot.state = SlotState::Backoff { resend_at };
+                            }
+                        }
+                    }
+                    SlotState::Backoff { resend_at } if resend_at <= now => {
+                        send_attempt(slot, &mut by_id, i);
+                    }
+                    _ => {}
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+            // Sleep until the nearest deadline/resend (capped by the
+            // liveness poll), or until any reply lands.
+            let mut wake = now + LIVENESS_POLL;
+            for slot in &slots {
+                match slot.state {
+                    SlotState::Waiting { deadline: Some(d), .. } => wake = wake.min(d),
+                    SlotState::Backoff { resend_at } => wake = wake.min(resend_at),
+                    _ => {}
+                }
+            }
+            match self.comm.recv_timeout(
+                SrcSel::Any,
+                TAG_REPLY.into(),
+                wake.saturating_duration_since(now),
+            ) {
+                Ok(env) => {
+                    let (id, body) = decode_reply(&env.payload);
+                    if let Some(i) = by_id.remove(&id) {
+                        obsv::hist_record(obsv::Hist::RpcReplySize, body.len() as u64);
+                        obsv::hist_record(
+                            obsv::Hist::RpcLatencyNs,
+                            obsv::clock::now_ns().saturating_sub(slots[i].sent_ns),
+                        );
+                        slots[i].state = SlotState::Done;
+                        remaining -= 1;
+                        on_reply(i, Ok(body));
+                    }
+                    // Unknown id: stale reply to an earlier timed-out
+                    // attempt — discard.
+                }
+                // Deadlines are handled at the top of the loop; a
+                // wildcard receive never reports PeerDead.
+                Err(RecvError::TimedOut) | Err(RecvError::PeerDead) => {}
+            }
+        }
+    }
+
+    /// As [`RpcClient::call_many`], but collect the results into a vector
+    /// parallel to `calls` (index `i` holds call `i`'s outcome). Replies
+    /// are still consumed as they arrive; only the return is ordered.
+    pub fn call_many_collect(
+        &self,
+        calls: &[Call],
+        policy: Option<RetryPolicy>,
+    ) -> Vec<Result<Bytes, RpcError>> {
+        let mut out: Vec<Result<Bytes, RpcError>> = vec![Err(RpcError::TimedOut); calls.len()];
+        self.call_many(calls, policy, |i, r| out[i] = r);
+        out
+    }
+}
+
+/// One outgoing request of a [`RpcClient::call_many`] fan-out.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Server rank in the client's communicator.
+    pub server: usize,
+    /// Method id dispatched by the server's handler.
+    pub method: u32,
+    /// Serialized argument bytes.
+    pub args: Bytes,
+}
+
+impl Call {
+    /// Build one fan-out entry.
+    pub fn new(server: usize, method: u32, args: impl Into<Bytes>) -> Self {
+        Call { server, method, args: args.into() }
     }
 }
 
@@ -532,6 +755,183 @@ mod tests {
                 rpc.notify(0, M_DONE, &[]);
             }
         });
+    }
+
+    #[test]
+    fn call_many_completes_out_of_order() {
+        // Three servers answer with per-server delays (slowest first in
+        // the call list); the fan-out must deliver every reply, tagged
+        // with the right index, and the total wait must be bounded by the
+        // slowest server, not the sum.
+        World::run(4, |c| {
+            if c.rank() < 3 {
+                let delay = Duration::from_millis(40 * (2 - c.rank() as u64));
+                RpcServer::new(&c).serve(move |_caller, method, args| {
+                    if method == M_DONE {
+                        return ServeOutcome::Stop(None);
+                    }
+                    std::thread::sleep(delay);
+                    ServeOutcome::Reply(args)
+                });
+            } else {
+                let rpc = RpcClient::new(&c);
+                let calls: Vec<Call> =
+                    (0..3).map(|s| Call::new(s, M_ECHO, Bytes::from(vec![s as u8]))).collect();
+                let t0 = Instant::now();
+                let mut order = Vec::new();
+                rpc.call_many(&calls, None, |i, r| {
+                    assert_eq!(&r.expect("live servers reply")[..], &[i as u8]);
+                    order.push(i);
+                });
+                // Rank 0 sleeps 80 ms, rank 2 replies immediately: the sum
+                // is 120 ms, the max 80 ms. Leave slack for scheduling.
+                assert!(t0.elapsed() < Duration::from_millis(115), "{:?}", t0.elapsed());
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2]);
+                for s in 0..3 {
+                    rpc.notify(s, M_DONE, &[]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn call_many_collect_preserves_input_order() {
+        World::run(3, |c| {
+            if c.rank() < 2 {
+                let me = c.rank() as u64;
+                RpcServer::new(&c).serve(move |_caller, method, _args| {
+                    if method == M_DONE {
+                        ServeOutcome::Stop(None)
+                    } else {
+                        ServeOutcome::Reply(Bytes::copy_from_slice(&me.to_le_bytes()))
+                    }
+                });
+            } else {
+                let rpc = RpcClient::new(&c);
+                // Two calls to each server, interleaved.
+                let calls: Vec<Call> =
+                    (0..4).map(|i| Call::new(i % 2, M_ECHO, Bytes::new())).collect();
+                let got = rpc.call_many_collect(&calls, None);
+                assert_eq!(got.len(), 4);
+                for (i, r) in got.iter().enumerate() {
+                    let r = r.as_ref().expect("reply");
+                    let server = u64::from_le_bytes(r[..8].try_into().unwrap());
+                    assert_eq!(server, (i % 2) as u64, "reply {i} routed to wrong slot");
+                }
+                rpc.notify(0, M_DONE, &[]);
+                rpc.notify(1, M_DONE, &[]);
+            }
+        });
+    }
+
+    #[test]
+    fn call_many_retries_after_timeout() {
+        World::run(3, |c| {
+            if c.rank() < 2 {
+                // Each server stalls its first reply past the per-attempt
+                // timeout; the fan-out must retry both concurrently and
+                // accept the fresh replies while discarding the stale ones.
+                let server = RpcServer::new(&c);
+                let mut first = true;
+                server.serve(|_caller, method, args| {
+                    if method == M_DONE {
+                        return ServeOutcome::Stop(None);
+                    }
+                    if std::mem::take(&mut first) {
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    ServeOutcome::Reply(args)
+                });
+            } else {
+                let rpc = RpcClient::new(&c);
+                let calls = vec![
+                    Call::new(0, M_ECHO, Bytes::from_static(b"a")),
+                    Call::new(1, M_ECHO, Bytes::from_static(b"b")),
+                ];
+                let policy = RetryPolicy::new(8, Duration::from_millis(50));
+                let got = rpc.call_many_collect(&calls, Some(policy));
+                assert_eq!(&got[0].as_ref().expect("retried")[..], b"a");
+                assert_eq!(&got[1].as_ref().expect("retried")[..], b"b");
+                rpc.notify(0, M_DONE, &[]);
+                rpc.notify(1, M_DONE, &[]);
+            }
+        });
+    }
+
+    #[test]
+    fn call_many_times_out_per_call() {
+        World::run(3, |c| {
+            if c.rank() == 0 {
+                // Healthy server.
+                RpcServer::new(&c).serve(|_caller, method, args| {
+                    if method == M_DONE {
+                        ServeOutcome::Stop(None)
+                    } else {
+                        ServeOutcome::Reply(args)
+                    }
+                });
+            } else if c.rank() == 1 {
+                // Deaf server: swallows every request without replying,
+                // until told to stop.
+                RpcServer::new(&c).serve(|_caller, method, _args| {
+                    if method == M_DONE {
+                        ServeOutcome::Stop(None)
+                    } else {
+                        ServeOutcome::Continue
+                    }
+                });
+            } else {
+                let rpc = RpcClient::new(&c);
+                let calls = vec![
+                    Call::new(0, M_ECHO, Bytes::from_static(b"ok")),
+                    Call::new(1, M_ECHO, Bytes::from_static(b"lost")),
+                ];
+                let policy = RetryPolicy::new(2, Duration::from_millis(60));
+                let got = rpc.call_many_collect(&calls, Some(policy));
+                assert_eq!(&got[0].as_ref().expect("server 0 lives")[..], b"ok");
+                assert_eq!(got[1], Err(RpcError::TimedOut), "deaf server must time out");
+                rpc.notify(0, M_DONE, &[]);
+                rpc.notify(1, M_DONE, &[]);
+            }
+        });
+    }
+
+    #[test]
+    fn call_many_survives_one_dead_server() {
+        let out = World::builder(3).fault_plan(FaultPlan::new(11).kill_rank(1, 1)).run_chaos(|c| {
+            if c.rank() == 0 {
+                RpcServer::new(&c).serve(|_caller, method, args| {
+                    if method == M_DONE {
+                        ServeOutcome::Stop(None)
+                    } else {
+                        ServeOutcome::Reply(args)
+                    }
+                });
+            } else if c.rank() == 1 {
+                // Dies on its first send (the reply to the fan-out).
+                RpcServer::new(&c).serve(|_caller, _m, args| ServeOutcome::Reply(args));
+                unreachable!("killed while replying");
+            } else {
+                let rpc = RpcClient::new(&c);
+                let calls = vec![
+                    Call::new(0, M_ECHO, Bytes::from_static(b"live")),
+                    Call::new(1, M_ECHO, Bytes::from_static(b"doomed")),
+                ];
+                // Generous timeout: dead-peer detection must fail the
+                // second call fast, without wedging the first.
+                let policy = RetryPolicy::new(50, Duration::from_secs(5));
+                let t0 = Instant::now();
+                let got = rpc.call_many_collect(&calls, Some(policy));
+                assert_eq!(&got[0].as_ref().expect("live server replies")[..], b"live");
+                assert_eq!(got[1], Err(RpcError::PeerDead));
+                assert!(t0.elapsed() < Duration::from_secs(30));
+                rpc.notify(0, M_DONE, &[]);
+            }
+        });
+        assert_eq!(out.deaths.len(), 1);
+        assert!(out.deaths[0].injected);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The distributed metadata VOL: in situ transport between tasks.
 //!
-//! Paper §III-A(c): "the distributed metadata VOL class … redefine[s] HDF5
+//! Paper §III-A(c): "the distributed metadata VOL class … redefine\[s\] HDF5
 //! functions that potentially access remote processes, e.g., in order to
 //! transfer data over MPI from the processes of a producer task to the
 //! processes of a consumer task. … We implement distributed client-server
@@ -27,9 +27,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use diyblk::rpc::{Caller, RpcClient, RpcError, RpcServer, ServeOutcome};
-use diyblk::RegularDecomposer;
-use minih5::format::import_meta;
+use diyblk::rpc::{Call, Caller, RpcClient, RpcError, RpcServer, ServeOutcome};
+use diyblk::{RegularDecomposer, RetryPolicy};
+use minih5::format::{import_meta, FileMeta};
 use minih5::selection::overlap_runs;
 use minih5::{
     BBox, Dataspace, Datatype, H5Error, H5Result, Hierarchy, NodeId, ObjId, ObjKind, Ownership,
@@ -57,6 +57,7 @@ pub enum LinkDir {
 pub struct Link {
     /// File-name glob selecting which files travel on this link.
     pub pattern: String,
+    /// Whether this rank produces or consumes on the link.
     pub dir: LinkDir,
     /// World ranks of the remote task's processes.
     pub remote_ranks: Vec<usize>,
@@ -65,6 +66,10 @@ pub struct Link {
 /// Ids of objects opened over a Consume link carry this bit; all other ids
 /// belong to the local metadata layer.
 const REMOTE_BIT: ObjId = 1 << 63;
+
+/// Raw `(segments, payload)` body of one data reply, before the wire
+/// encoding of [`enc_data_reply`] / [`enc_data_reply_batch`] is applied.
+type RawDataReply = (Vec<(u64, u64)>, Vec<u8>);
 
 struct RemoteFileInfo {
     producers: Vec<usize>,
@@ -110,9 +115,12 @@ pub struct TransportProfile {
     pub serve_seconds: f64,
     /// Completed serve sessions (one per produced file).
     pub serve_sessions: u64,
-    /// Requests answered, by kind.
+    /// `M_METADATA` requests answered.
     pub metadata_requests: u64,
+    /// `M_INTERSECT` (redirect) requests answered.
     pub intersect_requests: u64,
+    /// Data query entries answered — each `M_DATA` counts one, each
+    /// `M_DATA_BATCH` counts one per entry it carries.
     pub data_requests: u64,
     /// Payload bytes shipped in data replies.
     pub bytes_served: u64,
@@ -145,6 +153,20 @@ struct ServeIndex {
     boxes: HashMap<(String, String), Vec<(BBox, usize)>>,
 }
 
+/// Consumer-side cache of remote lookups, so repeated reads of the same
+/// region skip the metadata and redirect round-trips entirely. Populated
+/// only when the pipelined fetch path is active; every entry for a file
+/// is dropped at `file_close`, so reopening a (possibly rewritten)
+/// snapshot always refetches.
+#[derive(Default)]
+struct FetchCache {
+    /// filename → serialized metadata tree fetched at `consumer_open`.
+    meta: HashMap<String, FileMeta>,
+    /// `(file, dataset path, query bbox)` → producer-local indices that
+    /// answered the redirect query with intersecting data.
+    owners: HashMap<(String, String, BBox), Vec<usize>>,
+}
+
 /// The distributed metadata connector.
 pub struct DistMetadataVol {
     meta: MetadataVol,
@@ -166,6 +188,9 @@ pub struct DistMetadataVol {
     /// closed yet (a consumer may run ahead and open snapshot *t+1* while
     /// we still serve *t*). Answered when the file's serve session opens.
     pending_meta: Mutex<Vec<(Caller, String)>>,
+    /// Consumer-side cache of metadata and redirect results (pipelined
+    /// fetch path only; see [`FetchCache`]).
+    fetch_cache: Mutex<FetchCache>,
 }
 
 /// Builder for [`DistMetadataVol`].
@@ -235,6 +260,9 @@ impl DistVolBuilder {
         self
     }
 
+    /// Finalize the builder into the distributed VOL. With no explicit
+    /// [`storage`](Self::storage) layer, file-mode traffic falls back to
+    /// the native parallel connector on the local communicator.
     pub fn build(self) -> Arc<DistMetadataVol> {
         let storage = self.storage.unwrap_or_else(|| {
             let c = self.local.clone();
@@ -254,6 +282,7 @@ impl DistVolBuilder {
             serve_thread: Mutex::default(),
             self_weak: weak.clone(),
             pending_meta: Mutex::default(),
+            fetch_cache: Mutex::default(),
         })
     }
 }
@@ -384,35 +413,9 @@ impl DistMetadataVol {
                     Err(e) => ServeOutcome::Reply(enc_result(Err(e))),
                 }
             }
-            M_INTERSECT => {
-                self.profile.lock().intersect_requests += 1;
-                let reply = dec_intersect_req(&args).map(|(file, dset, qbb)| {
-                    let idx = self.serve_index.lock();
-                    let mut ranks: Vec<u64> = Vec::new();
-                    if let Some(list) = idx.boxes.get(&(file, dset)) {
-                        for (bb, rank) in list {
-                            if bb.intersects(&qbb) && !ranks.contains(&(*rank as u64)) {
-                                ranks.push(*rank as u64);
-                            }
-                        }
-                    }
-                    enc_intersect_reply(&ranks)
-                });
-                ServeOutcome::Reply(enc_result(reply))
-            }
-            M_DATA => {
-                let reply = dec_data_req(&args)
-                    .and_then(|(file, dset, sel)| self.answer_data_query(&file, &dset, &sel));
-                {
-                    let mut p = self.profile.lock();
-                    p.data_requests += 1;
-                    if let Ok(b) = &reply {
-                        p.bytes_served += b.len() as u64;
-                        obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
-                    }
-                }
-                ServeOutcome::Reply(enc_result(reply))
-            }
+            M_INTERSECT => ServeOutcome::Reply(self.serve_intersect(&args)),
+            M_DATA => ServeOutcome::Reply(self.serve_data(&args)),
+            M_DATA_BATCH => ServeOutcome::Reply(self.serve_data_batch(&args)),
             M_DONE => {
                 let file = dec_done_req(&args).unwrap_or_default();
                 if file == filename {
@@ -436,7 +439,7 @@ impl DistMetadataVol {
     /// Algorithm 2 lines 9-14: stream the intersection of the local data
     /// regions with the consumer's selection, as contiguous segments
     /// addressed in the consumer's packed buffer.
-    fn answer_data_query(&self, file: &str, dset: &str, sel: &Selection) -> H5Result<Bytes> {
+    fn answer_data_query(&self, file: &str, dset: &str, sel: &Selection) -> H5Result<RawDataReply> {
         let (dtype, space) = self.meta.dataset_meta_by_path(file, dset)?;
         sel.validate(&space)?;
         let es = dtype.size();
@@ -451,7 +454,66 @@ impl DistMetadataVol {
                 blob.extend_from_slice(&region.data[s..s + (ov.len as usize) * es]);
             }
         }
-        Ok(enc_data_reply(&segs, &blob))
+        Ok((segs, blob))
+    }
+
+    /// Answer an `M_INTERSECT` redirect query (shared by both serve
+    /// loops): which producer-local ranks indexed data of `(file, dset)`
+    /// intersecting the query box.
+    fn serve_intersect(&self, args: &Bytes) -> Bytes {
+        self.profile.lock().intersect_requests += 1;
+        let reply = dec_intersect_req(args).map(|(file, dset, qbb)| {
+            let idx = self.serve_index.lock();
+            let mut ranks: Vec<u64> = Vec::new();
+            if let Some(list) = idx.boxes.get(&(file, dset)) {
+                for (bb, rank) in list {
+                    if bb.intersects(&qbb) && !ranks.contains(&(*rank as u64)) {
+                        ranks.push(*rank as u64);
+                    }
+                }
+            }
+            enc_intersect_reply(&ranks)
+        });
+        enc_result(reply)
+    }
+
+    /// Answer a single `M_DATA` query (shared by both serve loops).
+    fn serve_data(&self, args: &Bytes) -> Bytes {
+        let reply = dec_data_req(args).and_then(|(file, dset, sel)| {
+            let (segs, blob) = self.answer_data_query(&file, &dset, &sel)?;
+            Ok(enc_data_reply(&segs, &blob))
+        });
+        let mut p = self.profile.lock();
+        p.data_requests += 1;
+        if let Ok(b) = &reply {
+            p.bytes_served += b.len() as u64;
+            obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
+        }
+        drop(p);
+        enc_result(reply)
+    }
+
+    /// Answer a batched `M_DATA_BATCH` query (shared by both serve
+    /// loops): one [`DataReply`] body per `(dataset, selection)` entry,
+    /// in entry order. Each entry is answered exactly as a lone `M_DATA`
+    /// would be, so batching never changes the bytes a consumer sees.
+    fn serve_data_batch(&self, args: &Bytes) -> Bytes {
+        let reply = dec_data_req_batch(args).and_then(|(file, entries)| {
+            let mut parts: Vec<(Vec<(u64, u64)>, Bytes)> = Vec::with_capacity(entries.len());
+            for (dset, sel) in &entries {
+                let (segs, blob) = self.answer_data_query(&file, dset, sel)?;
+                parts.push((segs, Bytes::from(blob)));
+            }
+            self.profile.lock().data_requests += entries.len() as u64;
+            Ok(enc_data_reply_batch(&parts))
+        });
+        let mut p = self.profile.lock();
+        if let Ok(b) = &reply {
+            p.bytes_served += b.len() as u64;
+            obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
+        }
+        drop(p);
+        enc_result(reply)
     }
 
     fn producer_close(&self, filename: &str) -> H5Result<()> {
@@ -549,35 +611,9 @@ impl DistMetadataVol {
                     ServeOutcome::Reply(enc_result(Err(H5Error::NotFound(file))))
                 }
             }
-            M_INTERSECT => {
-                self.profile.lock().intersect_requests += 1;
-                let reply = dec_intersect_req(&args).map(|(file, dset, qbb)| {
-                    let idx = self.serve_index.lock();
-                    let mut ranks: Vec<u64> = Vec::new();
-                    if let Some(list) = idx.boxes.get(&(file, dset)) {
-                        for (bb, rank) in list {
-                            if bb.intersects(&qbb) && !ranks.contains(&(*rank as u64)) {
-                                ranks.push(*rank as u64);
-                            }
-                        }
-                    }
-                    enc_intersect_reply(&ranks)
-                });
-                ServeOutcome::Reply(enc_result(reply))
-            }
-            M_DATA => {
-                let reply = dec_data_req(&args)
-                    .and_then(|(file, dset, sel)| self.answer_data_query(&file, &dset, &sel));
-                {
-                    let mut p = self.profile.lock();
-                    p.data_requests += 1;
-                    if let Ok(b) = &reply {
-                        p.bytes_served += b.len() as u64;
-                        obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
-                    }
-                }
-                ServeOutcome::Reply(enc_result(reply))
-            }
+            M_INTERSECT => ServeOutcome::Reply(self.serve_intersect(&args)),
+            M_DATA => ServeOutcome::Reply(self.serve_data(&args)),
+            M_DATA_BATCH => ServeOutcome::Reply(self.serve_data_batch(&args)),
             M_DONE => {
                 let file = dec_done_req(&args).unwrap_or_default();
                 let mut s = self.sessions.lock();
@@ -647,6 +683,19 @@ impl DistMetadataVol {
 
     fn consumer_open(&self, name: &str, link: &Link) -> H5Result<ObjId> {
         let sp = obsv::span(obsv::Phase::Open);
+        // Pipelined fetch caches the metadata tree per file, so a reopen
+        // between closes costs no round-trip. (`file_close` invalidates,
+        // and opens are issued in the same program order on every
+        // consumer rank, so the broadcast variant stays collective: all
+        // ranks hit or all ranks miss together.)
+        let caching = self.props.fetch_pipeline_for(name);
+        if caching {
+            if let Some(meta) = self.fetch_cache.lock().meta.get(name).cloned() {
+                obsv::counter_add(obsv::Ctr::FetchCacheHits, 1);
+                return self.install_remote_meta(name, link, &meta, sp);
+            }
+            obsv::counter_add(obsv::Ctr::FetchCacheMisses, 1);
+        }
         let meta = if self.props.metadata_broadcast_for(name) {
             // Collective variant (paper §V-C): one rank fetches, the task
             // broadcasts — m−1 fewer round trips to the producers.
@@ -671,12 +720,27 @@ impl DistMetadataVol {
             let reply = self.call_producer(name, home, M_METADATA, &enc_metadata_req(name))?;
             dec_metadata_reply(&dec_result(&reply)?)?
         };
+        if caching {
+            self.fetch_cache.lock().meta.insert(name.to_string(), meta.clone());
+        }
+        self.install_remote_meta(name, link, &meta, sp)
+    }
+
+    /// Import a fetched (or cached) metadata tree into the remote
+    /// hierarchy and mint the file handle.
+    fn install_remote_meta(
+        &self,
+        name: &str,
+        link: &Link,
+        meta: &FileMeta,
+        sp: obsv::SpanGuard,
+    ) -> H5Result<ObjId> {
         let mut rs = self.remote.lock();
         if rs.hier.file(name).is_some() {
             rs.hier.remove_file(name)?;
         }
         let root = rs.hier.create_file(name)?;
-        import_meta(&mut rs.hier, root, &meta)?;
+        import_meta(&mut rs.hier, root, meta)?;
         rs.files.insert(name.to_string(), RemoteFileInfo { producers: link.remote_ranks.clone() });
         let id = rs.mint();
         rs.entries
@@ -686,16 +750,62 @@ impl DistMetadataVol {
         Ok(id)
     }
 
+    /// Resolve a remote dataset handle to its location and the producer
+    /// ranks serving it.
+    fn remote_target(&self, dset: ObjId) -> H5Result<(NodeId, Arc<str>, String, Vec<usize>)> {
+        let rs = self.remote.lock();
+        let e = rs.entry(dset)?.clone();
+        let info = rs
+            .files
+            .get(e.filename.as_ref())
+            .ok_or_else(|| H5Error::NotFound(e.filename.to_string()))?;
+        Ok((e.node, e.filename.clone(), e.path.clone(), info.producers.clone()))
+    }
+
+    /// Map a transport-level RPC failure on a consumer→producer call to
+    /// the error consumers see, mirroring [`DistMetadataVol::call_producer`].
+    fn peer_error(server: usize, policy: Option<RetryPolicy>, e: RpcError) -> H5Error {
+        H5Error::PeerUnavailable(match (e, policy) {
+            (RpcError::PeerDead, _) => format!("producer world rank {server} died"),
+            (RpcError::TimedOut, Some(p)) => format!(
+                "producer world rank {server} did not answer within {:?} x{}",
+                p.timeout, p.attempts
+            ),
+            (RpcError::TimedOut, None) => {
+                format!("producer world rank {server} did not answer")
+            }
+        })
+    }
+
     fn remote_read(&self, dset: ObjId, sel: &Selection) -> H5Result<Bytes> {
-        let (node, filename, path, producers) = {
-            let rs = self.remote.lock();
-            let e = rs.entry(dset)?.clone();
-            let info = rs
-                .files
-                .get(e.filename.as_ref())
-                .ok_or_else(|| H5Error::NotFound(e.filename.to_string()))?;
-            (e.node, e.filename.clone(), e.path.clone(), info.producers.clone())
-        };
+        let filename = self.remote.lock().entry(dset)?.filename.clone();
+        if self.props.fetch_pipeline_for(&filename) {
+            let mut bufs = self.remote_read_pipelined(dset, std::slice::from_ref(sel))?;
+            return Ok(bufs.pop().expect("one buffer per selection"));
+        }
+        self.remote_read_serial(dset, sel)
+    }
+
+    /// Read several selections of one remote dataset. With the pipeline
+    /// enabled all selections share one round of redirect queries and one
+    /// batched data fetch per producer; otherwise each is a serial read.
+    fn remote_read_multi(&self, dset: ObjId, sels: &[Selection]) -> H5Result<Vec<Bytes>> {
+        if sels.is_empty() {
+            return Ok(Vec::new());
+        }
+        let filename = self.remote.lock().entry(dset)?.filename.clone();
+        if self.props.fetch_pipeline_for(&filename) {
+            return self.remote_read_pipelined(dset, sels);
+        }
+        sels.iter().map(|s| self.remote_read_serial(dset, s)).collect()
+    }
+
+    /// The legacy one-blocking-RPC-at-a-time read path (Algorithm 3
+    /// exactly as written). Kept behind
+    /// [`LowFiveProps::set_fetch_pipeline`]`(…, false)` for A/B
+    /// comparison; the pipelined path must stay byte-identical to it.
+    fn remote_read_serial(&self, dset: ObjId, sel: &Selection) -> H5Result<Bytes> {
+        let (node, filename, path, producers) = self.remote_target(dset)?;
         let (dtype, space) = self.remote.lock().hier.dataset_meta(node)?;
         sel.validate(&space)?;
         let es = dtype.size();
@@ -748,13 +858,7 @@ impl DistMetadataVol {
             fetched += reply.len() as u64;
             obsv::hist_record(obsv::Hist::BytesFetched, reply.len() as u64);
             let dr = dec_data_reply(&dec_result(&reply)?)?;
-            let mut cum = 0usize;
-            for (off, len) in dr.segs {
-                let nb = (len as usize) * es;
-                let dst = (off as usize) * es;
-                out[dst..dst + nb].copy_from_slice(&dr.blob[cum..cum + nb]);
-                cum += nb;
-            }
+            scatter_segments(&mut out, &dr, es)?;
         }
         {
             let mut p = self.profile.lock();
@@ -762,6 +866,152 @@ impl DistMetadataVol {
             p.bytes_fetched += fetched;
         }
         Ok(Bytes::from(out))
+    }
+
+    /// The pipelined read path: every selection's redirect queries fan
+    /// out concurrently (answers assembled as they land), then each
+    /// producer receives **one** `M_DATA_BATCH` frame carrying all
+    /// selections it owns and the replies scatter into the packed
+    /// buffers in completion order. Redirect results are cached per
+    /// `(file, dataset, bbox)`, so a repeat read goes straight to the
+    /// data fetch.
+    fn remote_read_pipelined(&self, dset: ObjId, sels: &[Selection]) -> H5Result<Vec<Bytes>> {
+        let (node, filename, path, producers) = self.remote_target(dset)?;
+        let (dtype, space) = self.remote.lock().hier.dataset_meta(node)?;
+        let es = dtype.size();
+        let mut outs: Vec<Vec<u8>> = Vec::with_capacity(sels.len());
+        for sel in sels {
+            sel.validate(&space)?;
+            outs.push(vec![0u8; (sel.npoints(&space) as usize) * es]);
+        }
+        let n = producers.len();
+        let policy = self.props.rpc_policy_for(&filename);
+        let rpc = RpcClient::new(&self.world);
+        let _sp_query = obsv::span(obsv::Phase::Query);
+
+        // Step 1 (redirect), skipped per selection on a cache hit.
+        let sp_redirect = obsv::span(obsv::Phase::Redirect);
+        let dims = effective_dims(&space);
+        let decomp = RegularDecomposer::new(&dims, n);
+        let bbs: Vec<BBox> = sels.iter().map(|s| effective_bbox(s, &space)).collect();
+        let mut owners: Vec<Option<Vec<usize>>> = vec![None; sels.len()];
+        {
+            let cache = self.fetch_cache.lock();
+            for (i, bb) in bbs.iter().enumerate() {
+                if outs[i].is_empty() {
+                    // Empty selection: nothing to fetch, no query needed.
+                    owners[i] = Some(Vec::new());
+                    continue;
+                }
+                let key = (filename.to_string(), path.clone(), bb.clone());
+                if let Some(o) = cache.owners.get(&key) {
+                    obsv::counter_add(obsv::Ctr::FetchCacheHits, 1);
+                    owners[i] = Some(o.clone());
+                } else {
+                    obsv::counter_add(obsv::Ctr::FetchCacheMisses, 1);
+                }
+            }
+        }
+        let mut calls: Vec<Call> = Vec::new();
+        let mut call_sel: Vec<usize> = Vec::new();
+        for (i, bb) in bbs.iter().enumerate() {
+            if owners[i].is_some() {
+                continue;
+            }
+            for gid in decomp.blocks_intersecting(bb) {
+                calls.push(Call::new(
+                    producers[gid],
+                    M_INTERSECT,
+                    enc_intersect_req(&filename, &path, bb),
+                ));
+                call_sel.push(i);
+            }
+        }
+        if !calls.is_empty() {
+            let mut sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); sels.len()];
+            let mut first_err: Option<H5Error> = None;
+            rpc.call_many(&calls, policy, |k, r| {
+                let decoded = r
+                    .map_err(|e| Self::peer_error(calls[k].server, policy, e))
+                    .and_then(|reply| dec_intersect_reply(&dec_result(&reply)?));
+                match decoded {
+                    Ok(ranks) => sets[call_sel[k]].extend(ranks.iter().map(|&x| x as usize)),
+                    Err(e) => first_err = first_err.take().or(Some(e)),
+                }
+            });
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            let mut cache = self.fetch_cache.lock();
+            for (i, bb) in bbs.iter().enumerate() {
+                if owners[i].is_none() {
+                    let list: Vec<usize> = sets[i].iter().copied().collect();
+                    cache
+                        .owners
+                        .insert((filename.to_string(), path.clone(), bb.clone()), list.clone());
+                    owners[i] = Some(list);
+                }
+            }
+        }
+        self.profile.lock().redirect_seconds += sp_redirect.finish();
+
+        // Step 2 (fetch): group the selections by owning producer, one
+        // batched frame each, all in flight at once.
+        let sp_fetch = obsv::span(obsv::Phase::Fetch);
+        let mut per_prod: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, o) in owners.iter().enumerate() {
+            for &p in o.as_ref().expect("owners resolved above") {
+                per_prod.entry(p).or_default().push(i);
+            }
+        }
+        let mut calls: Vec<Call> = Vec::new();
+        let mut call_sels: Vec<Vec<usize>> = Vec::new();
+        for (&p, sel_ids) in &per_prod {
+            let entries: Vec<(String, Selection)> =
+                sel_ids.iter().map(|&i| (path.clone(), sels[i].clone())).collect();
+            obsv::hist_record(obsv::Hist::FetchBatchEntries, entries.len() as u64);
+            calls.push(Call::new(
+                producers[p],
+                M_DATA_BATCH,
+                enc_data_req_batch(&filename, &entries),
+            ));
+            call_sels.push(sel_ids.clone());
+        }
+        obsv::counter_add(obsv::Ctr::FetchBatches, calls.len() as u64);
+        let mut fetched = 0u64;
+        let mut first_err: Option<H5Error> = None;
+        rpc.call_many(&calls, policy, |k, r| {
+            let scattered =
+                r.map_err(|e| Self::peer_error(calls[k].server, policy, e)).and_then(|reply| {
+                    fetched += reply.len() as u64;
+                    obsv::hist_record(obsv::Hist::BytesFetched, reply.len() as u64);
+                    let replies = dec_data_reply_batch(&dec_result(&reply)?)?;
+                    if replies.len() != call_sels[k].len() {
+                        return Err(H5Error::Format(format!(
+                            "batch reply carries {} bodies for {} entries",
+                            replies.len(),
+                            call_sels[k].len()
+                        )));
+                    }
+                    for (dr, &i) in replies.iter().zip(&call_sels[k]) {
+                        scatter_segments(&mut outs[i], dr, es)?;
+                    }
+                    Ok(())
+                });
+            if let Err(e) = scattered {
+                first_err = first_err.take().or(Some(e));
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        {
+            let mut p = self.profile.lock();
+            p.fetch_seconds += sp_fetch.finish();
+            p.bytes_fetched += fetched;
+        }
+        Ok(outs.into_iter().map(Bytes::from).collect())
     }
 
     fn consumer_close(&self, file: ObjId) -> H5Result<()> {
@@ -773,12 +1023,37 @@ impl DistMetadataVol {
             rs.entries.remove(&file);
             (e.filename, producers)
         };
+        // Closing ends this consumer's view of the snapshot: drop every
+        // cached lookup for the file so a later open (possibly of a
+        // rewritten file with the same name) refetches.
+        {
+            let mut cache = self.fetch_cache.lock();
+            cache.meta.remove(filename.as_ref());
+            cache.owners.retain(|(f, _, _), _| f.as_str() != filename.as_ref());
+        }
         let rpc = RpcClient::new(&self.world);
         for p in producers {
             rpc.notify(p, M_DONE, &enc_done_req(&filename));
         }
         Ok(())
     }
+}
+
+/// Apply one data reply to a packed destination buffer: copy each
+/// segment's payload to its element offset. Bounds are checked so a
+/// corrupt reply surfaces as a format error instead of a panic.
+fn scatter_segments(out: &mut [u8], dr: &DataReply, es: usize) -> H5Result<()> {
+    let mut cum = 0usize;
+    for &(off, len) in &dr.segs {
+        let nb = (len as usize) * es;
+        let dst = (off as usize) * es;
+        if dst + nb > out.len() || cum + nb > dr.blob.len() {
+            return Err(H5Error::Format("data reply segment out of bounds".into()));
+        }
+        out[dst..dst + nb].copy_from_slice(&dr.blob[cum..cum + nb]);
+        cum += nb;
+    }
+    Ok(())
 }
 
 /// Dimensions used for decomposition: scalar spaces act as 1-element 1-d.
@@ -966,6 +1241,13 @@ impl Vol for DistMetadataVol {
             return self.remote_read(dset, file_sel);
         }
         self.meta.dataset_read(dset, file_sel)
+    }
+
+    fn dataset_read_multi(&self, dset: ObjId, file_sels: &[Selection]) -> H5Result<Vec<Bytes>> {
+        if dset & REMOTE_BIT != 0 {
+            return self.remote_read_multi(dset, file_sels);
+        }
+        self.meta.dataset_read_multi(dset, file_sels)
     }
 
     fn attr_write(&self, obj: ObjId, name: &str, dtype: &Datatype, data: Bytes) -> H5Result<()> {

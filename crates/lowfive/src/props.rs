@@ -20,6 +20,7 @@ enum Action {
     MetadataBroadcast(bool),
     RpcTimeout(Option<Duration>),
     RpcRetries(u32),
+    FetchPipeline(bool),
 }
 
 #[derive(Debug, Clone)]
@@ -117,6 +118,37 @@ impl LowFiveProps {
             action: Action::RpcRetries(retries),
         });
         self
+    }
+
+    /// Enable/disable the pipelined consumer fetch path for files
+    /// matching `file_pat` (default **on**).
+    ///
+    /// Pipelined reads fan redirect and data queries out to every
+    /// intersecting producer concurrently (one batched `M_DATA_BATCH`
+    /// frame per producer) and cache intersect results per
+    /// `(file, dataset, bbox)`; turning the knob off restores the
+    /// serial one-blocking-RPC-per-producer path, which is retained for
+    /// A/B comparison and debugging.
+    pub fn set_fetch_pipeline(&mut self, file_pat: &str, on: bool) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::FetchPipeline(on),
+        });
+        self
+    }
+
+    /// Should remote reads of `file` use the pipelined fetch path?
+    pub fn fetch_pipeline_for(&self, file: &str) -> bool {
+        let mut on = true;
+        for r in &self.rules {
+            if let Action::FetchPipeline(v) = r.action {
+                if glob_match(&r.file_pat, file) {
+                    on = v;
+                }
+            }
+        }
+        on
     }
 
     /// Effective retry policy for consumer RPCs on `file`: `None` means
@@ -263,6 +295,19 @@ mod tests {
         // A later rule can turn the bound back off.
         p.set_rpc_timeout("a.h5", None);
         assert!(p.rpc_policy_for("a.h5").is_none());
+    }
+
+    #[test]
+    fn fetch_pipeline_defaults_on_and_is_pattern_scoped() {
+        let p = LowFiveProps::new();
+        assert!(p.fetch_pipeline_for("f.h5"));
+        let mut p = LowFiveProps::new();
+        p.set_fetch_pipeline("legacy/*", false);
+        assert!(!p.fetch_pipeline_for("legacy/step1.h5"));
+        assert!(p.fetch_pipeline_for("outputs/step1.h5"));
+        // Last matching rule wins.
+        p.set_fetch_pipeline("*", true);
+        assert!(p.fetch_pipeline_for("legacy/step1.h5"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Wire protocol of the index–serve–query redistribution.
 //!
-//! Four RPC methods run between consumer ranks (clients) and producer
+//! Five RPC methods run between consumer ranks (clients) and producer
 //! ranks (servers) over the world communicator:
 //!
 //! * `M_METADATA` — fetch the serialized metadata tree of a file
@@ -12,23 +12,38 @@
 //!   selection as contiguous segments, each tagged with its element offset
 //!   in the **consumer's** packed buffer, so the consumer applies a reply
 //!   with straight `memcpy`s,
+//! * `M_DATA_BATCH` — the pipelined form of `M_DATA`: one frame per
+//!   producer carrying **all** `(dataset, selection)` pairs the consumer
+//!   wants from that producer for one file, answered with one
+//!   [`DataReply`] per entry in a single reply,
 //! * `M_DONE` — consumer `file_close` notification; producers exit their
 //!   serve loop when every consumer has reported done.
 //!
 //! The index exchange among producers (Algorithm 1) uses a plain tagged
 //! message (`TAG_INDEX`) on the producer task's local communicator.
+//!
+//! The byte-level layout of every frame is specified in the repository's
+//! `docs/PROTOCOL.md`; the encoder/decoder pairs in this module are the
+//! normative implementation, and each carries a round-trip doctest.
 
 use bytes::Bytes;
 use minih5::codec::{Decode, Encode, Reader, Writer};
 use minih5::format::FileMeta;
 use minih5::{BBox, H5Error, H5Result, Selection};
 
+/// Fetch the serialized [`FileMeta`] tree of a file.
 pub const M_METADATA: u32 = 1;
+/// Redirect query: which producer ranks hold data intersecting a bbox.
 pub const M_INTERSECT: u32 = 2;
+/// Data query: one selection, one [`DataReply`].
 pub const M_DATA: u32 = 3;
+/// Consumer `file_close` notification (no reply expected).
 pub const M_DONE: u32 = 4;
 /// Producer-internal: ask the async serve loop to drain and exit.
 pub const M_SHUTDOWN: u32 = 5;
+/// Batched data query: all of a consumer's selections for one producer
+/// in a single frame, answered in a single reply.
+pub const M_DATA_BATCH: u32 = 6;
 
 /// Tag for the producer-local index exchange (Algorithm 1).
 pub const TAG_INDEX: u32 = 0x7F10_0001;
@@ -37,16 +52,33 @@ pub const TAG_INDEX: u32 = 0x7F10_0001;
 // Requests
 // ---------------------------------------------------------------------
 
+/// Encode a metadata request (`M_METADATA`): just the file name.
+///
+/// ```
+/// use lowfive::protocol::{enc_metadata_req, dec_metadata_req};
+/// assert_eq!(dec_metadata_req(&enc_metadata_req("a.h5")).unwrap(), "a.h5");
+/// ```
 pub fn enc_metadata_req(file: &str) -> Bytes {
     let mut w = Writer::new();
     w.put_str(file);
     w.finish()
 }
 
+/// Decode a metadata request.
 pub fn dec_metadata_req(b: &[u8]) -> H5Result<String> {
     Reader::new(b).get_str()
 }
 
+/// Encode a redirect query (`M_INTERSECT`): which producer ranks hold
+/// data of `file:dset` intersecting bounding box `bb`.
+///
+/// ```
+/// use lowfive::protocol::{enc_intersect_req, dec_intersect_req};
+/// use minih5::BBox;
+/// let bb = BBox::new(vec![1, 2], vec![3, 4]);
+/// let frame = enc_intersect_req("f.h5", "g/d", &bb);
+/// assert_eq!(dec_intersect_req(&frame).unwrap(), ("f.h5".into(), "g/d".into(), bb));
+/// ```
 pub fn enc_intersect_req(file: &str, dset: &str, bb: &BBox) -> Bytes {
     let mut w = Writer::new();
     w.put_str(file);
@@ -55,11 +87,22 @@ pub fn enc_intersect_req(file: &str, dset: &str, bb: &BBox) -> Bytes {
     w.finish()
 }
 
+/// Decode a redirect query into `(file, dataset path, bbox)`.
 pub fn dec_intersect_req(b: &[u8]) -> H5Result<(String, String, BBox)> {
     let mut r = Reader::new(b);
     Ok((r.get_str()?, r.get_str()?, r.get()?))
 }
 
+/// Encode a single data query (`M_DATA`): one selection of one dataset.
+///
+/// ```
+/// use lowfive::protocol::{enc_data_req, dec_data_req};
+/// use minih5::Selection;
+/// let sel = Selection::block(&[0, 0], &[2, 2]);
+/// let (f, d, s) = dec_data_req(&enc_data_req("f.h5", "grid", &sel)).unwrap();
+/// assert_eq!((f.as_str(), d.as_str()), ("f.h5", "grid"));
+/// assert_eq!(s, sel);
+/// ```
 pub fn enc_data_req(file: &str, dset: &str, sel: &Selection) -> Bytes {
     let mut w = Writer::new();
     w.put_str(file);
@@ -68,9 +111,55 @@ pub fn enc_data_req(file: &str, dset: &str, sel: &Selection) -> Bytes {
     w.finish()
 }
 
+/// Decode a single data query into `(file, dataset path, selection)`.
 pub fn dec_data_req(b: &[u8]) -> H5Result<(String, String, Selection)> {
     let mut r = Reader::new(b);
     Ok((r.get_str()?, r.get_str()?, r.get()?))
+}
+
+/// Encode a batched data query (`M_DATA_BATCH`): every `(dataset,
+/// selection)` pair the consumer wants from one producer for `file`.
+///
+/// Each entry is answered independently — the reply carries one
+/// [`DataReply`] per entry, in entry order, with segment offsets relative
+/// to *that entry's* packed buffer (identical semantics to a lone
+/// `M_DATA` round-trip, which is what makes batching transparent).
+///
+/// ```
+/// use lowfive::protocol::{enc_data_req_batch, dec_data_req_batch};
+/// use minih5::Selection;
+/// let entries = vec![
+///     ("grid".to_string(), Selection::block(&[0, 0], &[4, 4])),
+///     ("particles".to_string(), Selection::all()),
+/// ];
+/// let frame = enc_data_req_batch("step0.h5", &entries);
+/// let (file, back) = dec_data_req_batch(&frame).unwrap();
+/// assert_eq!(file, "step0.h5");
+/// assert_eq!(back, entries);
+/// ```
+pub fn enc_data_req_batch(file: &str, entries: &[(String, Selection)]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(file);
+    w.put_u64(entries.len() as u64);
+    for (dset, sel) in entries {
+        w.put_str(dset);
+        w.put(sel);
+    }
+    w.finish()
+}
+
+/// Decode a batched data query. Rejects frames whose declared entry
+/// count could not possibly fit in the remaining bytes, so a corrupt
+/// length prefix fails cleanly instead of ballooning an allocation.
+pub fn dec_data_req_batch(b: &[u8]) -> H5Result<(String, Vec<(String, Selection)>)> {
+    let mut r = Reader::new(b);
+    let file = r.get_str()?;
+    let n = checked_count(r.get_u64()?, 9, &r)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push((r.get_str()?, r.get()?));
+    }
+    Ok((file, entries))
 }
 
 pub fn enc_done_req(file: &str) -> Bytes {
@@ -79,6 +168,19 @@ pub fn enc_done_req(file: &str) -> Bytes {
 
 pub fn dec_done_req(b: &[u8]) -> H5Result<String> {
     dec_metadata_req(b)
+}
+
+/// Guard a wire-declared element count against the bytes actually left
+/// in the frame: `n` elements of at least `unit` bytes each must fit in
+/// `r.remaining()`. Returns the count as `usize` or a [`H5Error::Format`].
+fn checked_count(n: u64, unit: usize, r: &Reader) -> H5Result<usize> {
+    if (n as u128) * (unit as u128) > r.remaining() as u128 {
+        return Err(H5Error::Format(format!(
+            "declared count {n} exceeds frame ({} bytes left)",
+            r.remaining()
+        )));
+    }
+    Ok(n as usize)
 }
 
 // ---------------------------------------------------------------------
@@ -96,6 +198,16 @@ const EK_PEER_UNAVAILABLE: u8 = 2;
 /// Replies carry an ok/err discriminant so protocol errors propagate to
 /// the consumer instead of deadlocking it. The err branch is
 /// `[kind u8][message str]`.
+///
+/// ```
+/// use bytes::Bytes;
+/// use lowfive::protocol::{enc_result, dec_result};
+/// use minih5::H5Error;
+/// let ok = enc_result(Ok(Bytes::from_static(b"payload")));
+/// assert_eq!(&dec_result(&ok).unwrap()[..], b"payload");
+/// let err = enc_result(Err(H5Error::PeerUnavailable("rank 1 dead".into())));
+/// assert!(matches!(dec_result(&err).unwrap_err(), H5Error::PeerUnavailable(_)));
+/// ```
 pub fn enc_result(r: H5Result<Bytes>) -> Bytes {
     let mut w = Writer::new();
     match r {
@@ -117,6 +229,7 @@ pub fn enc_result(r: H5Result<Bytes>) -> Bytes {
     w.finish()
 }
 
+/// Unwrap a [`enc_result`]-framed reply body.
 pub fn dec_result(b: &Bytes) -> H5Result<Bytes> {
     let mut r = Reader::new(b);
     match r.get_u8()? {
@@ -134,20 +247,29 @@ pub fn dec_result(b: &Bytes) -> H5Result<Bytes> {
     }
 }
 
+/// Encode a metadata reply: the file's serialized [`FileMeta`] tree.
 pub fn enc_metadata_reply(meta: &FileMeta) -> Bytes {
     meta.to_bytes()
 }
 
+/// Decode a metadata reply.
 pub fn dec_metadata_reply(b: &[u8]) -> H5Result<FileMeta> {
     FileMeta::from_bytes(b)
 }
 
+/// Encode a redirect reply: the world ranks owning intersecting data.
+///
+/// ```
+/// use lowfive::protocol::{enc_intersect_reply, dec_intersect_reply};
+/// assert_eq!(dec_intersect_reply(&enc_intersect_reply(&[0, 2])).unwrap(), vec![0, 2]);
+/// ```
 pub fn enc_intersect_reply(ranks: &[u64]) -> Bytes {
     let mut w = Writer::new();
     w.put_u64s(ranks);
     w.finish()
 }
 
+/// Decode a redirect reply into owner world ranks.
 pub fn dec_intersect_reply(b: &[u8]) -> H5Result<Vec<u64>> {
     Reader::new(b).get_u64s()
 }
@@ -155,31 +277,93 @@ pub fn dec_intersect_reply(b: &[u8]) -> H5Result<Vec<u64>> {
 /// A data reply: `segs` are `(element offset in the consumer's packed
 /// buffer, element length)`, and `blob` is the concatenated payload in
 /// segment order.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataReply {
+    /// `(element offset, element length)` pairs addressing the
+    /// consumer's packed destination buffer.
     pub segs: Vec<(u64, u64)>,
+    /// Concatenated segment payloads, in `segs` order.
     pub blob: Bytes,
 }
 
+/// Encode a single data reply (`M_DATA`).
+///
+/// ```
+/// use lowfive::protocol::{enc_data_reply, dec_data_reply};
+/// let segs = vec![(0u64, 3u64), (10, 2)];
+/// let blob = [1u8, 2, 3, 4, 5];
+/// let reply = dec_data_reply(&enc_data_reply(&segs, &blob)).unwrap();
+/// assert_eq!(reply.segs, segs);
+/// assert_eq!(&reply.blob[..], &blob[..]);
+/// ```
 pub fn enc_data_reply(segs: &[(u64, u64)], blob: &[u8]) -> Bytes {
     let mut w = Writer::new();
+    put_data_reply(&mut w, segs, blob);
+    w.finish()
+}
+
+/// Decode a single data reply. A corrupt segment count that cannot fit
+/// in the frame is rejected up front.
+pub fn dec_data_reply(b: &[u8]) -> H5Result<DataReply> {
+    let mut r = Reader::new(b);
+    get_data_reply(&mut r)
+}
+
+fn put_data_reply(w: &mut Writer, segs: &[(u64, u64)], blob: &[u8]) {
     w.put_u64(segs.len() as u64);
     for &(off, len) in segs {
         w.put_u64(off);
         w.put_u64(len);
     }
     w.put_bytes(blob);
-    w.finish()
 }
 
-pub fn dec_data_reply(b: &[u8]) -> H5Result<DataReply> {
-    let mut r = Reader::new(b);
-    let n = r.get_u64()? as usize;
+fn get_data_reply(r: &mut Reader) -> H5Result<DataReply> {
+    let n = checked_count(r.get_u64()?, 16, r)?;
     let mut segs = Vec::with_capacity(n);
     for _ in 0..n {
         segs.push((r.get_u64()?, r.get_u64()?));
     }
     let blob = Bytes::copy_from_slice(r.get_bytes()?);
     Ok(DataReply { segs, blob })
+}
+
+/// Encode a batched data reply (`M_DATA_BATCH`): one `(segs, blob)`
+/// body per request entry, concatenated in entry order.
+///
+/// ```
+/// use bytes::Bytes;
+/// use lowfive::protocol::{enc_data_reply_batch, dec_data_reply_batch};
+/// let parts = vec![
+///     (vec![(0u64, 2u64)], Bytes::from_static(&[7, 8])),
+///     (vec![], Bytes::new()), // an entry may intersect nothing
+/// ];
+/// let replies = dec_data_reply_batch(&enc_data_reply_batch(&parts)).unwrap();
+/// assert_eq!(replies.len(), 2);
+/// assert_eq!(replies[0].segs, parts[0].0);
+/// assert_eq!(replies[0].blob, parts[0].1);
+/// assert!(replies[1].segs.is_empty());
+/// ```
+pub fn enc_data_reply_batch(parts: &[(Vec<(u64, u64)>, Bytes)]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u64(parts.len() as u64);
+    for (segs, blob) in parts {
+        put_data_reply(&mut w, segs, blob);
+    }
+    w.finish()
+}
+
+/// Decode a batched data reply into one [`DataReply`] per entry.
+/// Both the entry count and each entry's segment count are validated
+/// against the bytes actually present.
+pub fn dec_data_reply_batch(b: &[u8]) -> H5Result<Vec<DataReply>> {
+    let mut r = Reader::new(b);
+    let n = checked_count(r.get_u64()?, 16, &r)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_data_reply(&mut r)?);
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------
@@ -189,6 +373,13 @@ pub fn dec_data_reply(b: &[u8]) -> H5Result<DataReply> {
 /// One producer's contribution to another producer's index: per dataset,
 /// the bounding boxes of the regions the sender holds that fall in the
 /// receiver's block of the common decomposition.
+///
+/// ```
+/// use lowfive::protocol::{enc_index_bundle, dec_index_bundle};
+/// use minih5::BBox;
+/// let entries = vec![("f.h5".to_string(), "grid".to_string(), BBox::new(vec![0], vec![5]))];
+/// assert_eq!(dec_index_bundle(&enc_index_bundle(&entries)).unwrap(), entries);
+/// ```
 pub fn enc_index_bundle(entries: &[(String, String, BBox)]) -> Bytes {
     let mut w = Writer::new();
     w.put_u64(entries.len() as u64);
@@ -200,9 +391,10 @@ pub fn enc_index_bundle(entries: &[(String, String, BBox)]) -> Bytes {
     w.finish()
 }
 
+/// Decode an index bundle.
 pub fn dec_index_bundle(b: &[u8]) -> H5Result<Vec<(String, String, BBox)>> {
     let mut r = Reader::new(b);
-    let n = r.get_u64()? as usize;
+    let n = checked_count(r.get_u64()?, 17, &r)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push((r.get_str()?, r.get_str()?, r.get()?));
@@ -271,5 +463,78 @@ mod tests {
         let dec = dec_data_reply(&enc_data_reply(&[], &[])).unwrap();
         assert!(dec.segs.is_empty());
         assert!(dec.blob.is_empty());
+    }
+
+    #[test]
+    fn data_req_batch_roundtrip() {
+        let entries = vec![
+            ("g/grid".to_string(), Selection::block(&[0, 4], &[8, 4])),
+            ("g/particles".to_string(), Selection::all()),
+            ("g/grid".to_string(), Selection::points(2, &[&[1, 1], &[2, 3]])),
+        ];
+        let (file, back) = dec_data_req_batch(&enc_data_req_batch("s.h5", &entries)).unwrap();
+        assert_eq!(file, "s.h5");
+        assert_eq!(back, entries);
+
+        let (file, back) = dec_data_req_batch(&enc_data_req_batch("empty.h5", &[])).unwrap();
+        assert_eq!(file, "empty.h5");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn data_reply_batch_roundtrip() {
+        let parts = vec![
+            (vec![(0u64, 3u64), (10, 2)], Bytes::from_static(&[1, 2, 3, 4, 5])),
+            (vec![], Bytes::new()),
+            (vec![(7, 1)], Bytes::from_static(&[9])),
+        ];
+        let replies = dec_data_reply_batch(&enc_data_reply_batch(&parts)).unwrap();
+        assert_eq!(replies.len(), 3);
+        for (reply, (segs, blob)) in replies.iter().zip(&parts) {
+            assert_eq!(&reply.segs, segs);
+            assert_eq!(&reply.blob, blob);
+        }
+        assert!(dec_data_reply_batch(&enc_data_reply_batch(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_batch_frames_are_rejected() {
+        // Truncated mid-entry: a valid two-entry request cut short.
+        let entries =
+            vec![("a".to_string(), Selection::all()), ("b".to_string(), Selection::all())];
+        let good = enc_data_req_batch("f", &entries);
+        for cut in 1..good.len() {
+            assert!(dec_data_req_batch(&good[..cut]).is_err(), "cut at {cut} must fail");
+        }
+
+        // Absurd declared entry count must be rejected before allocating.
+        let mut w = Writer::new();
+        w.put_str("f");
+        w.put_u64(u64::MAX / 2);
+        let huge = w.finish();
+        let e = dec_data_req_batch(&huge).unwrap_err();
+        assert!(matches!(e, H5Error::Format(_)), "{e}");
+
+        // Same for the reply's outer count and an inner segment count.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 16);
+        let e = dec_data_reply_batch(&w.finish()).unwrap_err();
+        assert!(matches!(e, H5Error::Format(_)), "{e}");
+
+        let mut w = Writer::new();
+        w.put_u64(1); // one entry...
+        w.put_u64(u64::MAX / 16); // ...claiming absurdly many segments
+        let e = dec_data_reply_batch(&w.finish()).unwrap_err();
+        assert!(matches!(e, H5Error::Format(_)), "{e}");
+
+        // Truncated reply blob: entry declares 4 payload bytes, frame has 1.
+        let mut w = Writer::new();
+        w.put_u64(1);
+        w.put_u64(1);
+        w.put_u64(0);
+        w.put_u64(4); // seg (off=0, len=4)
+        w.put_u64(4); // blob length prefix
+        w.put_raw(&[0xAB]); // but only one byte present
+        assert!(dec_data_reply_batch(&w.finish()).is_err());
     }
 }

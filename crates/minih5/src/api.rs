@@ -301,6 +301,21 @@ impl Dataset {
         self.vol.dataset_read(self.id, sel)
     }
 
+    /// Read several selections at once, returning one packed buffer per
+    /// selection (in input order). Transports that batch remote fetches
+    /// answer all selections with one round of RPCs; results are
+    /// byte-identical to calling [`Dataset::read_bytes`] per selection.
+    pub fn read_bytes_multi(&self, sels: &[Selection]) -> H5Result<Vec<Bytes>> {
+        self.vol.dataset_read_multi(self.id, sels)
+    }
+
+    /// Typed variant of [`Dataset::read_bytes_multi`].
+    pub fn read_selection_multi<T: H5Type>(&self, sels: &[Selection]) -> H5Result<Vec<Vec<T>>> {
+        self.check_dtype::<T>()?;
+        let bufs = self.vol.dataset_read_multi(self.id, sels)?;
+        Ok(bufs.iter().map(|b| elems_from_bytes(b)).collect())
+    }
+
     /// Read one field of a compound dataset (HDF5 partial datatype I/O):
     /// extracts `field` from every selected element. The field's type must
     /// match `T` exactly.

@@ -39,7 +39,7 @@ pub struct OverlapRun {
 }
 
 /// An axis-aligned box with inclusive lower and exclusive upper corners.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BBox {
     pub lo: Vec<u64>,
     pub hi: Vec<u64>,

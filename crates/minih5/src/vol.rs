@@ -90,6 +90,18 @@ pub trait Vol: Send + Sync {
     ) -> H5Result<()>;
     fn dataset_read(&self, dset: ObjId, file_sel: &Selection) -> H5Result<Bytes>;
 
+    /// Read several selections of one dataset in a single call, returning
+    /// one packed buffer per selection (in input order).
+    ///
+    /// The default is a serial loop over [`Vol::dataset_read`]; transports
+    /// that can batch or overlap the underlying fetches (e.g. a
+    /// distributed VOL issuing one RPC per peer for all selections at
+    /// once) override this to do so. Implementations must return buffers
+    /// byte-identical to the serial loop.
+    fn dataset_read_multi(&self, dset: ObjId, file_sels: &[Selection]) -> H5Result<Vec<Bytes>> {
+        file_sels.iter().map(|s| self.dataset_read(dset, s)).collect()
+    }
+
     fn attr_write(&self, obj: ObjId, name: &str, dtype: &Datatype, data: Bytes) -> H5Result<()>;
     fn attr_read(&self, obj: ObjId, name: &str) -> H5Result<(Datatype, Bytes)>;
 

@@ -2,7 +2,7 @@
 //! Reeber actually performs, rather than a gather-everything fallback.
 //!
 //! Following the local–global pattern of Nigmetov & Morozov (SC'19, the
-//! paper's reference [33]): each analysis rank sweeps its own x-slab
+//! paper's reference \[33\]): each analysis rank sweeps its own x-slab
 //! (same merge-tree-flavored union-find as [`crate::halo::find_halos`]),
 //! then exchanges only its **boundary plane** with its slab neighbor to
 //! discover components spanning rank boundaries, and finally the

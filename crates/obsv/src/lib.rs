@@ -137,9 +137,18 @@ pub enum Ctr {
     TasksStarted,
     /// Orchestra task bodies finished.
     TasksFinished,
+    /// Multi-call RPC fan-outs issued (`RpcClient::call_many`).
+    RpcMultiCalls,
+    /// Batched data requests sent on the pipelined consumer fetch path.
+    FetchBatches,
+    /// Consumer fetch-cache lookups answered locally (metadata or
+    /// intersect results reused without a round trip).
+    FetchCacheHits,
+    /// Consumer fetch-cache lookups that had to go to the wire.
+    FetchCacheMisses,
 }
 
-pub const NUM_CTRS: usize = 11;
+pub const NUM_CTRS: usize = 15;
 
 impl Ctr {
     pub const ALL: [Ctr; NUM_CTRS] = [
@@ -154,6 +163,10 @@ impl Ctr {
         Ctr::ServeSessions,
         Ctr::TasksStarted,
         Ctr::TasksFinished,
+        Ctr::RpcMultiCalls,
+        Ctr::FetchBatches,
+        Ctr::FetchCacheHits,
+        Ctr::FetchCacheMisses,
     ];
 
     pub fn name(self) -> &'static str {
@@ -169,6 +182,10 @@ impl Ctr {
             Ctr::ServeSessions => "serve_sessions",
             Ctr::TasksStarted => "tasks_started",
             Ctr::TasksFinished => "tasks_finished",
+            Ctr::RpcMultiCalls => "rpc_multi_calls",
+            Ctr::FetchBatches => "fetch_batches",
+            Ctr::FetchCacheHits => "fetch_cache_hits",
+            Ctr::FetchCacheMisses => "fetch_cache_misses",
         }
     }
 }
@@ -190,9 +207,14 @@ pub enum Hist {
     BytesServed,
     /// Dataset bytes fetched per consumer-side data request.
     BytesFetched,
+    /// Concurrent in-flight requests per `call_many` fan-out (pipeline
+    /// depth of the consumer fetch path).
+    RpcInflight,
+    /// `(dataset, selection)` entries per batched data request.
+    FetchBatchEntries,
 }
 
-pub const NUM_HISTS: usize = 6;
+pub const NUM_HISTS: usize = 8;
 
 impl Hist {
     pub const ALL: [Hist; NUM_HISTS] = [
@@ -202,6 +224,8 @@ impl Hist {
         Hist::RpcReplySize,
         Hist::BytesServed,
         Hist::BytesFetched,
+        Hist::RpcInflight,
+        Hist::FetchBatchEntries,
     ];
 
     pub fn name(self) -> &'static str {
@@ -212,6 +236,8 @@ impl Hist {
             Hist::RpcReplySize => "rpc_reply_size",
             Hist::BytesServed => "bytes_served",
             Hist::BytesFetched => "bytes_fetched",
+            Hist::RpcInflight => "rpc_inflight",
+            Hist::FetchBatchEntries => "fetch_batch_entries",
         }
     }
 }

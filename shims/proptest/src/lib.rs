@@ -224,7 +224,7 @@ impl<S: Strategy> Strategy for Vec<S> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: exact or ranged.
+    /// Length specification for [`vec()`]: exact or ranged.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }

@@ -128,6 +128,181 @@ fn dropped_messages_recover_via_retry() {
     );
 }
 
+/// Pipelined batch fetches survive dropped replies: with drop-once armed
+/// on every flow, a consumer multi-read whose batch frames fan out to
+/// both producers recovers each lost request *and* each lost reply via
+/// the bounded retry machinery, and the assembled bytes stay exact.
+#[test]
+fn dropped_batch_reply_recovers_via_retry() {
+    let w = workload();
+    let plan = FaultPlan::new(0xBA7C).drop_once(1.0);
+    let mut props = LowFiveProps::new();
+    props.set_rpc_timeout("*", Some(Duration::from_millis(200)));
+    props.set_rpc_retries("*", 4);
+    let specs = [TaskSpec::new("p", w.producers), TaskSpec::new("c", w.consumers)];
+    let out = TaskWorld::run_chaos(&specs, None, plan, move |tc| {
+        let producers = world_ranks(&tc, 0);
+        let consumers = world_ranks(&tc, 1);
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone()).produce("*", consumers).build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props.clone())
+                .consume("*", producers)
+                .build()
+        };
+        let h5 = H5::with_vol(vol);
+        if tc.task_id == 0 {
+            let p = tc.local.rank();
+            let f = h5.create_file("chaos-batch.h5").unwrap();
+            let d = f
+                .create_dataset(
+                    "grid",
+                    minih5::Datatype::UInt64,
+                    minih5::Dataspace::simple(&w.grid_dims()),
+                )
+                .unwrap();
+            d.write_bytes(
+                &w.producer_grid_sel(p),
+                grid_bytes(&w, &w.producer_grid_box(p)).into(),
+                minih5::Ownership::Shallow,
+            )
+            .unwrap();
+            f.close().unwrap();
+            Vec::new()
+        } else {
+            let c = tc.local.rank();
+            let f = h5.open_file("chaos-batch.h5").unwrap();
+            let d = f.open_dataset("grid").unwrap();
+            // Split the consumer slab into x-chunks so the batched fetch
+            // sends one multi-entry frame to each producer.
+            let bb = w.consumer_grid_box(c);
+            let sels: Vec<minih5::Selection> = (0..2)
+                .map(|i| {
+                    let mut chunk = bb.clone();
+                    chunk.lo[0] = bb.hi[0] * i / 2;
+                    chunk.hi[0] = bb.hi[0] * (i + 1) / 2;
+                    chunk.to_selection()
+                })
+                .collect();
+            let bufs = d.read_bytes_multi(&sels).unwrap();
+            f.close().unwrap();
+            bufs.iter().flat_map(|b| b.iter().copied()).collect()
+        }
+    });
+    assert!(out.deaths.is_empty(), "no rank should die: {:?}", out.deaths);
+    for c in 0..w.consumers {
+        let got = out.results[w.producers + c].as_ref().expect("consumer finished");
+        let bb = w.consumer_grid_box(c);
+        let mut want = Vec::new();
+        for i in 0..2 {
+            let mut chunk = bb.clone();
+            chunk.lo[0] = bb.hi[0] * i / 2;
+            chunk.hi[0] = bb.hi[0] * (i + 1) / 2;
+            want.extend_from_slice(&grid_bytes(&w, &chunk));
+        }
+        assert_eq!(got[..], want[..], "consumer {c} batched bytes exact under drops");
+    }
+    assert!(
+        out.trace.iter().any(|e| e.kind == FaultKind::Dropped),
+        "the plan must actually have dropped something"
+    );
+}
+
+/// A dead producer must not wedge the rest of a pipelined fan-out: with
+/// one of two producers killed mid-serve, a multi-read spanning both
+/// surfaces `PeerUnavailable` (bounded, no hang), while selections owned
+/// entirely by the surviving producer keep reading exact bytes.
+#[test]
+fn killed_producer_does_not_wedge_inflight_batches() {
+    let seed = 0x0DD_DEAD;
+    let specs = [TaskSpec::new("p", 2), TaskSpec::new("c", 1)];
+    // Producer world rank 1 dies mid-serve (send 25 is past communicator
+    // setup and the index exchange, inside the reply stream).
+    let plan = FaultPlan::new(seed).kill_rank(1, 25);
+    let t0 = std::time::Instant::now();
+    let out = TaskWorld::run_chaos(&specs, None, plan, move |tc| -> Result<String, String> {
+        let producers = world_ranks(&tc, 0);
+        let consumers = world_ranks(&tc, 1);
+        let dims = [64u64];
+        if tc.task_id == 0 {
+            let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .produce("*", consumers)
+                .build();
+            let h5 = H5::with_vol(vol);
+            let p = tc.local.rank() as u64;
+            let f = h5.create_file("half-doomed.h5").map_err(|e| e.to_string())?;
+            let d = f
+                .create_dataset("grid", minih5::Datatype::UInt64, minih5::Dataspace::simple(&dims))
+                .map_err(|e| e.to_string())?;
+            // Producer p owns [32p, 32p + 32).
+            let vals: Vec<u8> = (32 * p..32 * (p + 1)).flat_map(|v| v.to_le_bytes()).collect();
+            d.write_bytes(
+                &minih5::Selection::block(&[32 * p], &[32]),
+                vals.into(),
+                minih5::Ownership::Shallow,
+            )
+            .map_err(|e| e.to_string())?;
+            // Rank 1 dies inside the serve loop triggered here; rank 0
+            // keeps serving until the consumer's DONE.
+            f.close().map_err(|e| e.to_string())?;
+            Ok("served".into())
+        } else {
+            let mut props = LowFiveProps::new();
+            props.set_rpc_timeout("*", Some(Duration::from_millis(250)));
+            props.set_rpc_retries("*", 1);
+            let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("*", producers)
+                .build();
+            let h5 = H5::with_vol(vol);
+            let f = h5.open_file("half-doomed.h5").map_err(|e| e.to_string())?;
+            let d = f.open_dataset("grid").map_err(|e| e.to_string())?;
+            let both = vec![
+                minih5::Selection::block(&[0], &[32]),  // producer 0 only
+                minih5::Selection::block(&[32], &[32]), // producer 1 only
+            ];
+            // Read until the dying producer's absence surfaces.
+            let mut verdict = None;
+            for _ in 0..40 {
+                match d.read_bytes_multi(&both) {
+                    Ok(_) => {}
+                    Err(H5Error::PeerUnavailable(m)) => {
+                        verdict = Some(m);
+                        break;
+                    }
+                    Err(e) => {
+                        let _ = f.close();
+                        return Err(format!("wrong error kind: {e}"));
+                    }
+                }
+            }
+            // The surviving producer's half must still read exactly, in
+            // the same pipelined fan-out, after the failure.
+            let left =
+                d.read_bytes(&minih5::Selection::block(&[0], &[32])).map_err(|e| e.to_string())?;
+            let want: Vec<u8> = (0u64..32).flat_map(|v| v.to_le_bytes()).collect();
+            if left[..] != want[..] {
+                return Err("surviving producer returned wrong bytes".into());
+            }
+            // Close so the surviving producer's serve loop can exit.
+            f.close().map_err(|e| e.to_string())?;
+            verdict.ok_or_else(|| "producer death never surfaced".to_string())
+        }
+    });
+    let elapsed = t0.elapsed();
+    assert_eq!(out.deaths.len(), 1, "deaths: {:?}", out.deaths);
+    assert_eq!(out.deaths[0].rank, 1);
+    assert!(out.deaths[0].injected);
+    // Producer 0 survives and returns; the consumer saw PeerUnavailable.
+    assert_eq!(out.results[0].as_ref().expect("producer 0 alive").as_deref(), Ok("served"));
+    assert!(out.results[1].is_none(), "producer 1 never returns");
+    let consumer = out.results[2].as_ref().expect("consumer survived");
+    let msg = consumer.as_ref().expect("consumer completes with a verdict");
+    assert!(msg.contains("rank 1"), "error should name the dead producer: {msg}");
+    assert!(elapsed < Duration::from_secs(30), "took {elapsed:?} — fan-out wedged?");
+}
+
 /// The acceptance scenario: the sole producer is killed mid-serve; both
 /// consumers must come back with `H5Error::PeerUnavailable` — quickly,
 /// not after burning every timeout, and certainly not hanging — and the

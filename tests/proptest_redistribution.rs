@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use lowfive::DistVolBuilder;
+use lowfive::{DistVolBuilder, LowFiveProps};
 use minih5::{Dataspace, Datatype, Selection, Vol, H5};
 use proptest::prelude::*;
 use simmpi::{FaultPlan, TaskSpec, TaskWorld};
@@ -157,5 +157,90 @@ proptest! {
         let plan = FaultPlan::new(seed).delay(0.4, Duration::from_micros(400)).reorder(0.5);
         let chaotic = run_scenario(&s, Some(plan));
         prop_assert_eq!(clean, chaotic, "fault seed {:#x} changed redistributed bytes", seed);
+    }
+}
+
+/// Like [`run_scenario`], but every consumer reads *all* scenario queries
+/// in one shot. With `batched` the read is a single `read_bytes_multi`
+/// over the pipelined path (one `M_DATA_BATCH` frame per producer);
+/// without it the fetch pipeline is disabled and the queries run as N
+/// serial reads. Returns each consumer's concatenated bytes.
+fn run_scenario_multi(s: &Scenario, plan: Option<FaultPlan>, batched: bool) -> Vec<Vec<u8>> {
+    let specs = [TaskSpec::new("p", s.producers), TaskSpec::new("c", s.consumers)];
+    let producers = s.producers;
+    let s = s.clone();
+    let body = move |tc: simmpi::TaskComm| {
+        let producers: Vec<usize> = (0..s.producers).collect();
+        let consumers: Vec<usize> = (s.producers..s.producers + s.consumers).collect();
+        let mut props = LowFiveProps::new();
+        props.set_fetch_pipeline("*", batched);
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .produce("*", consumers)
+                .build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("*", producers)
+                .build()
+        };
+        let h5 = H5::with_vol(vol);
+        let space = Dataspace::simple(&s.dims);
+        if tc.task_id == 0 {
+            let p = tc.local.rank();
+            let x0 = if p == 0 { 0 } else { s.cuts[p - 1] };
+            let x1 = if p + 1 == s.producers { s.dims[0] } else { s.cuts[p] };
+            let f = h5.create_file("prop-multi.h5").unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&s.dims)).unwrap();
+            if x1 > x0 {
+                let mut start = vec![0u64; s.dims.len()];
+                start[0] = x0;
+                let mut size = s.dims.clone();
+                size[0] = x1 - x0;
+                let sel = Selection::block(&start, &size);
+                let vals: Vec<u64> =
+                    sel.runs(&space).iter().flat_map(|r| r.offset..r.offset + r.len).collect();
+                d.write_selection(&sel, &vals).unwrap();
+            }
+            f.close().unwrap();
+            Vec::new()
+        } else {
+            let f = h5.open_file("prop-multi.h5").unwrap();
+            let d = f.open_dataset("x").unwrap();
+            let sels: Vec<Selection> =
+                s.queries.iter().map(|(start, size)| Selection::block(start, size)).collect();
+            let bufs = if batched {
+                d.read_bytes_multi(&sels).unwrap()
+            } else {
+                sels.iter().map(|sel| d.read_bytes(sel).unwrap()).collect()
+            };
+            f.close().unwrap();
+            bufs.iter().flat_map(|b| b.iter().copied()).collect::<Vec<u8>>()
+        }
+    };
+    let results: Vec<Option<Vec<u8>>> = match plan {
+        None => TaskWorld::run(&specs, body).into_iter().map(Some).collect(),
+        Some(plan) => {
+            let out = TaskWorld::run_chaos(&specs, None, plan, body);
+            assert!(out.deaths.is_empty(), "benign plan killed ranks: {:?}", out.deaths);
+            out.results
+        }
+    };
+    results.into_iter().skip(producers).map(|r| r.expect("every rank finishes")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// One batched multi-selection read must return byte-identical data
+    /// to N serial reads, across the (geometry × fault seed) product —
+    /// batching and overlap are pure transport optimizations.
+    #[test]
+    fn batched_read_matches_serial_reads(s in scenario(), seed in any::<u64>()) {
+        let plan = || FaultPlan::new(seed).delay(0.3, Duration::from_micros(300)).reorder(0.4);
+        let serial = run_scenario_multi(&s, Some(plan()), false);
+        let batched = run_scenario_multi(&s, Some(plan()), true);
+        prop_assert_eq!(serial, batched, "fault seed {:#x}: batched != serial", seed);
     }
 }
