@@ -23,10 +23,11 @@ use std::path::{Path, PathBuf};
 
 use bench::runners::{
     run_bredala, run_dataspaces, run_lowfive_file, run_lowfive_file_traced, run_lowfive_memory,
-    run_lowfive_memory_traced, run_pure_hdf5, run_pure_mpi,
+    run_lowfive_memory_traced, run_lowfive_serve, run_pure_hdf5, run_pure_mpi,
 };
 use bench::table2::{run_case, Table2Case};
 use bench::workload::Workload;
+use simmpi::CostModel;
 
 #[derive(Clone, Copy)]
 struct Scale {
@@ -228,6 +229,35 @@ fn fig5(s: &Scale, trials: usize) {
     run_lowfive_file_traced(&w, &tmpdir(&format!("fig5t-{n}")), &reg);
     run_lowfive_memory_traced(&w, &reg);
     write_obsv_artifacts(&reg.report(), "fig5");
+
+    // Deep vs shallow serve A/B under the interconnect cost model: the
+    // zero-copy serve path answers from borrowed region slices, so the
+    // shallow column pays only wire time while the deep column adds one
+    // staging copy per served byte.
+    println!("\n-- serve ownership A/B (interconnect cost model) --");
+    println!("{:>8} {:>16} {:>16} {:>10}", "procs", "deep serve (s)", "shallow (s)", "deep/shal");
+    let out = results_dir().join("fig5_serve.csv");
+    for &n in s.sweep {
+        let w = Workload::paper_split(n, s.grid_per_prod, s.particles_per_prod);
+        let td = avg(trials, || {
+            run_lowfive_serve(&w, false, Some(CostModel::interconnect()), None).seconds
+        });
+        let ts = avg(trials, || {
+            run_lowfive_serve(&w, true, Some(CostModel::interconnect()), None).seconds
+        });
+        println!("{n:>8} {td:>16.4} {ts:>16.4} {:>9.2}x", td / ts);
+        csv(&out, "procs,deep_s,shallow_s", &format!("{n},{td},{ts}"));
+    }
+    // Traced A/B passes: `fig5_shallow.metrics.json` must report
+    // bytes_copied == 0 (CI asserts this), `fig5_deep` counts the
+    // staging copies it was forced to make.
+    let w = Workload::paper_split(s.sweep[0], s.grid_per_prod, s.particles_per_prod);
+    let reg = obsv::Registry::new();
+    run_lowfive_serve(&w, true, Some(CostModel::interconnect()), Some(&reg));
+    write_obsv_artifacts(&reg.report(), "fig5_shallow");
+    let reg = obsv::Registry::new();
+    run_lowfive_serve(&w, false, Some(CostModel::interconnect()), Some(&reg));
+    write_obsv_artifacts(&reg.report(), "fig5_deep");
 }
 
 fn fig6(s: &Scale, trials: usize) {

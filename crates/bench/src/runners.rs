@@ -247,6 +247,70 @@ pub fn run_lowfive_fetch(w: &Workload, pipelined: bool, cost: Option<CostModel>)
     Measurement { seconds: out.results[0], messages: out.stats.messages, bytes: out.stats.bytes }
 }
 
+/// Fig. 5 serve-ownership variant: the same memory-mode grid exchange
+/// with the zero-copy rule toggled. With `shallow` the producers' serve
+/// loops answer data queries by *lending* refcounted sub-slices of the
+/// written regions straight into the reply frames — no dataset byte is
+/// copied between the producer's buffer and the wire. With `!shallow`
+/// every region is deep and the serve path pays the historical staging
+/// gather-copy, counted under `obsv::Ctr::BytesCopied` (the shallow run
+/// must report exactly zero — CI asserts it on the exported metrics).
+/// `cost` charges interconnect latency/bandwidth per delivered message
+/// so the A/B compares realistic wire times, not just memcpy time.
+pub fn run_lowfive_serve(
+    w: &Workload,
+    shallow: bool,
+    cost: Option<CostModel>,
+    observe: Option<&obsv::Registry>,
+) -> Measurement {
+    let specs = [TaskSpec::new("producer", w.producers), TaskSpec::new("consumer", w.consumers)];
+    let w = *w;
+    let out = TaskWorld::run_observed(&specs, cost, observe, move |tc| {
+        let _task = obsv::span_tagged(obsv::Phase::Task, tc.task_id as u64);
+        let mut props = LowFiveProps::new();
+        props.set_zerocopy("*", "*", shallow);
+        let producers = world_ranks(&tc, 0);
+        let consumers = world_ranks(&tc, 1);
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .produce("*", consumers)
+                .build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("*", producers)
+                .build()
+        };
+        let h5 = H5::with_vol(vol);
+        let gdims = w.grid_dims();
+        let (gsel, gdata, csel) = if tc.task_id == 0 {
+            let bb = w.producer_grid_box(tc.local.rank());
+            let gdata = grid_bytes(&w, &bb);
+            (Some(bb.to_selection()), gdata, None)
+        } else {
+            (None, Vec::new(), Some(w.consumer_grid_sel(tc.local.rank())))
+        };
+        timed(&tc, || {
+            if tc.task_id == 0 {
+                let f = h5.create_file("serve-mode.h5").expect("create");
+                let dg = f
+                    .create_dataset("grid", Datatype::UInt64, Dataspace::simple(&gdims))
+                    .expect("grid dataset");
+                dg.write_bytes(&gsel.expect("producer sel"), gdata.into(), Ownership::Shallow)
+                    .expect("grid write");
+                f.close().expect("close (index + serve)");
+            } else {
+                let f = h5.open_file("serve-mode.h5").expect("open");
+                let dg = f.open_dataset("grid").expect("grid");
+                let _slab = dg.read_bytes(csel.as_ref().expect("consumer sel")).expect("read");
+                f.close().expect("consumer close");
+            }
+        })
+    });
+    Measurement { seconds: out.results[0], messages: out.stats.messages, bytes: out.stats.bytes }
+}
+
 /// Pure HDF5 (Fig. 6): the same file exchange without any LowFive layer —
 /// producers write the shared file through the native parallel connector,
 /// consumers read it back.

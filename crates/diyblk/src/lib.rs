@@ -17,6 +17,11 @@
 //! * [`rpc`] — the "custom remote procedure call abstraction implemented
 //!   over MPI" that index, serve, and query are written with.
 
+// The zero-copy transport path hands refcounted buffers around by
+// value; a stray `.clone()` there silently reintroduces the copy this
+// crate exists to avoid, so redundant clones are a hard error.
+#![deny(clippy::redundant_clone)]
+
 pub mod assigner;
 pub mod decompose;
 pub mod factor;

@@ -20,6 +20,16 @@
 //!
 //! Fan-in and fan-out are expressed as [`Link`]s: a task may produce some
 //! file patterns and consume others, with any number of peer tasks.
+//!
+//! Data replies are served **zero-copy** for shallow regions: the serve
+//! loop lends refcounted sub-slices of the producer's regions into a
+//! multi-part [`ReplyFrame`] instead of gathering them into an
+//! intermediate blob, and consumers scatter the reply parts straight into
+//! the destination buffer with a [`PayloadReader`]. Deep regions
+//! (`set_zero_copy(…, false)`) keep the historical gather-copy, counted
+//! under `obsv::Ctr::BytesCopied`. Every reply also carries the file's
+//! write *generation*, which consumers use to invalidate their fetch
+//! caches when a producer rewrites a file in place.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -35,7 +45,7 @@ use minih5::{
     BBox, Dataspace, Datatype, H5Error, H5Result, Hierarchy, NodeId, ObjId, ObjKind, Ownership,
     Selection, Vol,
 };
-use simmpi::Comm;
+use simmpi::{Comm, Payload};
 
 use crate::metadata::MetadataVol;
 use crate::props::{glob_match, LowFiveProps};
@@ -66,10 +76,6 @@ pub struct Link {
 /// Ids of objects opened over a Consume link carry this bit; all other ids
 /// belong to the local metadata layer.
 const REMOTE_BIT: ObjId = 1 << 63;
-
-/// Raw `(segments, payload)` body of one data reply, before the wire
-/// encoding of [`enc_data_reply`] / [`enc_data_reply_batch`] is applied.
-type RawDataReply = (Vec<(u64, u64)>, Vec<u8>);
 
 struct RemoteFileInfo {
     producers: Vec<usize>,
@@ -138,8 +144,10 @@ pub struct TransportProfile {
 /// multiplexing all open serve sessions).
 #[derive(Default)]
 struct AsyncSessions {
-    /// filename → consumer DONEs still outstanding.
-    open: HashMap<String, usize>,
+    /// filename → (expected consumer DONEs, distinct consumer ranks heard
+    /// from). Ranks, not message counts: a consumer whose ack was lost
+    /// retransmits DONE, and a duplicate must not close the session early.
+    open: HashMap<String, (usize, std::collections::HashSet<usize>)>,
     /// Files fully served (safe to keep answering reads for).
     completed: std::collections::HashSet<String>,
     /// drain() was requested: exit once `open` empties.
@@ -165,6 +173,13 @@ struct FetchCache {
     /// `(file, dataset path, query bbox)` → producer-local indices that
     /// answered the redirect query with intersecting data.
     owners: HashMap<(String, String, BBox), Vec<usize>>,
+    /// `(file, producer world rank)` → the generation that producer last
+    /// reported for the file. Every reply (metadata, redirect, data)
+    /// carries the serving file's live generation; when a producer
+    /// reports one that differs from what it reported before, the file
+    /// was rewritten in place and every cached lookup for it is dropped
+    /// (see [`DistMetadataVol::note_gen`]).
+    gens: HashMap<(String, usize), u64>,
 }
 
 /// The distributed metadata connector.
@@ -330,8 +345,9 @@ impl DistMetadataVol {
     fn index(&self, filename: &str) -> H5Result<()> {
         let sp = obsv::span(obsv::Phase::Index);
         let n = self.local.size();
+        let gen = self.meta.generation(filename);
         let dsets = self.meta.datasets_of_file(filename)?;
-        let mut bundles: Vec<Vec<(String, String, BBox)>> = vec![Vec::new(); n];
+        let mut bundles: Vec<Vec<(String, String, u64, BBox)>> = vec![Vec::new(); n];
         for dset in &dsets {
             let (_dtype, space) = self.meta.dataset_meta_by_path(filename, dset)?;
             let dims = effective_dims(&space);
@@ -344,7 +360,7 @@ impl DistMetadataVol {
                 // Algorithm 1 lines 6-9: send the bounding box to every
                 // producer whose common-decomposition block it intersects.
                 for gid in decomp.blocks_intersecting(&bb) {
-                    bundles[gid].push((filename.to_string(), dset.clone(), bb.clone()));
+                    bundles[gid].push((filename.to_string(), dset.clone(), gen, bb.clone()));
                 }
             }
         }
@@ -358,7 +374,11 @@ impl DistMetadataVol {
         idx.boxes.retain(|(f, _), _| f != filename);
         let mut nboxes = 0u64;
         for (src, payload) in received.iter().enumerate() {
-            for (f, d, bb) in dec_index_bundle(payload)? {
+            // The bundle's generation tag records which snapshot the
+            // sender's boxes describe; replies always report the *live*
+            // generation, so a consumer that cached owners from this
+            // index notices any later in-place rewrite.
+            for (f, d, _gen, bb) in dec_index_bundle(payload)? {
                 idx.boxes.entry((f, d)).or_default().push((bb, src));
                 nboxes += 1;
             }
@@ -385,12 +405,20 @@ impl DistMetadataVol {
                 pending.drain(..).partition(|(_, f)| f == filename);
             *pending = later;
             for (caller, file) in now {
-                let reply = self.meta.file_meta(&file).map(|m| enc_metadata_reply(&m));
+                let reply = self
+                    .meta
+                    .file_meta(&file)
+                    .map(|m| enc_metadata_reply(self.meta.generation(&file), &m));
                 diyblk::rpc::send_reply(&self.world, caller, enc_result(reply));
             }
         }
         let server = RpcServer::new(&self.world);
-        let mut dones = 0usize;
+        // DONE must be idempotent: a consumer whose *ack* was lost resends
+        // the same DONE under its retry policy, and each retransmit is a
+        // fresh RPC. Counting messages would double-count that consumer and
+        // stop the serve loop early, stranding the rest — so we count
+        // distinct caller ranks instead.
+        let mut dones = std::collections::HashSet::new();
         server.serve(|caller, method, args| match method {
             M_METADATA => {
                 self.profile.lock().metadata_requests += 1;
@@ -399,7 +427,10 @@ impl DistMetadataVol {
                     Err(e) => return ServeOutcome::Reply(enc_result(Err(e))),
                 };
                 match self.meta.file_meta(&file) {
-                    Ok(meta) => ServeOutcome::Reply(enc_result(Ok(enc_metadata_reply(&meta)))),
+                    Ok(meta) => ServeOutcome::Reply(enc_result(Ok(enc_metadata_reply(
+                        self.meta.generation(&file),
+                        &meta,
+                    )))),
                     Err(H5Error::NotFound(_))
                         if self.links.iter().any(|l| {
                             l.dir == LinkDir::Produce && glob_match(&l.pattern, &file)
@@ -414,17 +445,21 @@ impl DistMetadataVol {
                 }
             }
             M_INTERSECT => ServeOutcome::Reply(self.serve_intersect(&args)),
-            M_DATA => ServeOutcome::Reply(self.serve_data(&args)),
-            M_DATA_BATCH => ServeOutcome::Reply(self.serve_data_batch(&args)),
+            M_DATA => ServeOutcome::ReplyParts(self.serve_data(&args)),
+            M_DATA_BATCH => ServeOutcome::ReplyParts(self.serve_data_batch(&args)),
             M_DONE => {
                 let file = dec_done_req(&args).unwrap_or_default();
                 if file == filename {
-                    dones += 1;
+                    dones.insert(caller.rank);
                 }
-                if dones == expected_dones {
-                    ServeOutcome::Stop(None)
+                // Ack every DONE: the consumer awaits (and under a retry
+                // policy resends) it, so a dropped notification can no
+                // longer starve the serve loop.
+                let ack = enc_result(Ok(Bytes::new()));
+                if dones.len() == expected_dones {
+                    ServeOutcome::Stop(Some(ack))
                 } else {
-                    ServeOutcome::Continue
+                    ServeOutcome::Reply(ack)
                 }
             }
             m => ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
@@ -439,22 +474,55 @@ impl DistMetadataVol {
     /// Algorithm 2 lines 9-14: stream the intersection of the local data
     /// regions with the consumer's selection, as contiguous segments
     /// addressed in the consumer's packed buffer.
-    fn answer_data_query(&self, file: &str, dset: &str, sel: &Selection) -> H5Result<RawDataReply> {
+    ///
+    /// Zero-copy: shallow regions are *lent* into the frame as refcounted
+    /// sub-slices of the region allocation — no dataset byte is copied on
+    /// the producer. Deep regions (`set_zero_copy(…, false)`) keep the
+    /// historical gather-copy, counted under `obsv::Ctr::BytesCopied`.
+    fn answer_data_query_into(
+        &self,
+        frame: &mut ReplyFrame,
+        gen: u64,
+        file: &str,
+        dset: &str,
+        sel: &Selection,
+    ) -> H5Result<()> {
         let (dtype, space) = self.meta.dataset_meta_by_path(file, dset)?;
         sel.validate(&space)?;
         let es = dtype.size();
         let sel_runs = sel.runs(&space);
+        // The segment table precedes the blob on the wire, so the runs
+        // are resolved first and the slices lent after the header.
         let mut segs: Vec<(u64, u64)> = Vec::new();
-        let mut blob: Vec<u8> = Vec::new();
+        let mut slices: Vec<(Bytes, Ownership)> = Vec::new();
+        let mut blob_len = 0u64;
         for region in self.meta.dataset_regions(file, dset)? {
             let reg_runs = region.selection.runs(&space);
             for ov in overlap_runs(&reg_runs, &sel_runs) {
                 segs.push((ov.b_off, ov.len));
                 let s = (ov.a_off as usize) * es;
-                blob.extend_from_slice(&region.data[s..s + (ov.len as usize) * es]);
+                let nb = (ov.len as usize) * es;
+                slices.push((region.data.slice(s..s + nb), region.ownership));
+                blob_len += nb as u64;
             }
         }
-        Ok((segs, blob))
+        frame.put_u64(gen);
+        frame.put_u64(segs.len() as u64);
+        for (off, len) in segs {
+            frame.put_u64(off);
+            frame.put_u64(len);
+        }
+        frame.put_blob_len(blob_len);
+        for (b, own) in slices {
+            match own {
+                Ownership::Shallow => frame.lend(b),
+                Ownership::Deep => {
+                    obsv::counter_add(obsv::Ctr::BytesCopied, b.len() as u64);
+                    frame.lend(Bytes::copy_from_slice(&b));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Answer an `M_INTERSECT` redirect query (shared by both serve
@@ -463,6 +531,7 @@ impl DistMetadataVol {
     fn serve_intersect(&self, args: &Bytes) -> Bytes {
         self.profile.lock().intersect_requests += 1;
         let reply = dec_intersect_req(args).map(|(file, dset, qbb)| {
+            let gen = self.meta.generation(&file);
             let idx = self.serve_index.lock();
             let mut ranks: Vec<u64> = Vec::new();
             if let Some(list) = idx.boxes.get(&(file, dset)) {
@@ -472,16 +541,19 @@ impl DistMetadataVol {
                     }
                 }
             }
-            enc_intersect_reply(&ranks)
+            enc_intersect_reply(gen, &ranks)
         });
         enc_result(reply)
     }
 
-    /// Answer a single `M_DATA` query (shared by both serve loops).
-    fn serve_data(&self, args: &Bytes) -> Bytes {
+    /// Answer a single `M_DATA` query (shared by both serve loops) as a
+    /// multi-part frame lending shallow region bytes.
+    fn serve_data(&self, args: &Bytes) -> Payload {
         let reply = dec_data_req(args).and_then(|(file, dset, sel)| {
-            let (segs, blob) = self.answer_data_query(&file, &dset, &sel)?;
-            Ok(enc_data_reply(&segs, &blob))
+            let gen = self.meta.generation(&file);
+            let mut frame = ReplyFrame::new();
+            self.answer_data_query_into(&mut frame, gen, &file, &dset, &sel)?;
+            Ok(frame.finish())
         });
         let mut p = self.profile.lock();
         p.data_requests += 1;
@@ -490,22 +562,24 @@ impl DistMetadataVol {
             obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
         }
         drop(p);
-        enc_result(reply)
+        enc_result_payload(reply)
     }
 
     /// Answer a batched `M_DATA_BATCH` query (shared by both serve
     /// loops): one [`DataReply`] body per `(dataset, selection)` entry,
-    /// in entry order. Each entry is answered exactly as a lone `M_DATA`
-    /// would be, so batching never changes the bytes a consumer sees.
-    fn serve_data_batch(&self, args: &Bytes) -> Bytes {
+    /// in entry order, all in a single multi-part frame. Each entry is
+    /// answered exactly as a lone `M_DATA` would be, so batching never
+    /// changes the bytes a consumer sees.
+    fn serve_data_batch(&self, args: &Bytes) -> Payload {
         let reply = dec_data_req_batch(args).and_then(|(file, entries)| {
-            let mut parts: Vec<(Vec<(u64, u64)>, Bytes)> = Vec::with_capacity(entries.len());
+            let gen = self.meta.generation(&file);
+            let mut frame = ReplyFrame::new();
+            frame.put_u64(entries.len() as u64);
             for (dset, sel) in &entries {
-                let (segs, blob) = self.answer_data_query(&file, dset, sel)?;
-                parts.push((segs, Bytes::from(blob)));
+                self.answer_data_query_into(&mut frame, gen, &file, dset, sel)?;
             }
             self.profile.lock().data_requests += entries.len() as u64;
-            Ok(enc_data_reply_batch(&parts))
+            Ok(frame.finish())
         });
         let mut p = self.profile.lock();
         if let Ok(b) = &reply {
@@ -513,7 +587,7 @@ impl DistMetadataVol {
             obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
         }
         drop(p);
-        enc_result(reply)
+        enc_result_payload(reply)
     }
 
     fn producer_close(&self, filename: &str) -> H5Result<()> {
@@ -531,14 +605,20 @@ impl DistMetadataVol {
         }
         // Overlap mode: register the session, release any consumers that
         // asked early, make sure the serve thread runs, and return.
-        self.sessions.lock().open.insert(filename.to_string(), consumers.len());
+        self.sessions
+            .lock()
+            .open
+            .insert(filename.to_string(), (consumers.len(), std::collections::HashSet::new()));
         {
             let mut pending = self.pending_meta.lock();
             let (now, later): (Vec<_>, Vec<_>) =
                 pending.drain(..).partition(|(_, f)| f == filename);
             *pending = later;
             for (caller, file) in now {
-                let reply = self.meta.file_meta(&file).map(|m| enc_metadata_reply(&m));
+                let reply = self
+                    .meta
+                    .file_meta(&file)
+                    .map(|m| enc_metadata_reply(self.meta.generation(&file), &m));
                 diyblk::rpc::send_reply(&self.world, caller, enc_result(reply));
             }
         }
@@ -597,7 +677,10 @@ impl DistMetadataVol {
                     s.open.contains_key(&file) || s.completed.contains(&file)
                 };
                 if known {
-                    let reply = self.meta.file_meta(&file).map(|m| enc_metadata_reply(&m));
+                    let reply = self
+                        .meta
+                        .file_meta(&file)
+                        .map(|m| enc_metadata_reply(self.meta.generation(&file), &m));
                     ServeOutcome::Reply(enc_result(reply))
                 } else if self
                     .links
@@ -612,24 +695,25 @@ impl DistMetadataVol {
                 }
             }
             M_INTERSECT => ServeOutcome::Reply(self.serve_intersect(&args)),
-            M_DATA => ServeOutcome::Reply(self.serve_data(&args)),
-            M_DATA_BATCH => ServeOutcome::Reply(self.serve_data_batch(&args)),
+            M_DATA => ServeOutcome::ReplyParts(self.serve_data(&args)),
+            M_DATA_BATCH => ServeOutcome::ReplyParts(self.serve_data_batch(&args)),
             M_DONE => {
                 let file = dec_done_req(&args).unwrap_or_default();
                 let mut s = self.sessions.lock();
-                if let Some(remaining) = s.open.get_mut(&file) {
-                    *remaining -= 1;
-                    if *remaining == 0 {
+                if let Some((expected, done)) = s.open.get_mut(&file) {
+                    done.insert(caller.rank);
+                    if done.len() == *expected {
                         s.open.remove(&file);
                         s.completed.insert(file);
                         self.profile.lock().serve_sessions += 1;
                         obsv::counter_add(obsv::Ctr::ServeSessions, 1);
                     }
                 }
+                let ack = enc_result(Ok(Bytes::new()));
                 if s.draining && s.open.is_empty() {
-                    ServeOutcome::Stop(None)
+                    ServeOutcome::Stop(Some(ack))
                 } else {
-                    ServeOutcome::Continue
+                    ServeOutcome::Reply(ack)
                 }
             }
             M_SHUTDOWN => {
@@ -681,6 +765,23 @@ impl DistMetadataVol {
         }
     }
 
+    /// Record the generation a producer reported for `file`. Returns
+    /// true — after dropping every cached lookup for the file — when it
+    /// differs from the last generation that producer reported: the
+    /// cached metadata and owner lists were built against a snapshot the
+    /// producer has since rewritten.
+    fn note_gen(&self, file: &str, server: usize, gen: u64) -> bool {
+        let mut cache = self.fetch_cache.lock();
+        match cache.gens.insert((file.to_string(), server), gen) {
+            Some(old) if old != gen => {
+                cache.meta.remove(file);
+                cache.owners.retain(|(f, _, _), _| f != file);
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn consumer_open(&self, name: &str, link: &Link) -> H5Result<ObjId> {
         let sp = obsv::span(obsv::Phase::Open);
         // Pipelined fetch caches the metadata tree per file, so a reopen
@@ -696,15 +797,15 @@ impl DistMetadataVol {
             }
             obsv::counter_add(obsv::Ctr::FetchCacheMisses, 1);
         }
-        let meta = if self.props.metadata_broadcast_for(name) {
+        let (home, reply) = if self.props.metadata_broadcast_for(name) {
             // Collective variant (paper §V-C): one rank fetches, the task
             // broadcasts — m−1 fewer round trips to the producers.
             // Broadcast the raw reply (including any error) so that a
             // remote failure — the producer returning an error *or* the
             // producer being gone — propagates to every rank instead of
             // leaving peers stuck in the collective.
+            let home = link.remote_ranks[0];
             let reply = if self.local.rank() == 0 {
-                let home = link.remote_ranks[0];
                 let reply = self
                     .call_producer(name, home, M_METADATA, &enc_metadata_req(name))
                     .unwrap_or_else(|e| enc_result(Err(e)));
@@ -712,14 +813,17 @@ impl DistMetadataVol {
             } else {
                 self.local.bcast_bytes(0, None)
             };
-            dec_metadata_reply(&dec_result(&reply)?)?
+            (home, reply)
         } else {
             // Each consumer rank has a "home" producer for metadata
             // requests, spreading the load across the producer task.
             let home = link.remote_ranks[self.local.rank() % link.remote_ranks.len()];
-            let reply = self.call_producer(name, home, M_METADATA, &enc_metadata_req(name))?;
-            dec_metadata_reply(&dec_result(&reply)?)?
+            (home, self.call_producer(name, home, M_METADATA, &enc_metadata_req(name))?)
         };
+        let (gen, meta) = dec_metadata_reply(&dec_result(&reply)?)?;
+        // Record the generation *before* caching: a bump clears stale
+        // entries first, so the fresh tree is what ends up cached.
+        self.note_gen(name, home, gen);
         if caching {
             self.fetch_cache.lock().meta.insert(name.to_string(), meta.clone());
         }
@@ -836,7 +940,9 @@ impl DistMetadataVol {
                     M_INTERSECT,
                     &enc_intersect_req(&filename, &path, &bb),
                 )?;
-                for r in dec_intersect_reply(&dec_result(&reply)?)? {
+                let (gen, ranks) = dec_intersect_reply(&dec_result(&reply)?)?;
+                self.note_gen(&filename, producers[gid], gen);
+                for r in ranks {
                     owners.insert(r as usize);
                 }
             }
@@ -858,6 +964,7 @@ impl DistMetadataVol {
             fetched += reply.len() as u64;
             obsv::hist_record(obsv::Hist::BytesFetched, reply.len() as u64);
             let dr = dec_data_reply(&dec_result(&reply)?)?;
+            self.note_gen(&filename, producers[p], dr.gen);
             scatter_segments(&mut out, &dr, es)?;
         }
         {
@@ -875,7 +982,25 @@ impl DistMetadataVol {
     /// buffers in completion order. Redirect results are cached per
     /// `(file, dataset, bbox)`, so a repeat read goes straight to the
     /// data fetch.
+    ///
+    /// If any reply carries a generation differing from what its
+    /// producer reported before, the cached lookups this read may have
+    /// used were built against a stale snapshot; [`Self::note_gen`] has
+    /// already dropped them, and one clean second pass re-resolves
+    /// everything against the live state.
     fn remote_read_pipelined(&self, dset: ObjId, sels: &[Selection]) -> H5Result<Vec<Bytes>> {
+        let (bufs, stale) = self.remote_read_pipelined_once(dset, sels)?;
+        if !stale {
+            return Ok(bufs);
+        }
+        Ok(self.remote_read_pipelined_once(dset, sels)?.0)
+    }
+
+    fn remote_read_pipelined_once(
+        &self,
+        dset: ObjId,
+        sels: &[Selection],
+    ) -> H5Result<(Vec<Bytes>, bool)> {
         let (node, filename, path, producers) = self.remote_target(dset)?;
         let (dtype, space) = self.remote.lock().hier.dataset_meta(node)?;
         let es = dtype.size();
@@ -927,15 +1052,19 @@ impl DistMetadataVol {
                 call_sel.push(i);
             }
         }
+        let mut stale = false;
         if !calls.is_empty() {
             let mut sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); sels.len()];
             let mut first_err: Option<H5Error> = None;
             rpc.call_many(&calls, policy, |k, r| {
                 let decoded = r
                     .map_err(|e| Self::peer_error(calls[k].server, policy, e))
-                    .and_then(|reply| dec_intersect_reply(&dec_result(&reply)?));
+                    .and_then(|reply| dec_intersect_reply(&dec_result(&reply.into_bytes())?));
                 match decoded {
-                    Ok(ranks) => sets[call_sel[k]].extend(ranks.iter().map(|&x| x as usize)),
+                    Ok((gen, ranks)) => {
+                        stale |= self.note_gen(&filename, calls[k].server, gen);
+                        sets[call_sel[k]].extend(ranks.iter().map(|&x| x as usize));
+                    }
                     Err(e) => first_err = first_err.take().or(Some(e)),
                 }
             });
@@ -982,20 +1111,34 @@ impl DistMetadataVol {
         let mut fetched = 0u64;
         let mut first_err: Option<H5Error> = None;
         rpc.call_many(&calls, policy, |k, r| {
+            // The reply is walked in place with a [`PayloadReader`]: the
+            // header runs are peeked across part boundaries and each
+            // segment's bytes are copied straight from the (possibly
+            // borrowed-on-the-producer) reply parts into their slot of the
+            // packed destination — the one copy of the zero-copy path.
             let scattered =
                 r.map_err(|e| Self::peer_error(calls[k].server, policy, e)).and_then(|reply| {
                     fetched += reply.len() as u64;
                     obsv::hist_record(obsv::Hist::BytesFetched, reply.len() as u64);
-                    let replies = dec_data_reply_batch(&dec_result(&reply)?)?;
-                    if replies.len() != call_sels[k].len() {
+                    let mut pr = PayloadReader::new(dec_result_payload(reply)?);
+                    let count = pr.get_u64()? as usize;
+                    if count != call_sels[k].len() {
                         return Err(H5Error::Format(format!(
                             "batch reply carries {} bodies for {} entries",
-                            replies.len(),
+                            count,
                             call_sels[k].len()
                         )));
                     }
-                    for (dr, &i) in replies.iter().zip(&call_sels[k]) {
-                        scatter_segments(&mut outs[i], dr, es)?;
+                    for &i in &call_sels[k] {
+                        let (gen, segs, blob_len) = get_data_reply_header(&mut pr)?;
+                        stale |= self.note_gen(&filename, calls[k].server, gen);
+                        scatter_payload(&mut pr, &mut outs[i], &segs, blob_len, es)?;
+                    }
+                    if pr.remaining() != 0 {
+                        return Err(H5Error::Format(format!(
+                            "{} trailing bytes after batch reply",
+                            pr.remaining()
+                        )));
                     }
                     Ok(())
                 });
@@ -1011,7 +1154,7 @@ impl DistMetadataVol {
             p.fetch_seconds += sp_fetch.finish();
             p.bytes_fetched += fetched;
         }
-        Ok(outs.into_iter().map(Bytes::from).collect())
+        Ok((outs.into_iter().map(Bytes::from).collect(), stale))
     }
 
     fn consumer_close(&self, file: ObjId) -> H5Result<()> {
@@ -1031,12 +1174,41 @@ impl DistMetadataVol {
             cache.meta.remove(filename.as_ref());
             cache.owners.retain(|(f, _, _), _| f.as_str() != filename.as_ref());
         }
-        let rpc = RpcClient::new(&self.world);
         for p in producers {
-            rpc.notify(p, M_DONE, &enc_done_req(&filename));
+            // DONE is a *call*, not a notification: the producer's serve
+            // loop counts it toward session completion, so a dropped
+            // message would leave the producer waiting forever. Awaiting
+            // the ack (resent under the file's retry policy) closes that
+            // hole; a producer that already died is best-effort.
+            let _ = self.call_producer(&filename, p, M_DONE, &enc_done_req(&filename));
         }
         Ok(())
     }
+}
+
+/// Apply one frame-decoded data reply body: copy each segment's bytes
+/// off the front of the reply payload straight into its slot of the
+/// packed destination, leaving the cursor at the next batch entry.
+/// Bounds are checked so a corrupt reply surfaces as a format error
+/// instead of a panic.
+fn scatter_payload(
+    pr: &mut PayloadReader,
+    out: &mut [u8],
+    segs: &[(u64, u64)],
+    blob_len: usize,
+    es: usize,
+) -> H5Result<()> {
+    let mut cum = 0usize;
+    for &(off, len) in segs {
+        let nb = (len as usize) * es;
+        let dst = (off as usize) * es;
+        if dst + nb > out.len() || cum + nb > blob_len {
+            return Err(H5Error::Format("data reply segment out of bounds".into()));
+        }
+        pr.copy_into(&mut out[dst..dst + nb])?;
+        cum += nb;
+    }
+    pr.skip(blob_len - cum)
 }
 
 /// Apply one data reply to a packed destination buffer: copy each

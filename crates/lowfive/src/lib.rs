@@ -65,6 +65,11 @@
 //! });
 //! ```
 
+// The zero-copy transport path hands refcounted buffers around by
+// value; a stray `.clone()` there silently reintroduces the copy this
+// crate exists to avoid, so redundant clones are a hard error.
+#![deny(clippy::redundant_clone)]
+
 pub mod base;
 pub mod dist;
 pub mod metadata;

@@ -48,6 +48,17 @@ struct MetaState {
     hier: Hierarchy,
     entries: HashMap<ObjId, Entry>,
     next: ObjId,
+    /// Per-file write generation: bumped on every mutation of the
+    /// in-memory tree (create/truncate, region write, extend, attribute
+    /// write). Served to consumers in every reply so their caches can
+    /// detect an in-place rewrite between reads.
+    gens: HashMap<String, u64>,
+}
+
+impl MetaState {
+    fn bump_gen(&mut self, file: &str) {
+        *self.gens.entry(file.to_string()).or_insert(0) += 1;
+    }
 }
 
 impl MetaState {
@@ -97,6 +108,13 @@ impl MetadataVol {
     /// Whether the handle belongs to a `file_create` (write) session.
     pub fn was_created(&self, id: ObjId) -> H5Result<bool> {
         Ok(self.state.lock().entry(id)?.created)
+    }
+
+    /// Current write generation of an in-memory file (0 if never
+    /// mutated). Every reply the distributed layer sends for the file
+    /// carries this tag, so consumer caches can detect in-place rewrites.
+    pub fn generation(&self, name: &str) -> u64 {
+        self.state.lock().gens.get(name).copied().unwrap_or(0)
     }
 
     /// Serialize the metadata tree of an in-memory file (for shipping to
@@ -156,7 +174,9 @@ impl Vol for MetadataVol {
             if st.hier.file(name).is_some() {
                 st.hier.remove_file(name)?;
             }
-            Some(st.hier.create_file(name)?)
+            let node = st.hier.create_file(name)?;
+            st.bump_gen(name);
+            Some(node)
         } else {
             None
         };
@@ -358,7 +378,9 @@ impl Vol for MetadataVol {
             self.base.dataset_extend(f, new_dims)?;
         }
         if let Some(node) = e.mem {
-            self.state.lock().hier.extend_dataset(node, new_dims)?;
+            let mut st = self.state.lock();
+            st.hier.extend_dataset(node, new_dims)?;
+            st.bump_gen(&e.filename);
         }
         Ok(())
     }
@@ -398,7 +420,9 @@ impl Vol for MetadataVol {
         }
         if let Some(node) = e.mem {
             let own = self.props.ownership_for(&e.filename, &e.path, ownership);
-            self.state.lock().hier.write_region(node, file_sel.clone(), data, own)?;
+            let mut st = self.state.lock();
+            st.hier.write_region(node, file_sel.clone(), data, own)?;
+            st.bump_gen(&e.filename);
         }
         Ok(())
     }
@@ -420,7 +444,9 @@ impl Vol for MetadataVol {
             self.base.attr_write(f, name, dtype, data.clone())?;
         }
         if let Some(node) = e.mem {
-            self.state.lock().hier.set_attr(node, name, dtype.clone(), data);
+            let mut st = self.state.lock();
+            st.hier.set_attr(node, name, dtype.clone(), data);
+            st.bump_gen(&e.filename);
         }
         Ok(())
     }

@@ -22,14 +22,37 @@
 //! The index exchange among producers (Algorithm 1) uses a plain tagged
 //! message (`TAG_INDEX`) on the producer task's local communicator.
 //!
+//! ## Generation tags
+//!
+//! Every reply a producer serves — metadata, redirect, data — and every
+//! index-bundle entry carries the file's *generation*: a counter the
+//! producer bumps on each write to (or truncation of) the file. Consumers
+//! key their caches on it; a reply carrying a newer generation than the
+//! cached one proves the cache stale and forces invalidation, so an
+//! in-place rewrite between consumer reads is observed instead of served
+//! from a stale cache.
+//!
+//! ## Borrowed-slice reply framing
+//!
+//! Data replies can be assembled as multi-part [`Payload`]s through
+//! [`ReplyFrame`]: contiguous header runs (counts, segment tables,
+//! length prefixes) accumulate in a [`Writer`] and are flushed as small
+//! parts, while dataset bytes are *lent* as refcounted sub-slices of the
+//! producer's shallow regions. The flattened byte stream of such a frame
+//! is byte-identical to the contiguous encoders below, so either side may
+//! use either representation. Consumers walk the parts in place with a
+//! [`PayloadReader`] and scatter straight into the destination buffer —
+//! the only copy on the whole path is that final placement.
+//!
 //! The byte-level layout of every frame is specified in the repository's
 //! `docs/PROTOCOL.md`; the encoder/decoder pairs in this module are the
 //! normative implementation, and each carries a round-trip doctest.
 
 use bytes::Bytes;
-use minih5::codec::{Decode, Encode, Reader, Writer};
+use minih5::codec::{Reader, Writer};
 use minih5::format::FileMeta;
 use minih5::{BBox, H5Error, H5Result, Selection};
+use simmpi::Payload;
 
 /// Fetch the serialized [`FileMeta`] tree of a file.
 pub const M_METADATA: u32 = 1;
@@ -247,31 +270,81 @@ pub fn dec_result(b: &Bytes) -> H5Result<Bytes> {
     }
 }
 
-/// Encode a metadata reply: the file's serialized [`FileMeta`] tree.
-pub fn enc_metadata_reply(meta: &FileMeta) -> Bytes {
-    meta.to_bytes()
+/// Parts-preserving [`enc_result`]: the ok discriminant becomes its own
+/// one-byte part and the body's parts follow untouched, so a zero-copy
+/// reply stays zero-copy through the result wrapper. Flattened, the frame
+/// is identical to `enc_result`'s.
+pub fn enc_result_payload(r: H5Result<Payload>) -> Payload {
+    match r {
+        Ok(body) => {
+            let mut p = Payload::from(vec![1u8]);
+            p.extend(body);
+            p
+        }
+        Err(e) => enc_result(Err(e)).into(),
+    }
 }
 
-/// Decode a metadata reply.
-pub fn dec_metadata_reply(b: &[u8]) -> H5Result<FileMeta> {
-    FileMeta::from_bytes(b)
+/// Unwrap a result-framed reply delivered as a [`Payload`] without
+/// flattening the ok body: a one-byte prefix peek plus an in-place
+/// `advance`. Error frames are small and single-part; decoding them
+/// reuses [`dec_result`].
+pub fn dec_result_payload(mut p: Payload) -> H5Result<Payload> {
+    let mut d = [0u8; 1];
+    if !p.copy_prefix(&mut d) {
+        return Err(H5Error::Format("empty reply frame".into()));
+    }
+    match d[0] {
+        1 => {
+            p.advance(1);
+            Ok(p)
+        }
+        0 => match dec_result(&p.into_bytes()) {
+            Ok(_) => unreachable!("discriminant 0 is the err branch"),
+            Err(e) => Err(e),
+        },
+        t => Err(H5Error::Format(format!("bad reply discriminant {t}"))),
+    }
 }
 
-/// Encode a redirect reply: the world ranks owning intersecting data.
+/// Encode a metadata reply: the file's generation followed by its
+/// serialized [`FileMeta`] tree.
+pub fn enc_metadata_reply(gen: u64, meta: &FileMeta) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u64(gen);
+    w.put(meta);
+    w.finish()
+}
+
+/// Decode a metadata reply into `(generation, tree)`.
+pub fn dec_metadata_reply(b: &[u8]) -> H5Result<(u64, FileMeta)> {
+    let mut r = Reader::new(b);
+    let gen = r.get_u64()?;
+    let meta = r.get()?;
+    if r.remaining() != 0 {
+        return Err(H5Error::Format(format!("{} trailing bytes", r.remaining())));
+    }
+    Ok((gen, meta))
+}
+
+/// Encode a redirect reply: the file's generation, then the world ranks
+/// owning intersecting data.
 ///
 /// ```
 /// use lowfive::protocol::{enc_intersect_reply, dec_intersect_reply};
-/// assert_eq!(dec_intersect_reply(&enc_intersect_reply(&[0, 2])).unwrap(), vec![0, 2]);
+/// assert_eq!(dec_intersect_reply(&enc_intersect_reply(3, &[0, 2])).unwrap(), (3, vec![0, 2]));
 /// ```
-pub fn enc_intersect_reply(ranks: &[u64]) -> Bytes {
+pub fn enc_intersect_reply(gen: u64, ranks: &[u64]) -> Bytes {
     let mut w = Writer::new();
+    w.put_u64(gen);
     w.put_u64s(ranks);
     w.finish()
 }
 
-/// Decode a redirect reply into owner world ranks.
-pub fn dec_intersect_reply(b: &[u8]) -> H5Result<Vec<u64>> {
-    Reader::new(b).get_u64s()
+/// Decode a redirect reply into `(generation, owner world ranks)`.
+pub fn dec_intersect_reply(b: &[u8]) -> H5Result<(u64, Vec<u64>)> {
+    let mut r = Reader::new(b);
+    Ok((r.get_u64()?, r.get_u64s()?))
 }
 
 /// A data reply: `segs` are `(element offset in the consumer's packed
@@ -279,6 +352,8 @@ pub fn dec_intersect_reply(b: &[u8]) -> H5Result<Vec<u64>> {
 /// segment order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataReply {
+    /// Generation of the served file at reply time.
+    pub gen: u64,
     /// `(element offset, element length)` pairs addressing the
     /// consumer's packed destination buffer.
     pub segs: Vec<(u64, u64)>,
@@ -292,13 +367,14 @@ pub struct DataReply {
 /// use lowfive::protocol::{enc_data_reply, dec_data_reply};
 /// let segs = vec![(0u64, 3u64), (10, 2)];
 /// let blob = [1u8, 2, 3, 4, 5];
-/// let reply = dec_data_reply(&enc_data_reply(&segs, &blob)).unwrap();
+/// let reply = dec_data_reply(&enc_data_reply(1, &segs, &blob)).unwrap();
+/// assert_eq!(reply.gen, 1);
 /// assert_eq!(reply.segs, segs);
 /// assert_eq!(&reply.blob[..], &blob[..]);
 /// ```
-pub fn enc_data_reply(segs: &[(u64, u64)], blob: &[u8]) -> Bytes {
+pub fn enc_data_reply(gen: u64, segs: &[(u64, u64)], blob: &[u8]) -> Bytes {
     let mut w = Writer::new();
-    put_data_reply(&mut w, segs, blob);
+    put_data_reply(&mut w, gen, segs, blob);
     w.finish()
 }
 
@@ -309,7 +385,8 @@ pub fn dec_data_reply(b: &[u8]) -> H5Result<DataReply> {
     get_data_reply(&mut r)
 }
 
-fn put_data_reply(w: &mut Writer, segs: &[(u64, u64)], blob: &[u8]) {
+fn put_data_reply(w: &mut Writer, gen: u64, segs: &[(u64, u64)], blob: &[u8]) {
+    w.put_u64(gen);
     w.put_u64(segs.len() as u64);
     for &(off, len) in segs {
         w.put_u64(off);
@@ -319,17 +396,19 @@ fn put_data_reply(w: &mut Writer, segs: &[(u64, u64)], blob: &[u8]) {
 }
 
 fn get_data_reply(r: &mut Reader) -> H5Result<DataReply> {
+    let gen = r.get_u64()?;
     let n = checked_count(r.get_u64()?, 16, r)?;
     let mut segs = Vec::with_capacity(n);
     for _ in 0..n {
         segs.push((r.get_u64()?, r.get_u64()?));
     }
     let blob = Bytes::copy_from_slice(r.get_bytes()?);
-    Ok(DataReply { segs, blob })
+    Ok(DataReply { gen, segs, blob })
 }
 
 /// Encode a batched data reply (`M_DATA_BATCH`): one `(segs, blob)`
-/// body per request entry, concatenated in entry order.
+/// body per request entry, concatenated in entry order. Every entry
+/// carries the serving file's generation.
 ///
 /// ```
 /// use bytes::Bytes;
@@ -338,17 +417,18 @@ fn get_data_reply(r: &mut Reader) -> H5Result<DataReply> {
 ///     (vec![(0u64, 2u64)], Bytes::from_static(&[7, 8])),
 ///     (vec![], Bytes::new()), // an entry may intersect nothing
 /// ];
-/// let replies = dec_data_reply_batch(&enc_data_reply_batch(&parts)).unwrap();
+/// let replies = dec_data_reply_batch(&enc_data_reply_batch(2, &parts)).unwrap();
 /// assert_eq!(replies.len(), 2);
+/// assert_eq!(replies[0].gen, 2);
 /// assert_eq!(replies[0].segs, parts[0].0);
 /// assert_eq!(replies[0].blob, parts[0].1);
 /// assert!(replies[1].segs.is_empty());
 /// ```
-pub fn enc_data_reply_batch(parts: &[(Vec<(u64, u64)>, Bytes)]) -> Bytes {
+pub fn enc_data_reply_batch(gen: u64, parts: &[(Vec<(u64, u64)>, Bytes)]) -> Bytes {
     let mut w = Writer::new();
     w.put_u64(parts.len() as u64);
     for (segs, blob) in parts {
-        put_data_reply(&mut w, segs, blob);
+        put_data_reply(&mut w, gen, segs, blob);
     }
     w.finish()
 }
@@ -358,7 +438,7 @@ pub fn enc_data_reply_batch(parts: &[(Vec<(u64, u64)>, Bytes)]) -> Bytes {
 /// against the bytes actually present.
 pub fn dec_data_reply_batch(b: &[u8]) -> H5Result<Vec<DataReply>> {
     let mut r = Reader::new(b);
-    let n = checked_count(r.get_u64()?, 16, &r)?;
+    let n = checked_count(r.get_u64()?, 24, &r)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(get_data_reply(&mut r)?);
@@ -367,37 +447,215 @@ pub fn dec_data_reply_batch(b: &[u8]) -> H5Result<Vec<DataReply>> {
 }
 
 // ---------------------------------------------------------------------
+// Zero-copy reply framing
+// ---------------------------------------------------------------------
+
+/// Builder for multi-part reply frames: header fields accumulate in a
+/// contiguous run, dataset bytes are *lent* as refcounted parts. The
+/// flattened frame is byte-identical to what the contiguous encoders
+/// above produce, so a `ReplyFrame`-built reply decodes with the same
+/// decoders once flattened — or, without flattening, with a
+/// [`PayloadReader`].
+///
+/// ```
+/// use bytes::Bytes;
+/// use lowfive::protocol::{dec_data_reply, enc_data_reply, ReplyFrame};
+/// let region = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+/// let mut f = ReplyFrame::new();
+/// f.put_u64(1); // gen
+/// f.put_u64(1); // one segment
+/// f.put_u64(0); // off
+/// f.put_u64(3); // len
+/// f.put_u64(3); // blob length prefix
+/// f.lend(region.slice(1..4)); // borrowed, not copied
+/// let flat = f.finish().into_bytes();
+/// assert_eq!(&flat[..], &enc_data_reply(1, &[(0, 3)], &[2, 3, 4])[..]);
+/// assert_eq!(&dec_data_reply(&flat).unwrap().blob[..], &[2, 3, 4]);
+/// ```
+#[derive(Default)]
+pub struct ReplyFrame {
+    hdr: Writer,
+    parts: Payload,
+}
+
+impl ReplyFrame {
+    pub fn new() -> Self {
+        ReplyFrame::default()
+    }
+
+    /// Append a header field to the current contiguous run.
+    pub fn put_u64(&mut self, v: u64) {
+        self.hdr.put_u64(v);
+    }
+
+    /// Append a length-prefix for the blob that follows via [`lend`]
+    /// calls (`lend` itself adds no framing).
+    ///
+    /// [`lend`]: ReplyFrame::lend
+    pub fn put_blob_len(&mut self, len: u64) {
+        self.hdr.put_u64(len);
+    }
+
+    /// Lend a borrowed slice into the frame: the pending header run is
+    /// flushed as its own part and `b` joins the frame as the very same
+    /// refcounted allocation — no byte of `b` is copied.
+    pub fn lend(&mut self, b: Bytes) {
+        self.flush_hdr();
+        self.parts.push(b);
+    }
+
+    fn flush_hdr(&mut self) {
+        if !self.hdr.is_empty() {
+            self.parts.push(self.hdr.take());
+        }
+    }
+
+    /// Total logical length framed so far.
+    pub fn len(&self) -> usize {
+        self.hdr.len() + self.parts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish the frame as a multi-part payload.
+    pub fn finish(mut self) -> Payload {
+        self.flush_hdr();
+        self.parts
+    }
+}
+
+/// Decoding cursor over a multi-part reply [`Payload`], used by the
+/// consumer to walk a reply *in place*: scalar reads peek a few bytes
+/// across part boundaries (bounded, uncounted copies), and
+/// [`PayloadReader::copy_into`] scatters blob bytes straight into the
+/// caller's destination buffer — the single unavoidable copy of the
+/// zero-copy fetch path.
+pub struct PayloadReader {
+    p: Payload,
+}
+
+impl PayloadReader {
+    pub fn new(p: Payload) -> Self {
+        PayloadReader { p }
+    }
+
+    pub fn get_u8(&mut self) -> H5Result<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    pub fn get_u64(&mut self) -> H5Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Copy exactly `dst.len()` bytes off the front of the payload into
+    /// `dst` and advance past them.
+    pub fn copy_into(&mut self, dst: &mut [u8]) -> H5Result<()> {
+        self.read_exact(dst)
+    }
+
+    /// Skip `n` bytes (part-slicing, no copy).
+    pub fn skip(&mut self, n: usize) -> H5Result<()> {
+        if n > self.p.len() {
+            return Err(self.truncated(n));
+        }
+        self.p.advance(n);
+        Ok(())
+    }
+
+    /// Bytes remaining past the cursor.
+    pub fn remaining(&self) -> usize {
+        self.p.len()
+    }
+
+    fn read_exact(&mut self, dst: &mut [u8]) -> H5Result<()> {
+        if !self.p.copy_prefix(dst) {
+            return Err(self.truncated(dst.len()));
+        }
+        self.p.advance(dst.len());
+        Ok(())
+    }
+
+    fn truncated(&self, need: usize) -> H5Error {
+        H5Error::Format(format!(
+            "truncated reply payload: need {need} bytes, have {}",
+            self.p.len()
+        ))
+    }
+}
+
+/// A decoded data-reply header: `(generation, segments, blob length in
+/// bytes)`.
+pub type DataReplyHeader = (u64, Vec<(u64, u64)>, usize);
+
+/// Read one data-reply header off a [`PayloadReader`], leaving the cursor
+/// at the first blob byte. The caller scatters `blob_len` bytes via
+/// [`PayloadReader::copy_into`] (or skips them) before reading the next
+/// entry of a batch. Counts are validated against the bytes actually
+/// present, exactly like the contiguous decoders.
+pub fn get_data_reply_header(pr: &mut PayloadReader) -> H5Result<DataReplyHeader> {
+    let gen = pr.get_u64()?;
+    let n = pr.get_u64()?;
+    if (n as u128) * 16 > pr.remaining() as u128 {
+        return Err(H5Error::Format(format!(
+            "declared count {n} exceeds frame ({} bytes left)",
+            pr.remaining()
+        )));
+    }
+    let mut segs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        segs.push((pr.get_u64()?, pr.get_u64()?));
+    }
+    let blob_len = pr.get_u64()? as usize;
+    if blob_len > pr.remaining() {
+        return Err(H5Error::Format(format!(
+            "declared blob length {blob_len} exceeds frame ({} bytes left)",
+            pr.remaining()
+        )));
+    }
+    Ok((gen, segs, blob_len))
+}
+
+// ---------------------------------------------------------------------
 // Index exchange payloads (producer-local)
 // ---------------------------------------------------------------------
 
 /// One producer's contribution to another producer's index: per dataset,
 /// the bounding boxes of the regions the sender holds that fall in the
-/// receiver's block of the common decomposition.
+/// receiver's block of the common decomposition, each tagged with the
+/// sender's generation of the file at index time.
 ///
 /// ```
 /// use lowfive::protocol::{enc_index_bundle, dec_index_bundle};
 /// use minih5::BBox;
-/// let entries = vec![("f.h5".to_string(), "grid".to_string(), BBox::new(vec![0], vec![5]))];
+/// let entries =
+///     vec![("f.h5".to_string(), "grid".to_string(), 1, BBox::new(vec![0], vec![5]))];
 /// assert_eq!(dec_index_bundle(&enc_index_bundle(&entries)).unwrap(), entries);
 /// ```
-pub fn enc_index_bundle(entries: &[(String, String, BBox)]) -> Bytes {
+pub fn enc_index_bundle(entries: &[(String, String, u64, BBox)]) -> Bytes {
     let mut w = Writer::new();
     w.put_u64(entries.len() as u64);
-    for (file, dset, bb) in entries {
+    for (file, dset, gen, bb) in entries {
         w.put_str(file);
         w.put_str(dset);
+        w.put_u64(*gen);
         w.put(bb);
     }
     w.finish()
 }
 
 /// Decode an index bundle.
-pub fn dec_index_bundle(b: &[u8]) -> H5Result<Vec<(String, String, BBox)>> {
+pub fn dec_index_bundle(b: &[u8]) -> H5Result<Vec<(String, String, u64, BBox)>> {
     let mut r = Reader::new(b);
-    let n = checked_count(r.get_u64()?, 17, &r)?;
+    let n = checked_count(r.get_u64()?, 25, &r)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push((r.get_str()?, r.get_str()?, r.get()?));
+        out.push((r.get_str()?, r.get_str()?, r.get_u64()?, r.get()?));
     }
     Ok(out)
 }
@@ -443,8 +701,9 @@ mod tests {
     fn data_reply_roundtrip() {
         let segs = vec![(0u64, 3u64), (10, 2)];
         let blob = vec![1u8, 2, 3, 4, 5];
-        let enc = enc_data_reply(&segs, &blob);
+        let enc = enc_data_reply(4, &segs, &blob);
         let dec = dec_data_reply(&enc).unwrap();
+        assert_eq!(dec.gen, 4);
         assert_eq!(dec.segs, segs);
         assert_eq!(&dec.blob[..], &blob[..]);
     }
@@ -452,17 +711,117 @@ mod tests {
     #[test]
     fn index_bundle_roundtrip() {
         let entries = vec![
-            ("f.h5".to_string(), "g/grid".to_string(), BBox::new(vec![0], vec![5])),
-            ("f.h5".to_string(), "g/p".to_string(), BBox::new(vec![5], vec![9])),
+            ("f.h5".to_string(), "g/grid".to_string(), 1, BBox::new(vec![0], vec![5])),
+            ("f.h5".to_string(), "g/p".to_string(), 2, BBox::new(vec![5], vec![9])),
         ];
-        assert_eq!(dec_index_bundle(&enc_index_bundle(&entries)).unwrap().len(), 2);
+        let back = dec_index_bundle(&enc_index_bundle(&entries)).unwrap();
+        assert_eq!(back, entries);
     }
 
     #[test]
     fn empty_data_reply() {
-        let dec = dec_data_reply(&enc_data_reply(&[], &[])).unwrap();
+        let dec = dec_data_reply(&enc_data_reply(0, &[], &[])).unwrap();
         assert!(dec.segs.is_empty());
         assert!(dec.blob.is_empty());
+    }
+
+    #[test]
+    fn reply_frame_flattens_to_contiguous_encoding() {
+        // A two-entry batch built from borrowed slices must flatten to
+        // exactly what the contiguous encoder produces for the same data.
+        let region = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let entries: Vec<(Vec<(u64, u64)>, Bytes)> = vec![
+            (vec![(0, 4), (8, 4)], {
+                let mut v = region.slice(0..4).to_vec();
+                v.extend_from_slice(&region.slice(16..20));
+                Bytes::from(v)
+            }),
+            (vec![], Bytes::new()),
+        ];
+        let contiguous = enc_data_reply_batch(7, &entries);
+
+        let mut f = ReplyFrame::new();
+        f.put_u64(2); // entries
+        f.put_u64(7); // gen
+        f.put_u64(2); // segs
+        for &(off, len) in &entries[0].0 {
+            f.put_u64(off);
+            f.put_u64(len);
+        }
+        f.put_blob_len(8);
+        f.lend(region.slice(0..4));
+        f.lend(region.slice(16..20));
+        f.put_u64(7); // gen
+        f.put_u64(0); // segs
+        f.put_blob_len(0);
+        let payload = f.finish();
+        assert!(payload.num_parts() > 1, "borrowed slices stay separate parts");
+        assert_eq!(&payload.to_bytes()[..], &contiguous[..]);
+    }
+
+    #[test]
+    fn payload_reader_walks_parts_in_place() {
+        let region = Bytes::from(vec![10u8, 11, 12, 13, 14, 15]);
+        let mut f = ReplyFrame::new();
+        f.put_u64(3); // gen
+        f.put_u64(1); // one seg
+        f.put_u64(2); // off
+        f.put_u64(4); // len
+        f.put_blob_len(4);
+        f.lend(region.slice(1..5));
+        let mut pr = PayloadReader::new(f.finish());
+        let (gen, segs, blob_len) = get_data_reply_header(&mut pr).unwrap();
+        assert_eq!(gen, 3);
+        assert_eq!(segs, vec![(2, 4)]);
+        assert_eq!(blob_len, 4);
+        let mut dst = [0u8; 4];
+        pr.copy_into(&mut dst).unwrap();
+        assert_eq!(dst, [11, 12, 13, 14]);
+        assert_eq!(pr.remaining(), 0);
+        assert!(pr.get_u64().is_err(), "reading past the end must fail cleanly");
+    }
+
+    #[test]
+    fn payload_reader_rejects_corrupt_counts() {
+        // Absurd segment count.
+        let mut f = ReplyFrame::new();
+        f.put_u64(0); // gen
+        f.put_u64(u64::MAX / 16); // segs
+        let mut pr = PayloadReader::new(f.finish());
+        assert!(get_data_reply_header(&mut pr).is_err());
+
+        // Blob length pointing past the end of the frame.
+        let mut f = ReplyFrame::new();
+        f.put_u64(0); // gen
+        f.put_u64(0); // segs
+        f.put_blob_len(9);
+        f.lend(Bytes::from_static(&[1])); // only one byte present
+        let mut pr = PayloadReader::new(f.finish());
+        assert!(get_data_reply_header(&mut pr).is_err());
+    }
+
+    #[test]
+    fn result_payload_wrapper() {
+        // Ok: the body's parts survive the wrapper untouched.
+        let region = Bytes::from(vec![5u8, 6, 7, 8]);
+        let mut body = Payload::new();
+        body.push(region.slice(0..2));
+        body.push(region.slice(2..4));
+        let framed = enc_result_payload(Ok(body));
+        assert_eq!(framed.num_parts(), 3);
+        let back = dec_result_payload(framed.clone()).unwrap();
+        assert_eq!(back.num_parts(), 2);
+        assert_eq!(back.parts()[0].as_ptr(), region.as_ptr(), "part is borrowed, not copied");
+        // Flattened, it matches the contiguous wrapper.
+        assert_eq!(&framed.to_bytes()[..], &enc_result(Ok(Bytes::from_static(&[5, 6, 7, 8])))[..]);
+
+        // Err: kinds survive the payload path too.
+        let err = enc_result_payload(Err(H5Error::PeerUnavailable("rank 2 dead".into())));
+        let e = dec_result_payload(err).unwrap_err();
+        assert!(matches!(&e, H5Error::PeerUnavailable(m) if m.contains("rank 2")), "{e}");
+
+        // Empty frame.
+        assert!(dec_result_payload(Payload::new()).is_err());
     }
 
     #[test]
@@ -488,13 +847,14 @@ mod tests {
             (vec![], Bytes::new()),
             (vec![(7, 1)], Bytes::from_static(&[9])),
         ];
-        let replies = dec_data_reply_batch(&enc_data_reply_batch(&parts)).unwrap();
+        let replies = dec_data_reply_batch(&enc_data_reply_batch(5, &parts)).unwrap();
         assert_eq!(replies.len(), 3);
         for (reply, (segs, blob)) in replies.iter().zip(&parts) {
+            assert_eq!(reply.gen, 5);
             assert_eq!(&reply.segs, segs);
             assert_eq!(&reply.blob, blob);
         }
-        assert!(dec_data_reply_batch(&enc_data_reply_batch(&[])).unwrap().is_empty());
+        assert!(dec_data_reply_batch(&enc_data_reply_batch(5, &[])).unwrap().is_empty());
     }
 
     #[test]
@@ -523,6 +883,7 @@ mod tests {
 
         let mut w = Writer::new();
         w.put_u64(1); // one entry...
+        w.put_u64(0); // ...at generation 0...
         w.put_u64(u64::MAX / 16); // ...claiming absurdly many segments
         let e = dec_data_reply_batch(&w.finish()).unwrap_err();
         assert!(matches!(e, H5Error::Format(_)), "{e}");
@@ -530,6 +891,7 @@ mod tests {
         // Truncated reply blob: entry declares 4 payload bytes, frame has 1.
         let mut w = Writer::new();
         w.put_u64(1);
+        w.put_u64(0); // gen
         w.put_u64(1);
         w.put_u64(0);
         w.put_u64(4); // seg (off=0, len=4)

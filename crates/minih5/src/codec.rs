@@ -74,6 +74,14 @@ impl Writer {
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
     }
+
+    /// Freeze and hand out everything written so far, leaving the writer
+    /// empty and reusable. Frame builders that interleave contiguous
+    /// header runs with borrowed payload parts flush the pending header
+    /// through this before lending the next part.
+    pub fn take(&mut self) -> Bytes {
+        std::mem::take(&mut self.buf).freeze()
+    }
 }
 
 /// Deserializer over a byte slice.

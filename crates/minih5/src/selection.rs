@@ -69,12 +69,19 @@ impl BBox {
         self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
     }
 
-    /// Intersection with another box of the same rank (possibly empty).
+    /// Intersection with another box of the same rank. A disjoint pair
+    /// yields the **canonical** empty box (`lo = hi = 0⃗`) rather than
+    /// whatever `max(lo)/min(hi)` corners the inputs happened to
+    /// produce: empty intersections of different inputs compare equal,
+    /// hash equally (boxes key consumer caches), and convert to an
+    /// in-bounds empty selection.
     pub fn intersect(&self, other: &BBox) -> BBox {
         assert_eq!(self.rank(), other.rank(), "box ranks differ");
         let lo: Vec<u64> = self.lo.iter().zip(&other.lo).map(|(a, b)| *a.max(b)).collect();
         let hi: Vec<u64> = self.hi.iter().zip(&other.hi).map(|(a, b)| *a.min(b)).collect();
-        // Normalize empties so npoints() sees lo >= hi consistently.
+        if lo.iter().zip(&hi).any(|(l, h)| l >= h) {
+            return BBox { lo: vec![0; self.rank()], hi: vec![0; self.rank()] };
+        }
         BBox { lo, hi }
     }
 
@@ -89,10 +96,15 @@ impl BBox {
             && coord.iter().zip(self.lo.iter().zip(&self.hi)).all(|(c, (l, h))| c >= l && c < h)
     }
 
-    /// The selection covering exactly this box.
+    /// The selection covering exactly this box. Any empty box — canonical
+    /// or not — maps to the origin-anchored empty block, so the result
+    /// validates against every dataspace of the same rank.
     pub fn to_selection(&self) -> Selection {
-        let sizes: Vec<u64> =
-            self.lo.iter().zip(&self.hi).map(|(l, h)| h.saturating_sub(*l)).collect();
+        if self.is_empty() {
+            let zeros = vec![0u64; self.rank()];
+            return Selection::block(&zeros, &zeros);
+        }
+        let sizes: Vec<u64> = self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).collect();
         Selection::block(&self.lo, &sizes)
     }
 }
@@ -711,6 +723,45 @@ mod tests {
         let sel = b.to_selection();
         assert_eq!(sel.bbox(&sp), b);
         assert_eq!(sel.npoints(&sp), b.npoints());
+    }
+
+    #[test]
+    fn empty_intersection_is_canonical() {
+        // Disjoint pairs with very different corners must all normalize
+        // to the same empty box (these boxes key consumer caches).
+        let a = BBox::new(vec![0, 0], vec![4, 4]);
+        let far = BBox::new(vec![100, 200], vec![300, 400]);
+        let adjacent = BBox::new(vec![4, 0], vec![8, 4]);
+        let canon = BBox::new(vec![0, 0], vec![0, 0]);
+        assert_eq!(a.intersect(&far), canon);
+        assert_eq!(a.intersect(&adjacent), canon);
+        assert_eq!(a.intersect(&far), a.intersect(&adjacent));
+        // One empty axis empties the whole intersection, even where the
+        // other axis overlaps.
+        let mixed = BBox::new(vec![1, 9], vec![3, 12]);
+        assert_eq!(a.intersect(&mixed), canon);
+        // Non-empty intersections are untouched by the normalization.
+        let b = BBox::new(vec![2, 2], vec![6, 6]);
+        assert_eq!(a.intersect(&b), BBox::new(vec![2, 2], vec![4, 4]));
+    }
+
+    #[test]
+    fn empty_bbox_to_selection_validates_everywhere() {
+        // A raw (non-canonical) empty box — e.g. built directly from a
+        // degenerate query — must still convert to an in-bounds empty
+        // selection, not one anchored past the dataspace extent.
+        let sp = space(&[4, 4]);
+        for empty in [
+            BBox::new(vec![0, 0], vec![0, 0]),
+            BBox::new(vec![9, 9], vec![9, 9]),
+            BBox::new(vec![7, 1], vec![2, 3]),
+        ] {
+            assert!(empty.is_empty());
+            let sel = empty.to_selection();
+            assert!(sel.validate(&sp).is_ok(), "{empty:?}");
+            assert_eq!(sel.npoints(&sp), 0);
+            assert!(sel.runs(&sp).is_empty());
+        }
     }
 
     #[test]

@@ -44,16 +44,42 @@ pub use ring::{Event, EventKind, EventRing};
 
 /// Process-wide monotonic clock. Every span in every crate stamps against
 /// the same origin, so cross-rank timelines line up in the exported trace.
+///
+/// The clock is *virtualizable*: [`advance_ns`] injects simulated time on
+/// top of the wall-clock origin. Simulated-interconnect runs and
+/// deterministic timeout tests advance it explicitly; everything that
+/// derives deadlines from [`now_ns`] (notably `diyblk`'s RPC retry
+/// machinery) then observes the injected delay without real waiting. The
+/// offset only ever grows, so the clock stays monotonic.
 pub mod clock {
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::OnceLock;
-    use std::time::Instant;
+    use std::time::{Duration, Instant};
 
     static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    static OFFSET_NS: AtomicU64 = AtomicU64::new(0);
 
-    /// Nanoseconds since the first call in this process.
+    /// Nanoseconds since the first call in this process, plus all virtual
+    /// time injected via [`advance_ns`].
     #[inline]
     pub fn now_ns() -> u64 {
         ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+            + OFFSET_NS.load(Ordering::Relaxed)
+    }
+
+    /// Advance virtual time by `delta` nanoseconds, process-wide.
+    ///
+    /// Deadlines already computed against [`now_ns`] expire sooner by
+    /// exactly `delta`; code blocked in a quantized wait re-reads the
+    /// clock within its poll interval and notices.
+    pub fn advance_ns(delta: u64) {
+        OFFSET_NS.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The clock-domain instant `timeout` from now (saturating).
+    #[inline]
+    pub fn deadline_after(timeout: Duration) -> u64 {
+        now_ns().saturating_add(u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX))
     }
 }
 
@@ -146,9 +172,16 @@ pub enum Ctr {
     FetchCacheHits,
     /// Consumer fetch-cache lookups that had to go to the wire.
     FetchCacheMisses,
+    /// Dataset-payload bytes memcpy'd on the transport path: serve-side
+    /// gathers of deep regions, multi-part payload flattens, and
+    /// intermediate reply copies. Header/metadata encoding and the final
+    /// scatter into the caller's destination buffer do not count. The
+    /// shallow (zero-copy) serve path must keep this at **zero** — the
+    /// fig5 deep-vs-shallow A/B asserts it.
+    BytesCopied,
 }
 
-pub const NUM_CTRS: usize = 15;
+pub const NUM_CTRS: usize = 16;
 
 impl Ctr {
     pub const ALL: [Ctr; NUM_CTRS] = [
@@ -167,6 +200,7 @@ impl Ctr {
         Ctr::FetchBatches,
         Ctr::FetchCacheHits,
         Ctr::FetchCacheMisses,
+        Ctr::BytesCopied,
     ];
 
     pub fn name(self) -> &'static str {
@@ -186,6 +220,7 @@ impl Ctr {
             Ctr::FetchBatches => "fetch_batches",
             Ctr::FetchCacheHits => "fetch_cache_hits",
             Ctr::FetchCacheMisses => "fetch_cache_misses",
+            Ctr::BytesCopied => "bytes_copied",
         }
     }
 }
@@ -386,6 +421,16 @@ mod tests {
         let a = clock::now_ns();
         let b = clock::now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_advance_is_visible_and_monotonic() {
+        let before = clock::now_ns();
+        clock::advance_ns(5_000_000);
+        let after = clock::now_ns();
+        assert!(after >= before + 5_000_000, "advance must add at least the delta");
+        let d = clock::deadline_after(std::time::Duration::from_millis(1));
+        assert!(d >= after + 1_000_000);
     }
 
     #[test]

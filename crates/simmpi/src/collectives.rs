@@ -37,7 +37,7 @@ impl Comm {
         while dist < n {
             let to = (self.rank() + dist) % n;
             let from = (self.rank() + n - dist) % n;
-            self.send_internal(to, TAG_BARRIER + k, Bytes::new());
+            self.send_internal(to, TAG_BARRIER + k, Bytes::new().into());
             let _ = self.recv(from.into(), (TAG_BARRIER + k).into());
             dist <<= 1;
             k += 1;
@@ -85,7 +85,7 @@ impl Comm {
             let vchild = vrank + mask;
             if vchild < n {
                 let child = (vchild + root) % n;
-                self.send_internal(child, TAG_BCAST, buf.clone());
+                self.send_internal(child, TAG_BCAST, buf.clone().into());
             }
             mask >>= 1;
         }
@@ -107,7 +107,7 @@ impl Comm {
     pub fn gather_bytes(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
         obsv::counter_add(obsv::Ctr::Collectives, 1);
         if self.rank() != root {
-            self.send_internal(root, TAG_GATHER, data);
+            self.send_internal(root, TAG_GATHER, data.into());
             return None;
         }
         let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
@@ -133,7 +133,7 @@ impl Comm {
                 if r == root {
                     mine = p;
                 } else {
-                    self.send_internal(r, TAG_SCATTER, p);
+                    self.send_internal(r, TAG_SCATTER, p.into());
                 }
             }
             mine
@@ -153,7 +153,7 @@ impl Comm {
             if dest == self.rank() {
                 out[dest] = p;
             } else {
-                self.send_internal(dest, TAG_ALLTOALL, p);
+                self.send_internal(dest, TAG_ALLTOALL, p.into());
             }
         }
         for (src, slot) in out.iter_mut().enumerate() {

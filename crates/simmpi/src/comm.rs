@@ -5,8 +5,9 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use crate::envelope::{make_wire_tag, Envelope, SrcSel, Tag, TagSel, WireEnvelope};
+use crate::envelope::{make_wire_tag, Envelope, PartsEnvelope, SrcSel, Tag, TagSel, WireEnvelope};
 use crate::mailbox::Matcher;
+use crate::payload::Payload;
 use crate::pod::{self, Pod};
 use crate::stats::StatsSnapshot;
 use crate::world::WorldInner;
@@ -113,10 +114,23 @@ impl Comm {
     /// `dest` is out of range.
     pub fn send<B: Into<Bytes>>(&self, dest: usize, tag: Tag, payload: B) {
         assert!(tag < crate::collectives::COLLECTIVE_TAG_BASE, "tag {tag:#x} is reserved");
-        self.send_internal(dest, tag, payload.into());
+        self.send_internal(dest, tag, payload.into().into());
     }
 
-    pub(crate) fn send_internal(&self, dest: usize, tag: Tag, payload: Bytes) {
+    /// Send a multi-part [`Payload`]: every part travels as the sender's
+    /// refcounted allocation, so lending sub-slices of live buffers costs
+    /// no copy. The receiver sees the concatenated stream (or the parts,
+    /// via [`Comm::recv_parts`]).
+    ///
+    /// # Panics
+    /// Panics if `tag` has the top bit set (reserved for collectives) or
+    /// `dest` is out of range.
+    pub fn send_parts(&self, dest: usize, tag: Tag, payload: Payload) {
+        assert!(tag < crate::collectives::COLLECTIVE_TAG_BASE, "tag {tag:#x} is reserved");
+        self.send_internal(dest, tag, payload);
+    }
+
+    pub(crate) fn send_internal(&self, dest: usize, tag: Tag, payload: Payload) {
         let world_dest = self.members[dest];
         let world_src = self.members[self.rank];
         let wire_tag = make_wire_tag(self.ctx, tag);
@@ -174,7 +188,7 @@ impl Comm {
         Matcher { ctx: self.ctx, src: world_src, tag }
     }
 
-    fn localize(&self, wire: WireEnvelope) -> Envelope {
+    fn localize_parts(&self, wire: WireEnvelope) -> PartsEnvelope {
         if let Some(cm) = &self.inner.cost {
             std::thread::sleep(cm.delay(wire.payload.len()));
         }
@@ -187,7 +201,14 @@ impl Comm {
         let (_, tag) = crate::envelope::split_wire_tag(wire.wire_tag);
         let src = self.local_of_world[wire.world_src]
             .expect("message arrived from a non-member world rank on this context");
-        Envelope { src, tag, payload: wire.payload }
+        PartsEnvelope { src, tag, payload: wire.payload }
+    }
+
+    fn localize(&self, wire: WireEnvelope) -> Envelope {
+        let pe = self.localize_parts(wire);
+        // Flattening is free for single-part messages; a multi-part
+        // message on this legacy path is gathered (and the copy counted).
+        Envelope { src: pe.src, tag: pe.tag, payload: pe.payload.into_bytes() }
     }
 
     /// Is the given communicator-local rank still alive? Ranks only die
@@ -249,6 +270,36 @@ impl Comm {
         let m = self.matcher(src, tag);
         let wire = self.my_mailbox().try_pop_matching(&m)?;
         Some(self.localize(wire))
+    }
+
+    /// As [`Comm::recv`], but the sender's part structure is preserved:
+    /// no flatten, no copy — the receiver holds the sender's refcounted
+    /// allocations. This is the receive the zero-copy RPC reply path uses.
+    pub fn recv_parts(&self, src: SrcSel, tag: TagSel) -> PartsEnvelope {
+        let m = self.matcher(src, tag);
+        match self.my_mailbox().pop_matching_abort(&m, &self.peer_dead(&m)) {
+            Ok(wire) => self.localize_parts(wire),
+            Err(()) => std::panic::panic_any(crate::fault::PeerDied {
+                receiver: self.members[self.rank],
+                peer: match m.src {
+                    SrcSel::Rank(w) => w,
+                    SrcSel::Any => unreachable!("wildcard receives never abort"),
+                },
+            }),
+        }
+    }
+
+    /// As [`Comm::recv_timeout`], preserving the sender's part structure.
+    pub fn recv_timeout_parts(
+        &self,
+        src: SrcSel,
+        tag: TagSel,
+        timeout: std::time::Duration,
+    ) -> Result<PartsEnvelope, RecvError> {
+        let m = self.matcher(src, tag);
+        let deadline = std::time::Instant::now() + timeout;
+        let wire = self.my_mailbox().pop_matching_deadline(&m, deadline, &self.peer_dead(&m))?;
+        Ok(self.localize_parts(wire))
     }
 
     /// Post a receive to complete later (`MPI_Irecv` analogue). Matching
@@ -466,6 +517,30 @@ mod tests {
                 let env = req.wait();
                 assert_eq!(env.src, 0);
                 assert_eq!(env.tag, 5);
+            }
+        });
+    }
+
+    #[test]
+    fn multipart_send_delivers_sender_allocations() {
+        use crate::payload::Payload;
+        crate::world::World::run(2, |c| {
+            if c.rank() == 0 {
+                let head = bytes::Bytes::from(vec![1u8, 2]);
+                let lent = bytes::Bytes::from(vec![3u8, 4, 5]);
+                c.send_parts(1, 9, Payload::from_parts(vec![head, lent]));
+                // A second copy for the legacy receive path.
+                let head = bytes::Bytes::from(vec![1u8, 2]);
+                let lent = bytes::Bytes::from(vec![3u8, 4, 5]);
+                c.send_parts(1, 9, Payload::from_parts(vec![head, lent]));
+            } else {
+                // Parts-aware receive: structure preserved, nothing copied.
+                let env = c.recv_parts(0.into(), 9.into());
+                assert_eq!(env.payload.num_parts(), 2);
+                assert_eq!(&env.payload.to_bytes()[..], &[1, 2, 3, 4, 5]);
+                // Legacy receive: flattened to the concatenated stream.
+                let env = c.recv(0.into(), 9.into());
+                assert_eq!(&env.payload[..], &[1, 2, 3, 4, 5]);
             }
         });
     }

@@ -11,6 +11,8 @@
 
 use bytes::Bytes;
 
+use crate::payload::Payload;
+
 /// Full 64-bit wire tag: `(context id << 32) | user tag`.
 pub type WireTag = u64;
 
@@ -75,6 +77,11 @@ impl TagSel {
 }
 
 /// A delivered message: who sent it, under which tag, and its payload.
+///
+/// `payload` is contiguous: multi-part messages (see
+/// [`Payload`]) are flattened on this path — free for single-part
+/// messages, an accounted gather-copy otherwise. Parts-aware receivers
+/// use [`PartsEnvelope`] via `Comm::recv_parts` and friends instead.
 #[derive(Debug, Clone)]
 pub struct Envelope {
     /// Sending rank, in the coordinates of the communicator the receive was
@@ -86,13 +93,27 @@ pub struct Envelope {
     pub payload: Bytes,
 }
 
+/// A delivered message with the sender's part structure preserved: the
+/// parts the sender lent arrive as the very same refcounted allocations.
+#[derive(Debug, Clone)]
+pub struct PartsEnvelope {
+    /// Sending rank, in the coordinates of the communicator the receive was
+    /// posted on.
+    pub src: usize,
+    /// User tag the message was sent with.
+    pub tag: Tag,
+    /// Message body as the sender's parts.
+    pub payload: Payload,
+}
+
 /// Internal representation stored in mailboxes: sources are world ranks and
-/// tags carry the communicator context.
+/// tags carry the communicator context. Payloads keep the sender's part
+/// structure end to end; nothing on the delivery path flattens them.
 #[derive(Debug)]
 pub(crate) struct WireEnvelope {
     pub world_src: usize,
     pub wire_tag: WireTag,
-    pub payload: Bytes,
+    pub payload: Payload,
     /// `obsv` clock stamp taken at send time, or 0 when the sending
     /// thread had no recorder — lets the receive side attribute
     /// send-to-delivery latency without a second clock.

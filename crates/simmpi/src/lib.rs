@@ -43,12 +43,18 @@
 //! assert_eq!(sums, vec![3, 0, 1, 2]);
 //! ```
 
+// The zero-copy transport path hands refcounted buffers around by
+// value; a stray `.clone()` there silently reintroduces the copy this
+// crate exists to avoid, so redundant clones are a hard error.
+#![deny(clippy::redundant_clone)]
+
 mod collectives;
 mod comm;
 mod cost;
 mod envelope;
 mod fault;
 mod mailbox;
+mod payload;
 pub mod pod;
 mod stats;
 mod task;
@@ -56,8 +62,9 @@ mod world;
 
 pub use comm::{Comm, RecvError, RecvRequest};
 pub use cost::CostModel;
-pub use envelope::{Envelope, SrcSel, Tag, TagSel, ANY_SOURCE, ANY_TAG};
+pub use envelope::{Envelope, PartsEnvelope, SrcSel, Tag, TagSel, ANY_SOURCE, ANY_TAG};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, KillSpec, PeerDied, RankKilled};
+pub use payload::Payload;
 pub use pod::Pod;
 pub use stats::TransportStats;
 pub use task::{TaskComm, TaskSpec, TaskWorld};

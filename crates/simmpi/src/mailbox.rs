@@ -161,7 +161,7 @@ mod tests {
         WireEnvelope {
             world_src: src,
             wire_tag: make_wire_tag(ctx, tag),
-            payload: Bytes::copy_from_slice(body),
+            payload: Bytes::copy_from_slice(body).into(),
             sent_ns: 0,
         }
     }
@@ -172,8 +172,8 @@ mod tests {
         mb.push(env(0, 0, 1, b"a"));
         mb.push(env(0, 0, 1, b"b"));
         let m = Matcher { ctx: 0, src: ANY_SOURCE, tag: 1.into() };
-        assert_eq!(&mb.pop_matching(&m).payload[..], b"a");
-        assert_eq!(&mb.pop_matching(&m).payload[..], b"b");
+        assert_eq!(&mb.pop_matching(&m).payload.to_bytes()[..], b"a");
+        assert_eq!(&mb.pop_matching(&m).payload.to_bytes()[..], b"b");
     }
 
     #[test]
@@ -182,7 +182,7 @@ mod tests {
         mb.push(env(0, 9, 1, b"other-comm"));
         mb.push(env(0, 0, 1, b"mine"));
         let m = Matcher { ctx: 0, src: ANY_SOURCE, tag: ANY_TAG };
-        assert_eq!(&mb.pop_matching(&m).payload[..], b"mine");
+        assert_eq!(&mb.pop_matching(&m).payload.to_bytes()[..], b"mine");
         assert_eq!(mb.len(), 1);
     }
 
@@ -213,6 +213,6 @@ mod tests {
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         mb.push(env(1, 0, 5, b"wake"));
-        assert_eq!(&t.join().unwrap().payload[..], b"wake");
+        assert_eq!(&t.join().unwrap().payload.to_bytes()[..], b"wake");
     }
 }

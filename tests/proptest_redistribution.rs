@@ -244,3 +244,103 @@ proptest! {
         prop_assert_eq!(serial, batched, "fault seed {:#x}: batched != serial", seed);
     }
 }
+
+/// Like [`run_scenario_multi`], but the producers write raw refcounted
+/// buffers and the zero-copy rule is toggled: `shallow` serves borrowed
+/// sub-slices of the producer regions, `!shallow` forces deep staging
+/// copies. A drop-once fault plan (plus bounded RPC retries) may be
+/// layered on to retransmit borrowed reply frames. Returns each
+/// consumer's concatenated query bytes.
+fn run_scenario_zc(s: &Scenario, plan: Option<FaultPlan>, shallow: bool) -> Vec<Vec<u8>> {
+    let specs = [TaskSpec::new("p", s.producers), TaskSpec::new("c", s.consumers)];
+    let producers = s.producers;
+    let faulted = plan.is_some();
+    let s = s.clone();
+    let body = move |tc: simmpi::TaskComm| {
+        let producers: Vec<usize> = (0..s.producers).collect();
+        let consumers: Vec<usize> = (s.producers..s.producers + s.consumers).collect();
+        let mut props = LowFiveProps::new();
+        props.set_zerocopy("*", "*", shallow);
+        if faulted {
+            // Dropped requests/replies need a bounded retry to converge.
+            props.set_rpc_timeout("*", Some(Duration::from_millis(150)));
+            props.set_rpc_retries("*", 30);
+        }
+        let vol: Arc<dyn Vol> = if tc.task_id == 0 {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .produce("*", consumers)
+                .build()
+        } else {
+            DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("*", producers)
+                .build()
+        };
+        let h5 = H5::with_vol(vol);
+        let space = Dataspace::simple(&s.dims);
+        if tc.task_id == 0 {
+            let p = tc.local.rank();
+            let x0 = if p == 0 { 0 } else { s.cuts[p - 1] };
+            let x1 = if p + 1 == s.producers { s.dims[0] } else { s.cuts[p] };
+            let f = h5.create_file("prop-zc.h5").unwrap();
+            let d = f.create_dataset("x", Datatype::UInt64, Dataspace::simple(&s.dims)).unwrap();
+            if x1 > x0 {
+                let mut start = vec![0u64; s.dims.len()];
+                start[0] = x0;
+                let mut size = s.dims.clone();
+                size[0] = x1 - x0;
+                let sel = Selection::block(&start, &size);
+                let raw: Vec<u8> = sel
+                    .runs(&space)
+                    .iter()
+                    .flat_map(|r| r.offset..r.offset + r.len)
+                    .flat_map(|v| v.to_le_bytes())
+                    .collect();
+                d.write_bytes(&sel, bytes::Bytes::from(raw), minih5::Ownership::Shallow).unwrap();
+            }
+            f.close().unwrap();
+            Vec::new()
+        } else {
+            let f = h5.open_file("prop-zc.h5").unwrap();
+            let d = f.open_dataset("x").unwrap();
+            let sels: Vec<Selection> =
+                s.queries.iter().map(|(start, size)| Selection::block(start, size)).collect();
+            let bufs = d.read_bytes_multi(&sels).unwrap();
+            f.close().unwrap();
+            bufs.iter().flat_map(|b| b.iter().copied()).collect::<Vec<u8>>()
+        }
+    };
+    let results: Vec<Option<Vec<u8>>> = match plan {
+        None => TaskWorld::run(&specs, body).into_iter().map(Some).collect(),
+        Some(plan) => {
+            let out = TaskWorld::run_chaos(&specs, None, plan, body);
+            assert!(out.deaths.is_empty(), "benign plan killed ranks: {:?}", out.deaths);
+            out.results
+        }
+    };
+    results.into_iter().skip(producers).map(|r| r.expect("every rank finishes")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Shallow (zero-copy, borrowed reply slices) and deep (staged copy)
+    /// serves must deliver byte-identical data across the (geometry ×
+    /// fault seed) product — including dropped-once replies whose
+    /// borrowed frames are retransmitted — and both must match the
+    /// fault-free shallow run. Ownership is a transport property, never
+    /// a data property.
+    #[test]
+    fn shallow_and_deep_serves_are_byte_identical(s in scenario(), seed in any::<u64>()) {
+        let clean = run_scenario_zc(&s, None, true);
+        let plan = || FaultPlan::new(seed)
+            .drop_once(0.3)
+            .delay(0.3, Duration::from_micros(300))
+            .reorder(0.4);
+        let shallow = run_scenario_zc(&s, Some(plan()), true);
+        let deep = run_scenario_zc(&s, Some(plan()), false);
+        prop_assert_eq!(&shallow, &deep, "fault seed {:#x}: shallow != deep", seed);
+        prop_assert_eq!(&shallow, &clean, "fault seed {:#x}: faulted != fault-free", seed);
+    }
+}
