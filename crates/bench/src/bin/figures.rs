@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig11`, `table2`, or `all`. Results print as aligned tables and are
-//! also appended as CSV under `bench-results/`.
+//! `fig11`, `table2`, `collectives`, or `all`. Results print as aligned
+//! tables and are also appended as CSV under `bench-results/`.
 //!
 //! Scales (`--scale small|medium|large`) set rank counts and per-producer
 //! data sizes. The paper runs 4→16384 MPI processes at 19 MiB per
@@ -21,6 +21,7 @@ use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use bench::collectives::{run_collectives, STRAGGLER_SKEW};
 use bench::runners::{
     run_bredala, run_dataspaces, run_lowfive_file, run_lowfive_file_traced, run_lowfive_memory,
     run_lowfive_memory_traced, run_lowfive_serve, run_pure_hdf5, run_pure_mpi,
@@ -93,8 +94,8 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [table1 fig5 fig6 fig7 fig8 fig9 fig11 table2 | all] \
-                     [--scale small|medium|large] [--trials N]"
+                    "usage: figures [table1 fig5 fig6 fig7 fig8 fig9 fig11 table2 collectives \
+                     | all] [--scale small|medium|large] [--trials N]"
                 );
                 std::process::exit(0);
             }
@@ -102,10 +103,11 @@ fn parse_args() -> Args {
         }
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
-        experiments = ["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "table2"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        experiments =
+            ["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "table2", "collectives"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
     }
     let scale = match scale_name.as_str() {
         "small" => SMALL,
@@ -442,6 +444,60 @@ fn table2(s: &Scale, trials: usize) {
     }
 }
 
+fn collectives_fig(s: &Scale, trials: usize) {
+    println!("\n== Collective schedules: linear reference vs log-time (scaling) ==");
+    println!(
+        "{:>10} {:>8} {:>6} {:>8} {:>9} {:>14} {:>12}",
+        "op", "algo", "n", "msgs", "crit.path", "modeled (ms)", "measured (s)"
+    );
+    // 4 KiB blocks sit well below the interconnect crossover (10 KB), so
+    // the sweep exercises the small-payload tree schedules — the ring /
+    // segmented variants are covered by the simmpi tests and the model.
+    let block = 4096;
+    let reg_linear = obsv::Registry::new();
+    let reg_tree = obsv::Registry::new();
+    let ns: Vec<usize> = s.sweep.iter().copied().filter(|&n| n <= 64).collect();
+    let points = run_collectives(&ns, block, trials, Some(&reg_linear), Some(&reg_tree));
+    let out = results_dir().join("collectives_scaling.csv");
+    for p in &points {
+        let algo = match p.algo {
+            simmpi::CollectiveAlgo::Linear => "linear",
+            _ => "tree",
+        };
+        println!(
+            "{:>10} {:>8} {:>6} {:>8} {:>9} {:>14.3} {:>12.4}",
+            p.op,
+            algo,
+            p.n,
+            p.messages,
+            p.critical_path_recvs,
+            p.modeled_ns / 1e6,
+            p.measured_s
+        );
+        csv(
+            &out,
+            "op,algo,n,block_bytes,messages,critical_path_recvs,modeled_ns,measured_s",
+            &format!(
+                "{},{algo},{},{},{},{},{},{}",
+                p.op,
+                p.n,
+                p.block_bytes,
+                p.messages,
+                p.critical_path_recvs,
+                p.modeled_ns,
+                p.measured_s
+            ),
+        );
+    }
+    println!(
+        "  (alltoall measured with a {} ms rank-0 straggler; modeled under \
+         the interconnect cost model)",
+        STRAGGLER_SKEW.as_millis()
+    );
+    write_obsv_artifacts(&reg_linear.report(), "collectives_linear");
+    write_obsv_artifacts(&reg_tree.report(), "collectives_tree");
+}
+
 fn main() {
     let args = parse_args();
     println!(
@@ -458,6 +514,7 @@ fn main() {
             "fig9" => fig9(&args.scale, args.trials),
             "fig11" => fig11(&args.scale, args.trials),
             "table2" => table2(&args.scale, args.trials),
+            "collectives" => collectives_fig(&args.scale, args.trials),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
         }
     }

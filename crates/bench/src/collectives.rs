@@ -1,0 +1,213 @@
+//! Collective-schedule scaling experiment: linear reference vs log-time
+//! schedules for gather / allgather / all-to-all at n = 4…64 ranks.
+//!
+//! Three quantities per (op, schedule, n) point, because the schedules
+//! win on different axes:
+//!
+//! * **total messages** — counted on the wire by [`simmpi::TransportStats`]
+//!   and cross-checked against the closed-form counts in `simmpi::cost`
+//!   (Bruck dissemination pays `n·⌈lg n⌉` messages for its logarithmic
+//!   completion; gather ships `n-1` under both schedules),
+//! * **modeled critical-path latency** under the paper-style interconnect
+//!   cost model (1 µs + 0.1 ns/B) — where the binomial tree collapses the
+//!   root's O(n) receive chain to O(lg n),
+//! * **measured wall time** under a latency-dominated cost model, with a
+//!   deliberate straggler for the all-to-all — the pairwise any-source
+//!   schedule overlaps the straggle with every other receive, the linear
+//!   rank-order schedule queues its whole receive loop behind it.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use simmpi::{
+    allgather_messages, alltoall_messages, critical_path_recvs, gather_messages, CollectiveAlgo,
+    CostModel, World,
+};
+
+/// The collectives the scaling figure sweeps.
+pub const OPS: [&str; 3] = ["gather", "allgather", "alltoall"];
+
+/// One measured point of the scaling experiment.
+#[derive(Debug, Clone)]
+pub struct CollPoint {
+    pub op: &'static str,
+    pub algo: CollectiveAlgo,
+    pub n: usize,
+    pub block_bytes: usize,
+    /// Wire messages for one collective call (measured, whole world).
+    pub messages: u64,
+    /// Longest serialized receive chain on any rank (closed form).
+    pub critical_path_recvs: u64,
+    /// Modeled critical-path latency under the interconnect cost model.
+    pub modeled_ns: f64,
+    /// Measured completion time under the latency cost model, averaged
+    /// over `trials`. For the all-to-all (run with a straggling rank 0)
+    /// this is the slowest **non-straggler** rank: the straggler's own
+    /// finish time is `skew + its receives` under any schedule, but the
+    /// other ranks only queue behind it when receives are rank-ordered.
+    pub measured_s: f64,
+}
+
+/// Per-message latency charged in the measured runs. Large enough to
+/// dominate thread scheduling noise at n = 64, small enough to keep the
+/// whole sweep in seconds.
+fn measured_model() -> CostModel {
+    CostModel { latency: Duration::from_micros(200), per_byte_ns: 0.0 }
+}
+
+/// How long the all-to-all straggler (rank 0) sleeps before sending.
+pub const STRAGGLER_SKEW: Duration = Duration::from_millis(20);
+
+fn run_op(c: &simmpi::Comm, op: &str, block: usize, skew: Option<Duration>) {
+    let me = c.rank();
+    let mine = Bytes::from(vec![me as u8; block]);
+    match op {
+        "gather" => {
+            c.gather_bytes(0, mine);
+        }
+        "allgather" => {
+            c.allgather_bytes(mine);
+        }
+        "alltoall" => {
+            if let Some(s) = skew {
+                if me == 0 {
+                    std::thread::sleep(s);
+                }
+            }
+            c.alltoall_bytes(vec![mine; c.size()]);
+        }
+        other => panic!("unknown collective op {other:?}"),
+    }
+}
+
+/// Measure one (op, schedule, n) point. `observe` attaches a registry to
+/// the message-count pass so the per-op counters and latency histograms
+/// land in the exported metrics.
+pub fn run_point(
+    op: &'static str,
+    algo: CollectiveAlgo,
+    n: usize,
+    block: usize,
+    trials: usize,
+    observe: Option<&obsv::Registry>,
+) -> CollPoint {
+    // Pass 1 (no cost model): count wire messages for a single call.
+    let mut builder = World::builder(n).collective_algo(algo);
+    if let Some(reg) = observe {
+        builder = builder.observe(reg.clone());
+    }
+    let out = builder.run(move |c| run_op(&c, op, block, None));
+    let messages = out.stats.messages;
+
+    let expected = match op {
+        "gather" => gather_messages(algo, n),
+        "allgather" => allgather_messages(algo, n),
+        "alltoall" => alltoall_messages(algo, n),
+        _ => unreachable!(),
+    };
+    assert_eq!(
+        messages, expected,
+        "{op}/{algo:?} at n={n}: wire count disagrees with the closed form"
+    );
+
+    // Pass 2 (latency cost model, straggler for alltoall): per-rank
+    // completion time, clocked from a synchronizing barrier so thread
+    // spawn order doesn't leak into the measurement.
+    let skew = (op == "alltoall").then_some(STRAGGLER_SKEW);
+    let mut total = 0.0f64;
+    for _ in 0..trials {
+        let out =
+            World::builder(n).collective_algo(algo).cost_model(measured_model()).run(move |c| {
+                c.barrier();
+                let t0 = Instant::now();
+                run_op(&c, op, block, skew);
+                t0.elapsed().as_secs_f64()
+            });
+        total += out
+            .results
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| skew.is_none() || r != 0)
+            .map(|(_, &s)| s)
+            .fold(0.0, f64::max);
+    }
+
+    let cm = CostModel::interconnect();
+    let skew_ns = skew.map_or(0.0, |s| s.as_nanos() as f64);
+    let modeled_ns = match op {
+        "gather" => cm.modeled_gather_ns(algo, n, block),
+        "allgather" => cm.modeled_allgather_ns(algo, n, block),
+        "alltoall" => cm.modeled_alltoall_ns(algo, n, block, skew_ns),
+        _ => unreachable!(),
+    };
+
+    CollPoint {
+        op,
+        algo,
+        n,
+        block_bytes: block,
+        messages,
+        critical_path_recvs: critical_path_recvs(algo, op, n),
+        modeled_ns,
+        measured_s: total / trials as f64,
+    }
+}
+
+/// Sweep every op × schedule over `ns`, returning the points in sweep
+/// order. The observed pass runs under the matching registry (one for
+/// the linear family, one for the log-time family) so the exported
+/// metrics split cleanly into `collectives_linear` / `collectives_tree`.
+pub fn run_collectives(
+    ns: &[usize],
+    block: usize,
+    trials: usize,
+    observe_linear: Option<&obsv::Registry>,
+    observe_tree: Option<&obsv::Registry>,
+) -> Vec<CollPoint> {
+    let mut points = Vec::new();
+    for &n in ns {
+        for op in OPS {
+            for algo in [CollectiveAlgo::Linear, CollectiveAlgo::LogTime] {
+                let reg = match algo {
+                    CollectiveAlgo::Linear => observe_linear,
+                    _ => observe_tree,
+                };
+                points.push(run_point(op, algo, n, block, trials, reg));
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_messages_match_closed_forms() {
+        // run_point itself asserts wire count == closed form; exercise
+        // both schedule families at an awkward (non-power-of-two) size.
+        for op in OPS {
+            for algo in [CollectiveAlgo::Linear, CollectiveAlgo::LogTime] {
+                let p = run_point(op, algo, 6, 128, 1, None);
+                assert!(p.measured_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_wins_where_it_should_at_16_ranks() {
+        let n = 16;
+        for op in OPS {
+            let lin = run_point(op, CollectiveAlgo::Linear, n, 256, 1, None);
+            let tree = run_point(op, CollectiveAlgo::LogTime, n, 256, 1, None);
+            assert!(
+                tree.modeled_ns < lin.modeled_ns,
+                "{op}: modeled {} !< {}",
+                tree.modeled_ns,
+                lin.modeled_ns
+            );
+            assert!(tree.critical_path_recvs <= lin.critical_path_recvs, "{op}");
+        }
+    }
+}

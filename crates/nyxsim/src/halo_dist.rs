@@ -18,6 +18,9 @@ use crate::halo::Halo;
 /// Tag for the boundary-plane exchange messages.
 const TAG_PLANE: u32 = 0x7E20_0001;
 
+/// Tag for the per-rank component-stats reduction onto rank 0.
+const TAG_STATS: u32 = 0x7E20_0002;
+
 /// A component-local record shipped to rank 0.
 #[derive(Debug, Clone)]
 struct CompStat {
@@ -209,20 +212,34 @@ pub fn find_halos_distributed(
         }
     }
 
-    // Reduce component stats + equivalences on rank 0.
+    // Reduce component stats + equivalences on rank 0. Non-roots fire
+    // their (tiny) record at rank 0 and are done; rank 0 drains the
+    // messages in **arrival order** — a straggling low rank delays only
+    // its own record, never the drain of everyone else's. The merge
+    // below is order-canonicalized, so the result is independent of the
+    // order records arrive in.
     let local_stats: Vec<CompStat> = stats.into_values().collect();
     let payload = encode_stats(&local_stats, &equiv);
-    let gathered = comm.gather_bytes(0, payload.into());
-    let parts = gathered?;
+    if comm.rank() != 0 {
+        comm.send(0, TAG_STATS, payload);
+        return None;
+    }
 
     // Rank 0: global union-find over component gids.
-    let mut all_stats: Vec<CompStat> = Vec::new();
-    let mut all_equiv: Vec<(u64, u64)> = Vec::new();
-    for p in parts {
-        let (s, e) = decode_stats(&p);
+    let (mut all_stats, mut all_equiv) = decode_stats(&payload);
+    for _ in 1..comm.size() {
+        let env = comm.recv(simmpi::ANY_SOURCE, TAG_STATS.into());
+        let (s, e) = decode_stats(&env.payload);
         all_stats.extend(s);
         all_equiv.extend(e);
     }
+    // Canonicalize: gids are globally unique and equivalence pairs are
+    // plain data, so sorting both makes every downstream step — union
+    // order, f64 mass accumulation order, peak selection — a pure
+    // function of the *set* of records, bitwise identical no matter
+    // which rank's message landed first.
+    all_stats.sort_unstable_by_key(|s| s.gid);
+    all_equiv.sort_unstable();
     let mut root: HashMap<u64, u64> = all_stats.iter().map(|s| (s.gid, s.gid)).collect();
     fn findg(root: &mut HashMap<u64, u64>, mut x: u64) -> u64 {
         loop {
@@ -254,14 +271,22 @@ pub fn find_halos_distributed(
         e.cells += s.cells;
         e.mass += s.mass;
         let pd = peak_density.entry(r).or_insert(f64::NEG_INFINITY);
-        if s.peak_density > *pd {
+        // Ties on density resolve to the lexicographically smallest peak
+        // coordinate so the winner doesn't depend on record order.
+        if s.peak_density > *pd || (s.peak_density == *pd && s.peak < e.peak) {
             *pd = s.peak_density;
             e.peak = s.peak;
             e.peak_density = s.peak_density;
         }
     }
     let mut halos: Vec<Halo> = merged.into_values().filter(|h| h.cells >= min_cells).collect();
-    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite"));
+    halos.sort_by(|a, b| {
+        b.mass
+            .partial_cmp(&a.mass)
+            .expect("finite")
+            .then(b.cells.cmp(&a.cells))
+            .then(a.peak.cmp(&b.peak))
+    });
     Some(halos)
 }
 
@@ -372,6 +397,92 @@ mod tests {
         let serial = find_halos([G, G, G], &rho, 1.0, 1);
         assert_eq!(halos.len(), serial.len());
         assert_eq!(halos[0].cells, 2);
+    }
+
+    /// A delayed low-rank sender must not stall the rank-0 merge, and the
+    /// merged result must be bitwise identical to the undelayed run: the
+    /// drain is arrival-order and the merge is order-canonicalized.
+    #[test]
+    fn delayed_low_rank_sender_does_not_change_the_merge() {
+        const G: u64 = 24;
+        const RANKS: usize = 4;
+        let cfg =
+            SimConfig { grid: G, nranks: RANKS, particles_per_rank: 30_000, centers: 5, seed: 91 };
+        let mut slabs = Vec::new();
+        let mut total = 0.0f64;
+        for r in 0..RANKS {
+            let sim = NyxSim::new(cfg.clone(), r);
+            let rho = sim.deposit();
+            total += rho.iter().sum::<f64>();
+            let (lo, hi) = cfg.slab(r);
+            slabs.push((lo, hi, rho));
+        }
+        let threshold = 6.0 * total / (G * G * G) as f64;
+
+        let run = |stagger: bool| {
+            let slabs = slabs.clone();
+            World::run(RANKS, move |c| {
+                if stagger && c.rank() > 0 {
+                    // Reverse arrival order: rank 1 is the last to report.
+                    let ms = 10 * (RANKS - c.rank()) as u64;
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                let (lo, hi, rho) = &slabs[c.rank()];
+                find_halos_distributed(&c, [G, G, G], (*lo, *hi), rho, threshold, 2)
+            })
+        };
+        let plain = run(false)[0].clone().expect("root halos");
+        let staggered = run(true)[0].clone().expect("root halos");
+        assert!(!plain.is_empty());
+        assert_eq!(plain.len(), staggered.len());
+        for (a, b) in plain.iter().zip(&staggered) {
+            assert_eq!(a.cells, b.cells);
+            assert_eq!(a.mass.to_bits(), b.mass.to_bits(), "mass must be bitwise identical");
+            assert_eq!(a.peak, b.peak);
+            assert_eq!(a.peak_density.to_bits(), b.peak_density.to_bits());
+        }
+    }
+
+    /// Same property under seeded chaos: message delays reshuffle arrival
+    /// order arbitrarily, the merge result must not move.
+    #[test]
+    fn merge_is_stable_under_fault_plan_delays() {
+        const G: u64 = 8;
+        let mk_slab = |rank: usize| {
+            let (lo, hi) = (rank as u64 * 4, rank as u64 * 4 + 4);
+            let mut rho = vec![0.0f64; ((hi - lo) * G * G) as usize];
+            for x in lo..hi {
+                if (2..6).contains(&x) {
+                    rho[((x - lo) * G * G + 3 * G + 3) as usize] = 5.0;
+                }
+                // A second, rank-local blob so every rank ships stats.
+                rho[((x - lo) * G * G + 6 * G + (rank as u64 % G)) as usize] = 2.0;
+            }
+            (lo, hi, rho)
+        };
+        let baseline = World::run(2, move |c| {
+            let (lo, hi, rho) = mk_slab(c.rank());
+            find_halos_distributed(&c, [G, G, G], (lo, hi), &rho, 1.0, 1)
+        })[0]
+            .clone()
+            .expect("root halos");
+        for seed in [0x11u64, 0x5EED, 0xF00D] {
+            let plan = simmpi::FaultPlan::new(seed)
+                .delay(0.6, std::time::Duration::from_micros(800))
+                .reorder(0.5);
+            let out = World::builder(2).fault_plan(plan).run_chaos(move |c| {
+                let (lo, hi, rho) = mk_slab(c.rank());
+                find_halos_distributed(&c, [G, G, G], (lo, hi), &rho, 1.0, 1)
+            });
+            assert!(out.deaths.is_empty());
+            let chaotic = out.results[0].clone().flatten().expect("root halos under chaos");
+            assert_eq!(baseline.len(), chaotic.len(), "seed {seed:#x}");
+            for (a, b) in baseline.iter().zip(&chaotic) {
+                assert_eq!(a.cells, b.cells, "seed {seed:#x}");
+                assert_eq!(a.mass.to_bits(), b.mass.to_bits(), "seed {seed:#x}");
+                assert_eq!(a.peak, b.peak, "seed {seed:#x}");
+            }
+        }
     }
 
     #[test]

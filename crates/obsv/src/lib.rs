@@ -45,10 +45,11 @@ pub use ring::{Event, EventKind, EventRing};
 /// Process-wide monotonic clock. Every span in every crate stamps against
 /// the same origin, so cross-rank timelines line up in the exported trace.
 ///
-/// The clock is *virtualizable*: [`advance_ns`] injects simulated time on
-/// top of the wall-clock origin. Simulated-interconnect runs and
-/// deterministic timeout tests advance it explicitly; everything that
-/// derives deadlines from [`now_ns`] (notably `diyblk`'s RPC retry
+/// The clock is *virtualizable*: [`advance_ns`](clock::advance_ns)
+/// injects simulated time on top of the wall-clock origin.
+/// Simulated-interconnect runs and deterministic timeout tests advance it
+/// explicitly; everything that derives deadlines from
+/// [`now_ns`](clock::now_ns) (notably `diyblk`'s RPC retry
 /// machinery) then observes the injected delay without real waiting. The
 /// offset only ever grows, so the clock stays monotonic.
 pub mod clock {
@@ -145,8 +146,22 @@ pub enum Ctr {
     MsgsSent,
     /// Payload bytes handed to the transport (mirrors `TransportStats`).
     BytesSent,
-    /// Primitive collective entries (barrier/bcast/gather/scatter/alltoall).
-    Collectives,
+    /// Barrier entries.
+    CollBarrier,
+    /// Broadcast entries (`bcast_bytes` / `bcast_one`).
+    CollBcast,
+    /// Gather entries (`gather_bytes`).
+    CollGather,
+    /// Scatter entries (`scatter_bytes`).
+    CollScatter,
+    /// Personalized all-to-all entries (`alltoall_bytes`).
+    CollAlltoall,
+    /// Allgather entries (`allgather_bytes` and typed wrappers).
+    CollAllgather,
+    /// Reduction entries (`reduce_one` / `allreduce_one`).
+    CollReduce,
+    /// Exclusive-scan entries (`exscan_u64`).
+    CollExscan,
     /// RPC send attempts (every attempt of a retried call counts).
     RpcCalls,
     /// Fire-and-forget RPC notifications.
@@ -181,13 +196,20 @@ pub enum Ctr {
     BytesCopied,
 }
 
-pub const NUM_CTRS: usize = 16;
+pub const NUM_CTRS: usize = 23;
 
 impl Ctr {
     pub const ALL: [Ctr; NUM_CTRS] = [
         Ctr::MsgsSent,
         Ctr::BytesSent,
-        Ctr::Collectives,
+        Ctr::CollBarrier,
+        Ctr::CollBcast,
+        Ctr::CollGather,
+        Ctr::CollScatter,
+        Ctr::CollAlltoall,
+        Ctr::CollAllgather,
+        Ctr::CollReduce,
+        Ctr::CollExscan,
         Ctr::RpcCalls,
         Ctr::RpcNotifies,
         Ctr::RpcRetries,
@@ -207,7 +229,14 @@ impl Ctr {
         match self {
             Ctr::MsgsSent => "msgs_sent",
             Ctr::BytesSent => "bytes_sent",
-            Ctr::Collectives => "collectives",
+            Ctr::CollBarrier => "coll_barrier",
+            Ctr::CollBcast => "coll_bcast",
+            Ctr::CollGather => "coll_gather",
+            Ctr::CollScatter => "coll_scatter",
+            Ctr::CollAlltoall => "coll_alltoall",
+            Ctr::CollAllgather => "coll_allgather",
+            Ctr::CollReduce => "coll_reduce",
+            Ctr::CollExscan => "coll_exscan",
             Ctr::RpcCalls => "rpc_calls",
             Ctr::RpcNotifies => "rpc_notifies",
             Ctr::RpcRetries => "rpc_retries",
@@ -247,9 +276,14 @@ pub enum Hist {
     RpcInflight,
     /// `(dataset, selection)` entries per batched data request.
     FetchBatchEntries,
+    /// Per-rank payload bytes entering each collective call (the local
+    /// contribution, not the wire traffic the schedule generates).
+    CollBytes,
+    /// Wall time spent inside each collective call, nanoseconds.
+    CollLatencyNs,
 }
 
-pub const NUM_HISTS: usize = 8;
+pub const NUM_HISTS: usize = 10;
 
 impl Hist {
     pub const ALL: [Hist; NUM_HISTS] = [
@@ -261,6 +295,8 @@ impl Hist {
         Hist::BytesFetched,
         Hist::RpcInflight,
         Hist::FetchBatchEntries,
+        Hist::CollBytes,
+        Hist::CollLatencyNs,
     ];
 
     pub fn name(self) -> &'static str {
@@ -273,6 +309,8 @@ impl Hist {
             Hist::BytesFetched => "bytes_fetched",
             Hist::RpcInflight => "rpc_inflight",
             Hist::FetchBatchEntries => "fetch_batch_entries",
+            Hist::CollBytes => "coll_bytes",
+            Hist::CollLatencyNs => "coll_latency_ns",
         }
     }
 }

@@ -1,10 +1,11 @@
 //! Communicators: rank identity, point-to-point messaging, and splitting.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 
+use crate::cost::{CollectiveAlgo, CostModel};
 use crate::envelope::{make_wire_tag, Envelope, PartsEnvelope, SrcSel, Tag, TagSel, WireEnvelope};
 use crate::mailbox::Matcher;
 use crate::payload::Payload;
@@ -27,6 +28,12 @@ pub struct Comm {
     members: Arc<Vec<usize>>,
     /// Inverse of `members`, indexed by world rank.
     local_of_world: Arc<Vec<Option<usize>>>,
+    /// Collective invocation counter, shared by clones of this rank's
+    /// handle. Collectives are program-ordered per communicator, so every
+    /// member's counter agrees at each call; the any-source all-to-all
+    /// folds it into its tag so a fast rank's *next* exchange can never be
+    /// confused with a slow rank's current one.
+    coll_seq: Arc<AtomicU32>,
 }
 
 impl std::fmt::Debug for Comm {
@@ -49,6 +56,7 @@ impl Comm {
             rank,
             members: Arc::new(members),
             local_of_world: Arc::new(local_of_world),
+            coll_seq: Arc::new(AtomicU32::new(0)),
         }
     }
 
@@ -69,7 +77,23 @@ impl Comm {
             rank,
             members: Arc::new(members),
             local_of_world: Arc::new(local_of_world),
+            coll_seq: Arc::new(AtomicU32::new(0)),
         }
+    }
+
+    /// The collective schedule family this world was built with.
+    pub(crate) fn coll_algo(&self) -> CollectiveAlgo {
+        self.inner.coll_algo
+    }
+
+    /// The attached cost model, if any (drives size-aware selection).
+    pub(crate) fn cost_model(&self) -> Option<CostModel> {
+        self.inner.cost
+    }
+
+    /// Next collective epoch on this communicator (per-rank program order).
+    pub(crate) fn next_coll_epoch(&self) -> u32 {
+        self.coll_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// This rank's index within the communicator.
@@ -285,6 +309,30 @@ impl Comm {
                     SrcSel::Rank(w) => w,
                     SrcSel::Any => unreachable!("wildcard receives never abort"),
                 },
+            }),
+        }
+    }
+
+    /// Any-source receive for collective internals: unlike a user wildcard
+    /// receive (which never aborts — any rank might still send), a
+    /// collective cannot complete once *any* member dies, so this receive
+    /// aborts with [`crate::PeerDied`] as soon as some member is known
+    /// dead with nothing matching queued. Keeps chaos runs from hanging
+    /// inside the arrival-order all-to-all.
+    pub(crate) fn recv_parts_collective_any(&self, tag: TagSel) -> PartsEnvelope {
+        let m = self.matcher(SrcSel::Any, tag);
+        let any_member_dead =
+            || self.members.iter().any(|&w| self.inner.dead[w].load(Ordering::Relaxed));
+        match self.my_mailbox().pop_matching_abort(&m, &any_member_dead) {
+            Ok(wire) => self.localize_parts(wire),
+            Err(()) => std::panic::panic_any(crate::fault::PeerDied {
+                receiver: self.members[self.rank],
+                peer: self
+                    .members
+                    .iter()
+                    .copied()
+                    .find(|&w| self.inner.dead[w].load(Ordering::Relaxed))
+                    .unwrap_or(self.members[self.rank]),
             }),
         }
     }

@@ -61,7 +61,10 @@ mod task;
 mod world;
 
 pub use comm::{Comm, RecvError, RecvRequest};
-pub use cost::CostModel;
+pub use cost::{
+    allgather_messages, alltoall_messages, ceil_log2, critical_path_recvs, gather_messages,
+    CollectiveAlgo, CostModel,
+};
 pub use envelope::{Envelope, PartsEnvelope, SrcSel, Tag, TagSel, ANY_SOURCE, ANY_TAG};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, KillSpec, PeerDied, RankKilled};
 pub use payload::Payload;

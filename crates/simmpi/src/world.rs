@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32};
 use std::sync::Arc;
 
 use crate::comm::Comm;
-use crate::cost::CostModel;
+use crate::cost::{CollectiveAlgo, CostModel};
 use crate::fault::{FaultEvent, FaultPlan, FaultState, PeerDied, RankKilled};
 use crate::mailbox::Mailbox;
 use crate::stats::{StatsSnapshot, TransportStats};
@@ -16,6 +16,8 @@ pub(crate) struct WorldInner {
     pub next_ctx: AtomicU32,
     pub stats: TransportStats,
     pub cost: Option<CostModel>,
+    /// Collective schedule family every [`Comm`] of this run uses.
+    pub coll_algo: CollectiveAlgo,
     /// Active fault injector, if any.
     pub fault: Option<FaultState>,
     /// Per-world-rank death flags (only ever set by the chaos runner).
@@ -23,12 +25,18 @@ pub(crate) struct WorldInner {
 }
 
 impl WorldInner {
-    fn new(size: usize, cost: Option<CostModel>, fault: Option<FaultState>) -> Self {
+    fn new(
+        size: usize,
+        cost: Option<CostModel>,
+        coll_algo: CollectiveAlgo,
+        fault: Option<FaultState>,
+    ) -> Self {
         WorldInner {
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
             next_ctx: AtomicU32::new(1),
             stats: TransportStats::default(),
             cost,
+            coll_algo,
             fault,
             dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
         }
@@ -56,6 +64,7 @@ pub struct World;
 pub struct WorldBuilder {
     size: usize,
     cost: Option<CostModel>,
+    coll_algo: CollectiveAlgo,
     fault: Option<FaultPlan>,
     observe: Option<obsv::Registry>,
 }
@@ -112,7 +121,13 @@ impl World {
     /// Start configuring a run (e.g. to attach a [`CostModel`] or a
     /// [`FaultPlan`]).
     pub fn builder(size: usize) -> WorldBuilder {
-        WorldBuilder { size, cost: None, fault: None, observe: None }
+        WorldBuilder {
+            size,
+            cost: None,
+            coll_algo: CollectiveAlgo::default(),
+            fault: None,
+            observe: None,
+        }
     }
 }
 
@@ -120,6 +135,15 @@ impl WorldBuilder {
     /// Attach a message cost model charged on every delivery.
     pub fn cost_model(mut self, cm: CostModel) -> Self {
         self.cost = Some(cm);
+        self
+    }
+
+    /// Pin the collective schedule family (A/B knob). The default,
+    /// [`CollectiveAlgo::Auto`], picks log-time schedules with
+    /// cost-model-driven size switching; [`CollectiveAlgo::Linear`] pins
+    /// the O(n) rank-order reference implementations for benchmarking.
+    pub fn collective_algo(mut self, algo: CollectiveAlgo) -> Self {
+        self.coll_algo = algo;
         self
     }
 
@@ -142,7 +166,7 @@ impl WorldBuilder {
     fn build_inner(&mut self) -> Arc<WorldInner> {
         assert!(self.size > 0, "world size must be at least 1");
         let fault = self.fault.take().map(|p| FaultState::new(p, self.size));
-        Arc::new(WorldInner::new(self.size, self.cost.take(), fault))
+        Arc::new(WorldInner::new(self.size, self.cost.take(), self.coll_algo, fault))
     }
 
     /// Spawn the ranks and block until they all return.

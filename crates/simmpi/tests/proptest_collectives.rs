@@ -1,9 +1,75 @@
 //! Property-based tests of the collective operations: arbitrary world
-//! sizes, roots, and payload shapes.
+//! sizes, roots, and payload shapes — and the A/B contract that the
+//! log-time schedules are **byte-identical** to the linear references,
+//! with and without a cost model (which flips `Auto` onto the ring
+//! allgather and the segmented broadcast past its crossover) and under
+//! seeded fault-plan delays.
+
+use std::time::Duration;
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use simmpi::World;
+use simmpi::{CollectiveAlgo, CostModel, FaultPlan, World};
+
+/// A cost model whose latency/bandwidth crossover sits at 100 bytes, so
+/// modest proptest payloads already exercise the ring allgather and the
+/// multi-segment broadcast under `Auto`.
+fn tiny_crossover() -> CostModel {
+    CostModel { latency: Duration::from_nanos(1000), per_byte_ns: 10.0 }
+}
+
+/// Deterministic per-(rank, dest, seed) payload with length variety,
+/// including empty and multi-segment (>100 B) blocks.
+fn blob(rank: usize, salt: usize, seed: u64) -> Bytes {
+    let len = ((seed as usize).wrapping_mul(2654435761) ^ (rank * 37 + salt * 101)) % 400;
+    Bytes::from((0..len).map(|i| (i ^ rank ^ salt ^ seed as usize) as u8).collect::<Vec<u8>>())
+}
+
+/// One full collective workout for a rank; the returned tuple is compared
+/// byte-for-byte across schedule families.
+type Workout = (Option<Vec<Bytes>>, Bytes, Vec<Bytes>, Vec<Bytes>, u64, u64, Option<u64>);
+
+fn workout(c: &simmpi::Comm, root: usize, seed: u64) -> Workout {
+    let me = c.rank();
+    let mine = blob(me, 0, seed);
+    let gathered = c.gather_bytes(root, mine.clone());
+    let scatter_parts =
+        (me == root).then(|| (0..c.size()).map(|r| blob(r, 1, seed)).collect::<Vec<Bytes>>());
+    let scattered = c.scatter_bytes(root, scatter_parts);
+    let allgathered = c.allgather_bytes(blob(me, 2, seed));
+    let a2a = c.alltoall_bytes((0..c.size()).map(|d| blob(me, 3 + d, seed)).collect());
+    let bc = c.bcast_bytes(root, (me == root).then(|| blob(root, 2, seed)));
+    assert_eq!(bc, blob(root, 2, seed));
+    let v = (seed + me as u64 * 13) % 97;
+    let red = c.allreduce_one::<u64, _>(v, |a, b| a + b);
+    let ex = c.exscan_u64(v);
+    let r1 = c.reduce_one::<u64, _>(root, v, std::cmp::max);
+    (gathered, scattered, allgathered, a2a, red, ex, r1)
+}
+
+/// Run the workout under one (algo, cost-model, fault-seed) configuration.
+fn run_config(
+    n: usize,
+    root: usize,
+    seed: u64,
+    algo: CollectiveAlgo,
+    cost: bool,
+    fault_seed: Option<u64>,
+) -> Vec<Workout> {
+    let mut b = World::builder(n).collective_algo(algo);
+    if cost {
+        b = b.cost_model(tiny_crossover());
+    }
+    if let Some(fs) = fault_seed {
+        let out = b
+            .fault_plan(FaultPlan::new(fs).delay(0.5, Duration::from_micros(300)).reorder(0.5))
+            .run_chaos(move |c| workout(&c, root, seed));
+        assert!(out.deaths.is_empty(), "benign faults must not kill ranks");
+        out.results.into_iter().map(|r| r.expect("every rank finishes")).collect()
+    } else {
+        b.run(move |c| workout(&c, root, seed)).results
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
@@ -84,5 +150,51 @@ proptest! {
             let all = c.allgather_one::<u64>(v);
             assert_eq!(pre, all[..c.rank()].iter().sum::<u64>());
         });
+    }
+
+    /// The A/B contract: every schedule family — linear reference, forced
+    /// log-time, and cost-driven Auto (which switches to ring allgather
+    /// and segmented bcast past the 100-byte crossover) — produces
+    /// byte-identical results on every rank, for any geometry, root, and
+    /// payload shape (empty through multi-segment).
+    #[test]
+    fn tree_equals_linear_byte_identical(
+        n in 1usize..8,
+        root_seed in 0usize..100,
+        seed in 0u64..10_000,
+    ) {
+        let root = root_seed % n;
+        let reference = run_config(n, root, seed, CollectiveAlgo::Linear, false, None);
+        for (algo, cost) in [
+            (CollectiveAlgo::LogTime, false),
+            (CollectiveAlgo::Auto, false),
+            (CollectiveAlgo::Auto, true),
+            (CollectiveAlgo::Linear, true),
+        ] {
+            let got = run_config(n, root, seed, algo, cost, None);
+            assert_eq!(got, reference, "{algo:?} cost={cost} diverged from the linear reference");
+        }
+    }
+
+    /// Same identity under seeded fault-plan delays and reorders: the
+    /// schedules are specified by *what* arrives, not *when*.
+    #[test]
+    fn tree_equals_linear_under_faults(
+        n in 2usize..7,
+        root_seed in 0usize..100,
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+    ) {
+        let root = root_seed % n;
+        let reference = run_config(n, root, seed, CollectiveAlgo::Linear, false, None);
+        for (algo, cost) in
+            [(CollectiveAlgo::Linear, false), (CollectiveAlgo::LogTime, false), (CollectiveAlgo::Auto, true)]
+        {
+            let got = run_config(n, root, seed, algo, cost, Some(fault_seed));
+            assert_eq!(
+                got, reference,
+                "{algo:?} cost={cost} under fault seed {fault_seed:#x} diverged"
+            );
+        }
     }
 }

@@ -94,7 +94,27 @@ fn lowfive_exchange_bytes_match_stats_snapshot() {
 
     // The exchange exercises the whole stack: collectives under the
     // communicator split, RPC for metadata/data, LowFive phases on top.
-    assert!(report.counter(obsv::Ctr::Collectives) > 0);
+    let coll_total: u64 = [
+        obsv::Ctr::CollBarrier,
+        obsv::Ctr::CollBcast,
+        obsv::Ctr::CollGather,
+        obsv::Ctr::CollScatter,
+        obsv::Ctr::CollAlltoall,
+        obsv::Ctr::CollAllgather,
+        obsv::Ctr::CollReduce,
+        obsv::Ctr::CollExscan,
+    ]
+    .iter()
+    .map(|&c| report.counter(c))
+    .sum();
+    assert!(coll_total > 0, "the exchange must run at least one collective");
+    let coll_lat = report.hist(obsv::Hist::CollLatencyNs);
+    assert_eq!(coll_lat.count, coll_total, "one latency sample per collective call");
+    assert_eq!(
+        report.hist(obsv::Hist::CollBytes).count,
+        coll_total,
+        "one payload-size sample per collective call"
+    );
     assert!(report.counter(obsv::Ctr::RpcCalls) > 0);
     let phases: Vec<&str> = report.phase_totals().iter().map(|p| p.phase.name()).collect();
     for want in ["index", "serve", "open", "query"] {
