@@ -25,6 +25,7 @@ use minih5::codec::{Reader, Writer};
 use minih5::{BBox, H5Result};
 
 use crate::boxes::{local_offset, BoxCoords};
+use crate::staging::{HashRing, RingError};
 
 const DS_PUT: u32 = 0x10;
 const DS_QUERY: u32 = 0x11;
@@ -43,14 +44,19 @@ pub struct DsConfig {
 }
 
 impl DsConfig {
-    /// Home server for a named, versioned array.
-    fn home_server(&self, name: &str, version: u64) -> usize {
-        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
-        for b in name.bytes().chain(version.to_le_bytes()) {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        self.servers[(h % self.servers.len() as u64) as usize]
+    /// Vnodes per server on the key-routing ring. Plenty to spread keys
+    /// at this baseline's server counts; the replicated tier
+    /// (`crate::staging`) makes this a config knob instead.
+    const VNODES: usize = 8;
+
+    /// Home server for a named, versioned array, resolved on the same
+    /// consistent-hash ring the replicated staging tier uses (k = 1).
+    /// One server degenerates cleanly (every key maps to it); an empty
+    /// server list is a typed [`RingError`] — previously this was a
+    /// modulo-by-zero panic deep in an FNV hash.
+    fn home_server(&self, name: &str, version: u64) -> Result<usize, RingError> {
+        let ring = HashRing::new(&self.servers, Self::VNODES)?;
+        Ok(ring.primary(&key(name, version)))
     }
 }
 
@@ -186,17 +192,19 @@ impl DsClient {
 
     /// Register an n-d array region under `(name, version)`. Only the
     /// bounding box and owner travel to the staging server; the data stay
-    /// local (`dspaces_put_local`).
-    pub fn put_local(&self, name: &str, version: u64, bbox: BBox, data: Bytes) {
+    /// local (`dspaces_put_local`). Fails (typed) on an empty server
+    /// list.
+    pub fn put_local(&self, name: &str, version: u64, bbox: BBox, data: Bytes) -> H5Result<()> {
         let k = key(name, version);
         self.puts.lock().entry(k.clone()).or_default().push((bbox.clone(), data));
-        let server = self.cfg.home_server(name, version);
+        let server = self.cfg.home_server(name, version)?;
         let mut w = Writer::new();
         w.put_str(&k);
         w.put_u64(self.world.rank() as u64);
         w.put(&bbox);
         // Wait for the ack so the registration is visible before we serve.
         let _ = RpcClient::new(&self.world).call(server, DS_PUT, &w.finish());
+        Ok(())
     }
 
     /// Producer: answer direct fetches until every consumer is done.
@@ -233,14 +241,15 @@ impl DsClient {
     /// server. The producer's buffer is immediately reusable and the
     /// producer does not need to serve — the tradeoff the paper weighs
     /// against `put_local` ("a staging a full data copy").
-    pub fn put_staged(&self, name: &str, version: u64, bbox: BBox, data: Bytes) {
+    pub fn put_staged(&self, name: &str, version: u64, bbox: BBox, data: Bytes) -> H5Result<()> {
         let k = key(name, version);
-        let server = self.cfg.home_server(name, version);
+        let server = self.cfg.home_server(name, version)?;
         let mut w = Writer::new();
         w.put_str(&k);
         w.put(&bbox);
         w.put_bytes(&data);
         let _ = RpcClient::new(&self.world).call(server, DS_PUT_STAGED, &w.finish());
+        Ok(())
     }
 
     /// Consumer: fetch the elements of `qbox` (row-major packed). `es` is
@@ -249,7 +258,7 @@ impl DsClient {
         let k = key(name, version);
         let rpc = RpcClient::new(&self.world);
         // 1. Ask the staging server who owns intersecting regions.
-        let server = self.cfg.home_server(name, version);
+        let server = self.cfg.home_server(name, version)?;
         let mut w = Writer::new();
         w.put_str(&k);
         w.put(qbox);
@@ -310,8 +319,9 @@ impl DsClient {
 }
 
 /// Invoke `f(row_start_coord, row_len)` for every contiguous row of `bb`
-/// (contiguity along the last dimension).
-fn for_each_row(bb: &BBox, mut f: impl FnMut(&[u64], usize)) {
+/// (contiguity along the last dimension). Shared with the replicated
+/// staging tier (`crate::staging`), whose pieces pack the same way.
+pub(crate) fn for_each_row(bb: &BBox, mut f: impl FnMut(&[u64], usize)) {
     if bb.is_empty() {
         return;
     }
@@ -363,7 +373,7 @@ mod tests {
                     let bb = BBox::new(vec![r * 4, 0], vec![r * 4 + 4, N]);
                     let data: Vec<u8> =
                         BoxCoords::new(&bb).flat_map(|c| (c[0] * N + c[1]).to_le_bytes()).collect();
-                    client.put_local("grid", 0, bb, data.into());
+                    client.put_local("grid", 0, bb, data.into()).unwrap();
                     client.serve_local();
                 }
                 1 => run_server(&tc.world, &cfg),
@@ -396,10 +406,10 @@ mod tests {
                     for ver in 0..3u64 {
                         let data: Vec<u8> =
                             (0..4u64).flat_map(|i| (i + 100 * ver).to_le_bytes()).collect();
-                        client.put_local("x", ver, bb.clone(), data.into());
+                        client.put_local("x", ver, bb.clone(), data.into()).unwrap();
                     }
                     let other: Vec<u8> = (0..4u64).flat_map(|i| (i + 7).to_le_bytes()).collect();
-                    client.put_local("y", 0, bb.clone(), other.into());
+                    client.put_local("y", 0, bb.clone(), other.into()).unwrap();
                     client.serve_local();
                 }
                 1 => run_server(&tc.world, &cfg),
@@ -428,7 +438,9 @@ mod tests {
             match tc.task_id {
                 0 => {
                     let client = DsClient::new(tc.world.clone(), cfg);
-                    client.put_local("x", 0, BBox::new(vec![0], vec![2]), vec![1u8, 2].into());
+                    client
+                        .put_local("x", 0, BBox::new(vec![0], vec![2]), vec![1u8, 2].into())
+                        .unwrap();
                     client.serve_local();
                 }
                 1 => run_server(&tc.world, &cfg),
@@ -478,7 +490,7 @@ mod staged_tests {
                     let bb = BBox::new(vec![r * 4, 0], vec![r * 4 + 4, N]);
                     let data: Vec<u8> =
                         BoxCoords::new(&bb).flat_map(|c| (c[0] * N + c[1]).to_le_bytes()).collect();
-                    client.put_staged("grid", 0, bb, data.into());
+                    client.put_staged("grid", 0, bb, data.into()).unwrap();
                     // NO serve_local(): the producer is free immediately.
                 }
                 1 => run_server(&tc.world, &cfg),

@@ -1,0 +1,179 @@
+//! Heartbeat membership: a pure state machine over peer health.
+//!
+//! Each shard runs one `Membership` over its peer shards. Receiving any
+//! gossip from a peer refreshes it; [`Membership::tick`] degrades silent
+//! peers Healthy → Suspected → Failed against the `obsv::clock`
+//! timeline. The two-threshold design is what makes a *lost* heartbeat
+//! (a fault plan's drop-once, a congested lane) survivable: Suspected is
+//! a reversible warning — the next heartbeat heals it — while Failed is
+//! permanent and is the only state that triggers re-replication. The
+//! module is deliberately free of I/O so the escalation logic is
+//! unit-testable with hand-fed timestamps.
+
+use std::time::Duration;
+
+/// Health of one peer as observed by one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Heard from recently.
+    Healthy,
+    /// Silent past `suspect_after`; reversible.
+    Suspected,
+    /// Silent past `fail_after`; permanent — ranks do not restart in
+    /// this fault model, so there is no Failed → Healthy edge.
+    Failed,
+}
+
+struct Peer {
+    rank: usize,
+    last_heard_ns: u64,
+    health: Health,
+}
+
+/// One shard's view of its peers' liveness.
+pub struct Membership {
+    peers: Vec<Peer>,
+    suspect_after_ns: u64,
+    fail_after_ns: u64,
+}
+
+impl Membership {
+    /// Track `peers`, all initially Healthy as of `now_ns`.
+    pub fn new(
+        peers: &[usize],
+        now_ns: u64,
+        suspect_after: Duration,
+        fail_after: Duration,
+    ) -> Self {
+        Membership {
+            peers: peers
+                .iter()
+                .map(|&rank| Peer { rank, last_heard_ns: now_ns, health: Health::Healthy })
+                .collect(),
+            suspect_after_ns: u64::try_from(suspect_after.as_nanos()).unwrap_or(u64::MAX),
+            fail_after_ns: u64::try_from(fail_after.as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Record gossip from `rank`. A Suspected peer heals back to
+    /// Healthy; a Failed peer stays failed (its data are already being
+    /// re-replicated — un-failing it would fork the replica sets).
+    /// Returns the peer's health after the update.
+    pub fn heard_from(&mut self, rank: usize, now_ns: u64) -> Option<Health> {
+        let p = self.peers.iter_mut().find(|p| p.rank == rank)?;
+        if p.health != Health::Failed {
+            p.last_heard_ns = now_ns;
+            p.health = Health::Healthy;
+        }
+        Some(p.health)
+    }
+
+    /// Declare `rank` Failed on direct evidence (e.g. the transport
+    /// reported the rank dead), skipping the timers. Returns `true` if
+    /// this is *news* — the caller only triggers recovery once.
+    pub fn mark_failed(&mut self, rank: usize) -> bool {
+        match self.peers.iter_mut().find(|p| p.rank == rank) {
+            Some(p) if p.health != Health::Failed => {
+                p.health = Health::Failed;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Advance the timers to `now_ns`; returns every transition this
+    /// tick as `(rank, new health)` — at most one step per peer per
+    /// tick, so a long scheduling stall still surfaces the Suspected
+    /// warning before the Failed verdict.
+    pub fn tick(&mut self, now_ns: u64) -> Vec<(usize, Health)> {
+        let mut out = Vec::new();
+        for p in &mut self.peers {
+            let silent = now_ns.saturating_sub(p.last_heard_ns);
+            let next = match p.health {
+                Health::Healthy if silent >= self.suspect_after_ns => Health::Suspected,
+                Health::Suspected if silent >= self.fail_after_ns => Health::Failed,
+                h => h,
+            };
+            if next != p.health {
+                p.health = next;
+                out.push((p.rank, next));
+            }
+        }
+        out
+    }
+
+    /// Current health of `rank` (None for an untracked rank).
+    pub fn health(&self, rank: usize) -> Option<Health> {
+        self.peers.iter().find(|p| p.rank == rank).map(|p| p.health)
+    }
+
+    /// The ranks currently declared Failed.
+    pub fn failed(&self) -> Vec<usize> {
+        self.peers.iter().filter(|p| p.health == Health::Failed).map(|p| p.rank).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn m() -> Membership {
+        Membership::new(&[3, 7], 0, Duration::from_millis(50), Duration::from_millis(150))
+    }
+
+    #[test]
+    fn silence_escalates_suspected_then_failed() {
+        let mut m = m();
+        assert!(m.tick(49 * MS).is_empty());
+        assert_eq!(m.tick(50 * MS), vec![(3, Health::Suspected), (7, Health::Suspected)]);
+        assert!(m.tick(149 * MS).is_empty(), "suspected holds until fail_after");
+        assert_eq!(m.tick(150 * MS), vec![(3, Health::Failed), (7, Health::Failed)]);
+        assert_eq!(m.failed(), vec![3, 7]);
+    }
+
+    #[test]
+    fn heartbeat_heals_a_suspected_peer() {
+        let mut m = m();
+        m.tick(60 * MS);
+        assert_eq!(m.health(3), Some(Health::Suspected));
+        assert_eq!(m.heard_from(3, 70 * MS), Some(Health::Healthy));
+        // The clock restarts from the heartbeat, not from zero.
+        assert!(m.tick(110 * MS).is_empty());
+        assert_eq!(m.health(3), Some(Health::Healthy));
+        // Peer 7 stayed silent and keeps escalating independently of
+        // peer 3, which heartbeats on.
+        assert_eq!(m.heard_from(3, 115 * MS), Some(Health::Healthy));
+        m.tick(160 * MS);
+        assert_eq!(m.health(7), Some(Health::Failed));
+        assert_eq!(m.health(3), Some(Health::Healthy));
+    }
+
+    #[test]
+    fn failed_is_permanent() {
+        let mut m = m();
+        m.tick(200 * MS); // -> Suspected (one step per tick)
+        m.tick(201 * MS); // -> Failed
+        assert_eq!(m.health(3), Some(Health::Failed));
+        assert_eq!(m.heard_from(3, 202 * MS), Some(Health::Failed), "no resurrection");
+        assert_eq!(m.health(3), Some(Health::Failed));
+    }
+
+    #[test]
+    fn mark_failed_reports_news_only_once() {
+        let mut m = m();
+        assert!(m.mark_failed(7));
+        assert!(!m.mark_failed(7), "second report is not news");
+        assert!(!m.mark_failed(42), "unknown rank is not news");
+        assert_eq!(m.failed(), vec![7]);
+    }
+
+    #[test]
+    fn skips_a_step_never() {
+        // Even a huge stall yields Suspected first, Failed a tick later.
+        let mut m = m();
+        assert_eq!(m.tick(10_000 * MS), vec![(3, Health::Suspected), (7, Health::Suspected)]);
+        assert_eq!(m.tick(10_001 * MS), vec![(3, Health::Failed), (7, Health::Failed)]);
+    }
+}

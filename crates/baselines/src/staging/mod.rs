@@ -1,0 +1,150 @@
+//! A sharded, replicated staging tier over the DataSpaces comparator.
+//!
+//! The toy [`crate::dataspaces`] baseline routes every `(name, version)`
+//! key to exactly one home server — a single point of failure and a
+//! fan-in bottleneck. This module grows it into the service shape real
+//! staging deployments use (DataSpaces, ADIOS staging engines):
+//!
+//! * [`ring`] — a consistent-hash ring with virtual nodes maps each key
+//!   to `k` **distinct** shard ranks; adding or removing one shard moves
+//!   only the keys adjacent to it.
+//! * [`membership`] — a pure heartbeat state machine: a peer that misses
+//!   heartbeats degrades Healthy → Suspected → Failed; a Suspected peer
+//!   that is heard from again returns to Healthy without side effects.
+//! * [`replica`] — the shard serve loop and the client: puts replicate
+//!   to all `k` replicas, gets fan out via `call_many` and accept the
+//!   first *complete* reply, an incomplete replacement triggers read
+//!   repair from a complete one.
+//! * [`recovery`] — when heartbeats declare a shard Failed, the
+//!   surviving leader of each affected replica set re-replicates its
+//!   entries to the replacement shard that joined the set.
+//! * [`wire`] — the codec pairs for every frame, each with a round-trip
+//!   doctest (the PROTOCOL.md greppable-constants convention).
+//!
+//! Data model and completeness contract are inherited from the
+//! DataSpaces baseline: n-d arrays of fixed-size elements, and every
+//! producer contributes exactly one put per key, so a replica holding
+//! puts from all producers knows the version is complete.
+
+use std::time::Duration;
+
+pub mod membership;
+pub mod recovery;
+pub mod replica;
+pub mod ring;
+pub mod wire;
+
+pub use membership::{Health, Membership};
+pub use replica::{run_shard, StagingClient};
+pub use ring::{HashRing, RingError};
+
+/// Replicated put: `[key][producer u64][bbox][data]`, acked by the shard
+/// once the entry is indexed (idempotent — duplicates are dropped).
+pub const DS_RPUT: u32 = 0x20;
+/// Replicated get: `[key][query bbox][elem size u64]`; the reply carries
+/// a completeness flag plus the intersecting pieces.
+pub const DS_RGET: u32 = 0x21;
+/// Heartbeat datagram on the gossip lane (no body, never answered).
+pub const DS_PING: u32 = 0x22;
+/// Re-replication push (notification): full entries for one key, sent
+/// shard-to-shard during recovery or read repair.
+pub const DS_REREP: u32 = 0x23;
+/// Client shutdown call — sent by every producer and consumer after its
+/// last operation — deduplicated by caller rank so retries of a lost
+/// ack cannot double-count.
+pub const DS_RDONE: u32 = 0x24;
+/// Read-repair request (notification): "push your entries for this key
+/// to that shard" — sent by a client that saw a complete and an
+/// incomplete replica side by side after a failover.
+pub const DS_RSYNC: u32 = 0x25;
+
+/// Heartbeat cadence and the thresholds of the Healthy → Suspected →
+/// Failed escalation. All durations are measured on the `obsv::clock`
+/// virtual clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Gap between heartbeat datagrams to every peer shard. `ZERO`
+    /// disables heartbeats (and with them failure detection/recovery) —
+    /// deterministic tests use this to keep full control of the fault
+    /// timeline.
+    pub interval: Duration,
+    /// Silence after which a peer becomes Suspected. Must exceed
+    /// `interval`, or one lost datagram suspects a healthy peer.
+    pub suspect_after: Duration,
+    /// Silence after which a Suspected peer is declared Failed —
+    /// permanently; ranks do not come back in this fault model.
+    pub fail_after: Duration,
+}
+
+impl HeartbeatConfig {
+    /// Production-shaped defaults (tests override): ping every 10 ms,
+    /// suspect after 50 ms of silence, fail after 150 ms.
+    pub fn default_cadence() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(10),
+            suspect_after: Duration::from_millis(50),
+            fail_after: Duration::from_millis(150),
+        }
+    }
+
+    /// No heartbeats at all: shards never suspect or fail each other,
+    /// leaving clients' dead-peer detection as the only failover path.
+    pub fn disabled() -> Self {
+        HeartbeatConfig {
+            interval: Duration::ZERO,
+            suspect_after: Duration::MAX,
+            fail_after: Duration::MAX,
+        }
+    }
+}
+
+/// Static layout plus tuning of a staging deployment: which world ranks
+/// are shards, producers, and consumers, and how the tier replicates.
+#[derive(Debug, Clone)]
+pub struct StagingConfig {
+    /// World ranks running [`run_shard`].
+    pub servers: Vec<usize>,
+    /// World ranks that put (one put per key per producer); each must
+    /// call [`StagingClient::done`] after its last put.
+    pub producers: Vec<usize>,
+    /// World ranks that get; each must call [`StagingClient::done`]
+    /// after its last get.
+    pub consumers: Vec<usize>,
+    /// Replication factor `k`: each key lands on `min(k, |servers|)`
+    /// distinct shards.
+    pub replication: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Heartbeat cadence and failure thresholds.
+    pub hb: HeartbeatConfig,
+    /// Whether a Failed transition triggers shard-side re-replication
+    /// ([`recovery`]). Off, repair happens only via client read repair.
+    pub recovery: bool,
+}
+
+impl StagingConfig {
+    /// A deployment with the default replication (k = 2), 16 vnodes per
+    /// shard, default heartbeat cadence, and recovery enabled.
+    pub fn new(servers: Vec<usize>, producers: Vec<usize>, consumers: Vec<usize>) -> Self {
+        StagingConfig {
+            servers,
+            producers,
+            consumers,
+            replication: 2,
+            vnodes: 16,
+            hb: HeartbeatConfig::default_cadence(),
+            recovery: true,
+        }
+    }
+
+    /// The deployment's hash ring. Fails (typed, not a panic) on an
+    /// empty server list.
+    pub fn ring(&self) -> Result<HashRing, RingError> {
+        HashRing::new(&self.servers, self.vnodes)
+    }
+}
+
+/// Canonical storage key of a named, versioned array.
+pub fn staging_key(name: &str, version: u64) -> String {
+    format!("{name}@{version}")
+}

@@ -1,0 +1,58 @@
+//! Re-replication after a heartbeat-detected shard failure.
+//!
+//! When [`super::Membership`] declares a peer Failed, every key whose
+//! replica set contained the corpse is one copy short; the ring walk
+//! says exactly which shard joins each set as the replacement. For each
+//! such key, the **leader** — the first *surviving* member of the old
+//! replica set, a deterministic choice every survivor computes
+//! identically without coordination — pushes its full entries to the
+//! joiners. Pushes are `DS_REREP` notifications and inserts dedupe on
+//! `(producer, bbox)`, so overlap with client-triggered read repair is
+//! harmless: the copies converge, bytes are counted once per push in
+//! [`obsv::Ctr::ReRepBytes`].
+
+use simmpi::Comm;
+
+use diyblk::rpc::RpcClient;
+
+use crate::staging::replica::ShardStore;
+use crate::staging::ring::HashRing;
+use crate::staging::{wire, StagingConfig, DS_REREP};
+
+/// Push this shard's share of the dead rank's replica sets to the
+/// replacements. `failed_before` / `failed_now` are the failed sets
+/// excluding/including `dead`, so old and new replica sets resolve
+/// against the right epoch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rereplicate(
+    world: &Comm,
+    cfg: &StagingConfig,
+    ring: &HashRing,
+    store: &ShardStore,
+    me: usize,
+    dead: usize,
+    failed_before: &[usize],
+    failed_now: &[usize],
+) {
+    let rpc = RpcClient::new(world);
+    for key in store.keys() {
+        let old_set = ring.replicas_excluding(key, cfg.replication, failed_before);
+        if !old_set.contains(&dead) {
+            continue;
+        }
+        let leader = old_set.iter().copied().find(|s| !failed_now.contains(s));
+        if leader != Some(me) {
+            continue;
+        }
+        let entries = store.entries(key);
+        if entries.is_empty() {
+            continue;
+        }
+        let new_set = ring.replicas_excluding(key, cfg.replication, failed_now);
+        let push = wire::enc_rerep(key, entries);
+        for &joiner in new_set.iter().filter(|s| !old_set.contains(s)) {
+            obsv::counter_add(obsv::Ctr::ReRepBytes, push.len() as u64);
+            rpc.notify(joiner, DS_REREP, &push);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! The shard serve loop and the replicated put/get client.
+//!
+//! **Shard** ([`run_shard`]): a poll loop interleaving three duties —
+//! drain the gossip lane into [`Membership`], serve the request lane
+//! (puts, gets, repair pushes), and tick heartbeats/timers. Replies are
+//! always immediate: a get on an incomplete version answers
+//! `complete = false` instead of parking the caller, because a parked
+//! reply on a shard that then dies would strand the consumer. Every
+//! mutation is idempotent (puts dedupe on `(producer, bbox)`, dones
+//! dedupe on caller rank), so client retries are harmless.
+//!
+//! **Client** ([`StagingClient`]): puts fan out to all `k` replicas and
+//! wait for every ack; gets fan out and take the first complete reply
+//! in ring order. A dead shard fails its slot fast (`RpcError::
+//! PeerDead`), the client marks it failed, recomputes the replica set —
+//! the ring walk appends a deterministic replacement — and carries on.
+//! When a complete and an incomplete *replacement* replica answer side
+//! by side, the client triggers read repair: the complete shard pushes
+//! its entries to the replacement.
+//!
+//! Byte-identity under faults: a shard answers a get from its entries
+//! sorted by `(producer, bbox.lo)`, and workload regions are disjoint
+//! per producer, so any complete replica — original or repaired —
+//! assembles the identical reply. That invariant is what the chaos
+//! suite's before/after-kill comparisons lean on.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simmpi::Comm;
+
+use diyblk::rpc::{
+    gossip_poll, gossip_send, Call, RetryPolicy, RpcClient, RpcError, RpcServer, ServeOutcome,
+};
+use minih5::{BBox, H5Error, H5Result};
+
+use crate::boxes::local_offset;
+use crate::dataspaces::for_each_row;
+use crate::staging::membership::{Health, Membership};
+use crate::staging::ring::RingError;
+use crate::staging::{
+    recovery, staging_key, wire, StagingConfig, DS_PING, DS_RDONE, DS_REREP, DS_RGET, DS_RPUT,
+    DS_RSYNC,
+};
+
+/// Entries a shard holds for its keys: `(producer, bbox, data)`,
+/// deduplicated on `(producer, bbox)` so retried puts and overlapping
+/// repair pushes cannot double-insert.
+#[derive(Default)]
+pub(crate) struct ShardStore {
+    data: HashMap<String, Vec<(u64, BBox, Bytes)>>,
+}
+
+impl ShardStore {
+    /// Insert one entry; `false` means it was already present.
+    fn insert(&mut self, key: &str, producer: u64, bbox: BBox, data: Bytes) -> bool {
+        let entries = self.data.entry(key.to_string()).or_default();
+        if entries.iter().any(|(p, bb, _)| *p == producer && *bb == bbox) {
+            return false;
+        }
+        entries.push((producer, bbox, data));
+        true
+    }
+
+    /// Every entry held for `key` (empty for an unknown key).
+    pub(crate) fn entries(&self, key: &str) -> &[(u64, BBox, Bytes)] {
+        self.data.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The keys this shard holds anything for.
+    pub(crate) fn keys(&self) -> impl Iterator<Item = &String> {
+        self.data.keys()
+    }
+
+    /// Answer a get: completeness flag plus the pieces intersecting
+    /// `qbb`, **sorted by `(producer, bbox.lo)`** — the sort is the
+    /// byte-identity guarantee across replicas, whose insertion orders
+    /// differ under failover.
+    fn answer(&self, key: &str, qbb: &BBox, es: usize, expected_producers: usize) -> Bytes {
+        let entries = self.entries(key);
+        let mut producers: Vec<u64> = entries.iter().map(|(p, _, _)| *p).collect();
+        producers.sort_unstable();
+        producers.dedup();
+        let complete = producers.len() >= expected_producers;
+        let mut hits: Vec<&(u64, BBox, Bytes)> =
+            entries.iter().filter(|(_, bb, _)| bb.intersects(qbb)).collect();
+        hits.sort_by(|a, b| (a.0, &a.1.lo).cmp(&(b.0, &b.1.lo)));
+        let mut pieces: Vec<(BBox, Vec<u8>)> = Vec::with_capacity(hits.len());
+        for (_, bb, data) in hits {
+            let ibox = bb.intersect(qbb);
+            let mut body = Vec::with_capacity((ibox.npoints() as usize) * es);
+            for_each_row(&ibox, |row_start, row_len| {
+                let off = local_offset(bb, row_start) * es;
+                body.extend_from_slice(&data[off..off + row_len * es]);
+            });
+            pieces.push((ibox, body));
+        }
+        wire::enc_get_reply(complete, &pieces)
+    }
+}
+
+/// How many queued requests one loop iteration serves before giving the
+/// gossip lane and the timers another look.
+const SERVE_BURST: usize = 32;
+
+/// Run one staging shard until every client — producer and consumer —
+/// has called [`StagingClient::done`]. Producers count too: a producer
+/// can still be re-acking a put against a post-failover replica set
+/// after every consumer is already satisfied, and a shard that stopped
+/// at "all consumers done" would strand that put in retry limbo.
+pub fn run_shard(world: &Comm, cfg: &StagingConfig) {
+    let ring = cfg.ring().expect("staging shard needs a non-empty server list");
+    let me = world.rank();
+    let peers: Vec<usize> = cfg.servers.iter().copied().filter(|&s| s != me).collect();
+    let heartbeats_on = !cfg.hb.interval.is_zero();
+    let interval_ns = u64::try_from(cfg.hb.interval.as_nanos()).unwrap_or(u64::MAX);
+    let mut membership =
+        Membership::new(&peers, obsv::clock::now_ns(), cfg.hb.suspect_after, cfg.hb.fail_after);
+    let mut store = ShardStore::default();
+    let mut done_from: HashSet<usize> = HashSet::new();
+    let expected_done: HashSet<usize> =
+        cfg.producers.iter().chain(cfg.consumers.iter()).copied().collect();
+    let mut last_hb_ns = 0u64;
+    let server = RpcServer::new(world);
+    let rpc = RpcClient::new(world);
+    loop {
+        let mut idle = true;
+        // 1. Gossip lane first: liveness observations must not queue
+        // behind data traffic.
+        while let Some((src, method, _args)) = gossip_poll(world) {
+            idle = false;
+            if method == DS_PING {
+                membership.heard_from(src, obsv::clock::now_ns());
+            }
+        }
+        // 2. Heartbeats out.
+        let now_ns = obsv::clock::now_ns();
+        if heartbeats_on && now_ns.saturating_sub(last_hb_ns) >= interval_ns {
+            last_hb_ns = now_ns;
+            for &p in &peers {
+                if membership.health(p) != Some(Health::Failed) {
+                    gossip_send(world, p, DS_PING, &[]);
+                }
+            }
+        }
+        // 3. Timers: escalate silent peers, kick off recovery on Failed.
+        for (rank, health) in membership.tick(now_ns) {
+            match health {
+                Health::Suspected => obsv::counter_add(obsv::Ctr::StagingSuspects, 1),
+                Health::Failed => {
+                    obsv::counter_add(obsv::Ctr::FailoversDetected, 1);
+                    if cfg.recovery {
+                        let failed_now = membership.failed();
+                        let failed_before: Vec<usize> =
+                            failed_now.iter().copied().filter(|&r| r != rank).collect();
+                        recovery::rereplicate(
+                            world,
+                            cfg,
+                            &ring,
+                            &store,
+                            me,
+                            rank,
+                            &failed_before,
+                            &failed_now,
+                        );
+                    }
+                }
+                Health::Healthy => {}
+            }
+        }
+        // 4. Request lane: a bounded burst, then back to the top.
+        let mut stopped = false;
+        for _ in 0..SERVE_BURST {
+            let polled = server.poll(|caller, method, args| match method {
+                DS_RPUT => {
+                    let (key, producer, bbox, data) = wire::dec_put(&args).expect("put frame");
+                    if store.insert(&key, producer, bbox, data) {
+                        obsv::counter_add(obsv::Ctr::ReplicaPuts, 1);
+                    }
+                    ServeOutcome::Reply(Bytes::new())
+                }
+                DS_RGET => {
+                    let (key, qbox, es) = wire::dec_get(&args).expect("get frame");
+                    ServeOutcome::Reply(store.answer(&key, &qbox, es, cfg.producers.len()))
+                }
+                DS_REREP => {
+                    let (key, entries) = wire::dec_rerep(&args).expect("rerep frame");
+                    for (producer, bbox, data) in entries {
+                        if store.insert(&key, producer, bbox, data) {
+                            obsv::counter_add(obsv::Ctr::ReplicaPuts, 1);
+                        }
+                    }
+                    ServeOutcome::Continue
+                }
+                DS_RSYNC => {
+                    let (key, target) = wire::dec_sync(&args).expect("sync frame");
+                    obsv::counter_add(obsv::Ctr::ReadRepairs, 1);
+                    let entries = store.entries(&key);
+                    if !entries.is_empty() {
+                        let push = wire::enc_rerep(&key, entries);
+                        obsv::counter_add(obsv::Ctr::ReRepBytes, push.len() as u64);
+                        rpc.notify(target, DS_REREP, &push);
+                    }
+                    ServeOutcome::Continue
+                }
+                DS_RDONE => {
+                    done_from.insert(caller.rank);
+                    if expected_done.is_subset(&done_from) {
+                        ServeOutcome::Stop(Some(Bytes::new()))
+                    } else {
+                        ServeOutcome::Reply(Bytes::new())
+                    }
+                }
+                m => panic!("unknown staging method {m:#x}"),
+            });
+            match polled {
+                Some(true) => {
+                    stopped = true;
+                    break;
+                }
+                Some(false) => idle = false,
+                None => break,
+            }
+        }
+        if stopped {
+            return;
+        }
+        if idle {
+            // Nothing moved this iteration; don't spin a core. Short
+            // enough that a 10 ms heartbeat cadence stays honest.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Producer/consumer client of the replicated tier.
+pub struct StagingClient {
+    world: Comm,
+    cfg: StagingConfig,
+    ring: crate::staging::HashRing,
+    /// Shards this client has seen die (`RpcError::PeerDead`). Failure
+    /// knowledge is per-client — there is no global oracle — and the
+    /// ring walk turns the same failed-set into the same replica set on
+    /// every client.
+    failed: Mutex<Vec<usize>>,
+}
+
+/// Bounded rounds of put fan-out (each round re-resolves the replica
+/// set against the latest failure knowledge).
+const PUT_ROUNDS: usize = 64;
+/// Bounded rounds of get fan-out. Gets also wait out version
+/// completeness (a consumer may race the producers), so the bound is
+/// generous; each incomplete round costs only a fast reply plus a short
+/// sleep.
+const GET_ROUNDS: usize = 800;
+
+impl StagingClient {
+    /// Build a client; fails (typed) on an empty server list.
+    pub fn new(world: Comm, cfg: StagingConfig) -> Result<Self, RingError> {
+        let ring = cfg.ring()?;
+        Ok(StagingClient { world, cfg, ring, failed: Mutex::default() })
+    }
+
+    /// Per-attempt policy of every data call: bounded, with backoff, so
+    /// a dropped frame (fault injection) is retried and a slow shard is
+    /// not mistaken for a dead one.
+    fn policy() -> RetryPolicy {
+        RetryPolicy::new(5, Duration::from_millis(150)).with_backoff(Duration::from_millis(2))
+    }
+
+    fn mark_failed(&self, rank: usize) {
+        let mut f = self.failed.lock();
+        if !f.contains(&rank) {
+            f.push(rank);
+            obsv::counter_add(obsv::Ctr::FailoversDetected, 1);
+        }
+    }
+
+    /// Replicate one region to every replica of `(name, version)`.
+    /// Returns once **all** current replicas acked — the completeness
+    /// gets rely on: after a successful put, any surviving replica can
+    /// reach completeness without this producer.
+    pub fn put(&self, name: &str, version: u64, bbox: BBox, data: Bytes) -> H5Result<()> {
+        let key = staging_key(name, version);
+        let args = wire::enc_put(&key, self.world.rank() as u64, &bbox, &data);
+        let rpc = RpcClient::new(&self.world);
+        let mut acked: Vec<usize> = Vec::new();
+        for _ in 0..PUT_ROUNDS {
+            let failed = self.failed.lock().clone();
+            let set = self.ring.replicas_excluding(&key, self.cfg.replication, &failed);
+            if set.is_empty() {
+                return Err(H5Error::PeerUnavailable(format!("staging put {key}: no live shards")));
+            }
+            let pending: Vec<usize> = set.iter().copied().filter(|s| !acked.contains(s)).collect();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let calls: Vec<Call> =
+                pending.iter().map(|&s| Call::new(s, DS_RPUT, args.clone())).collect();
+            for (i, r) in
+                rpc.call_many_collect(&calls, Some(Self::policy())).into_iter().enumerate()
+            {
+                match r {
+                    Ok(_) => acked.push(pending[i]),
+                    Err(RpcError::PeerDead) => self.mark_failed(pending[i]),
+                    Err(RpcError::TimedOut) => {}
+                }
+            }
+        }
+        Err(H5Error::PeerUnavailable(format!("staging put {key}: replicas unreachable")))
+    }
+
+    /// Fetch the elements of `qbox` (row-major packed, `es` bytes per
+    /// element), surviving shard deaths mid-query: the fan-out covers
+    /// all replicas, the first *complete* reply in ring order wins, and
+    /// an incomplete replacement triggers read repair for the next
+    /// reader.
+    pub fn get(&self, name: &str, version: u64, qbox: &BBox, es: usize) -> H5Result<Vec<u8>> {
+        let key = staging_key(name, version);
+        let args = wire::enc_get(&key, qbox, es);
+        let rpc = RpcClient::new(&self.world);
+        // The failure-free replica set: a member answering "incomplete"
+        // is just racing the producers' puts and will complete on its
+        // own; only a *replacement* (joined after a failover) needs
+        // repair to ever complete.
+        let original = self.ring.replicas(&key, self.cfg.replication);
+        let mut synced: Vec<usize> = Vec::new();
+        for _ in 0..GET_ROUNDS {
+            let failed = self.failed.lock().clone();
+            let set = self.ring.replicas_excluding(&key, self.cfg.replication, &failed);
+            if set.is_empty() {
+                return Err(H5Error::PeerUnavailable(format!("staging get {key}: no live shards")));
+            }
+            let calls: Vec<Call> =
+                set.iter().map(|&s| Call::new(s, DS_RGET, args.clone())).collect();
+            let results = rpc.call_many_collect(&calls, Some(Self::policy()));
+            let mut newly_failed = false;
+            let mut decoded: Vec<Option<wire::GetReply>> = Vec::with_capacity(set.len());
+            for (i, r) in results.into_iter().enumerate() {
+                match r {
+                    Ok(reply) => decoded.push(Some(wire::dec_get_reply(&reply)?)),
+                    Err(RpcError::PeerDead) => {
+                        self.mark_failed(set[i]);
+                        newly_failed = true;
+                        decoded.push(None);
+                    }
+                    Err(RpcError::TimedOut) => decoded.push(None),
+                }
+            }
+            if let Some(best) = decoded.iter().position(|d| matches!(d, Some((true, _)))) {
+                for (i, d) in decoded.iter().enumerate() {
+                    if matches!(d, Some((false, _)))
+                        && !original.contains(&set[i])
+                        && !synced.contains(&set[i])
+                    {
+                        synced.push(set[i]);
+                        rpc.notify(set[best], DS_RSYNC, &wire::enc_sync(&key, set[i]));
+                    }
+                }
+                let (_, pieces) = decoded.swap_remove(best).expect("matched Some above");
+                return Ok(scatter(qbox, es, pieces));
+            }
+            if !newly_failed {
+                // No replica is complete yet (producers still putting,
+                // or a repair is in flight): give the tier a moment.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        Err(H5Error::PeerUnavailable(format!("staging get {key}: no complete replica")))
+    }
+
+    /// Release the shards; **every** client — producer and consumer —
+    /// must call this once its last put or get returned. Sent as a
+    /// *call* (not a notification) with retries, so fault injection
+    /// cannot silently eat the shutdown; shards dedupe on caller rank,
+    /// so a retried done never double-counts. Dead shards are skipped
+    /// or fail fast — both fine.
+    pub fn done(&self) {
+        let rpc = RpcClient::new(&self.world);
+        let failed = self.failed.lock().clone();
+        let policy =
+            RetryPolicy::new(10, Duration::from_millis(150)).with_backoff(Duration::from_millis(2));
+        for &s in &self.cfg.servers {
+            if failed.contains(&s) {
+                continue;
+            }
+            let _ = rpc.call_retry(s, DS_RDONE, &[], policy);
+        }
+    }
+}
+
+/// Scatter reply pieces into a row-major packed buffer covering `qbox`.
+fn scatter(qbox: &BBox, es: usize, pieces: Vec<(BBox, Vec<u8>)>) -> Vec<u8> {
+    let mut out = vec![0u8; (qbox.npoints() as usize) * es];
+    for (ibox, body) in pieces {
+        let mut p = 0usize;
+        for_each_row(&ibox, |row_start, row_len| {
+            let off = local_offset(qbox, row_start) * es;
+            out[off..off + row_len * es].copy_from_slice(&body[p..p + row_len * es]);
+            p += row_len * es;
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::BoxCoords;
+    use simmpi::{TaskSpec, TaskWorld};
+
+    fn cfg_from(tc: &simmpi::TaskComm, k: usize) -> StagingConfig {
+        let mut cfg = StagingConfig::new(
+            (0..tc.task_size(1)).map(|r| tc.world_rank_of(1, r)).collect(),
+            (0..tc.task_size(0)).map(|r| tc.world_rank_of(0, r)).collect(),
+            (0..tc.task_size(2)).map(|r| tc.world_rank_of(2, r)).collect(),
+        );
+        cfg.replication = k;
+        cfg
+    }
+
+    /// 2 producers (row halves) + 4 shards (k = 2) + 2 consumers
+    /// (column halves) on a 2-d grid of u64 — the replicated analogue of
+    /// the DataSpaces round-trip test.
+    #[test]
+    fn replicated_put_get_roundtrip() {
+        const N: u64 = 8;
+        let specs =
+            [TaskSpec::new("prod", 2), TaskSpec::new("staging", 4), TaskSpec::new("cons", 2)];
+        TaskWorld::run(&specs, |tc| {
+            let cfg = cfg_from(&tc, 2);
+            match tc.task_id {
+                0 => {
+                    let client = StagingClient::new(tc.world.clone(), cfg).unwrap();
+                    let r = tc.local.rank() as u64;
+                    let bb = BBox::new(vec![r * 4, 0], vec![r * 4 + 4, N]);
+                    let data: Vec<u8> =
+                        BoxCoords::new(&bb).flat_map(|c| (c[0] * N + c[1]).to_le_bytes()).collect();
+                    client.put("grid", 0, bb, data.into()).unwrap();
+                    client.done();
+                }
+                1 => run_shard(&tc.world, &cfg),
+                _ => {
+                    let client = StagingClient::new(tc.world.clone(), cfg).unwrap();
+                    let r = tc.local.rank() as u64;
+                    let qbox = BBox::new(vec![0, r * 4], vec![N, r * 4 + 4]);
+                    let got = client.get("grid", 0, &qbox, 8).unwrap();
+                    for (i, c) in BoxCoords::new(&qbox).enumerate() {
+                        let v = u64::from_le_bytes(got[i * 8..i * 8 + 8].try_into().unwrap());
+                        assert_eq!(v, c[0] * N + c[1]);
+                    }
+                    client.done();
+                }
+            }
+        });
+    }
+
+    /// Names and versions stay distinct across the sharded tier, and a
+    /// query outside every put returns zeros.
+    #[test]
+    fn versions_names_and_misses() {
+        let specs =
+            [TaskSpec::new("prod", 1), TaskSpec::new("staging", 3), TaskSpec::new("cons", 1)];
+        TaskWorld::run(&specs, |tc| {
+            let cfg = cfg_from(&tc, 2);
+            match tc.task_id {
+                0 => {
+                    let client = StagingClient::new(tc.world.clone(), cfg).unwrap();
+                    let bb = BBox::new(vec![0], vec![4]);
+                    for ver in 0..3u64 {
+                        let data: Vec<u8> =
+                            (0..4u64).flat_map(|i| (i + 100 * ver).to_le_bytes()).collect();
+                        client.put("x", ver, bb.clone(), data.into()).unwrap();
+                    }
+                    let other: Vec<u8> = (0..4u64).flat_map(|i| (i + 7).to_le_bytes()).collect();
+                    client.put("y", 0, bb.clone(), other.into()).unwrap();
+                    client.done();
+                }
+                1 => run_shard(&tc.world, &cfg),
+                _ => {
+                    let client = StagingClient::new(tc.world.clone(), cfg).unwrap();
+                    let bb = BBox::new(vec![0], vec![4]);
+                    for ver in [2u64, 0, 1] {
+                        let got = client.get("x", ver, &bb, 8).unwrap();
+                        assert_eq!(u64::from_le_bytes(got[0..8].try_into().unwrap()), 100 * ver);
+                    }
+                    let goty = client.get("y", 0, &bb, 8).unwrap();
+                    assert_eq!(u64::from_le_bytes(goty[0..8].try_into().unwrap()), 7);
+                    let miss = client.get("x", 0, &BBox::new(vec![10], vec![12]), 8).unwrap();
+                    assert!(miss.iter().all(|&b| b == 0));
+                    client.done();
+                }
+            }
+        });
+    }
+
+    /// An empty server list is a typed error end to end.
+    #[test]
+    fn empty_tier_is_a_typed_error() {
+        TaskWorld::run(&[TaskSpec::new("solo", 1)], |tc| {
+            let cfg = StagingConfig::new(vec![], vec![0], vec![0]);
+            assert_eq!(StagingClient::new(tc.world.clone(), cfg).err(), Some(RingError::EmptyRing));
+        });
+    }
+
+    /// Shard store answers are sorted and deduplicated regardless of
+    /// insertion order — the byte-identity invariant, unit-scale.
+    #[test]
+    fn store_answers_are_order_independent() {
+        let bb0 = BBox::new(vec![0], vec![4]);
+        let bb1 = BBox::new(vec![4], vec![8]);
+        let d0 = Bytes::from_static(&[1, 2, 3, 4]);
+        let d1 = Bytes::from_static(&[5, 6, 7, 8]);
+        let q = BBox::new(vec![0], vec![8]);
+
+        let mut a = ShardStore::default();
+        assert!(a.insert("k", 0, bb0.clone(), d0.clone()));
+        assert!(a.insert("k", 1, bb1.clone(), d1.clone()));
+        assert!(!a.insert("k", 1, bb1.clone(), d1.clone()), "duplicate rejected");
+
+        let mut b = ShardStore::default();
+        assert!(b.insert("k", 1, bb1, d1));
+        assert!(b.insert("k", 0, bb0, d0));
+
+        assert_eq!(a.answer("k", &q, 1, 2), b.answer("k", &q, 1, 2));
+        let (complete, pieces) = wire::dec_get_reply(&a.answer("k", &q, 1, 2)).unwrap();
+        assert!(complete);
+        assert_eq!(pieces.len(), 2);
+        let (incomplete, _) = wire::dec_get_reply(&a.answer("k", &q, 1, 3)).unwrap();
+        assert!(!incomplete, "a third producer has not put yet");
+    }
+}

@@ -1,0 +1,194 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Each shard owns `vnodes` points on a 64-bit circle; a key hashes to a
+//! point and its replica set is the next `k` **distinct** shards walking
+//! clockwise from there. Virtual nodes smooth the load (a shard's share
+//! of the keyspace concentrates toward `1/n` as vnodes grow) and — the
+//! property replication leans on — give every key a *different* replica
+//! ordering, so a shard failure spreads its keys' repairs over all
+//! survivors instead of dumping them on one neighbor.
+
+use std::fmt;
+
+/// Typed failure of ring construction — the empty-server-list case that
+/// used to be a modulo-by-zero panic in `DsConfig::home_server`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// No servers to hash onto.
+    EmptyRing,
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::EmptyRing => write!(f, "consistent-hash ring has no servers"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+impl From<RingError> for minih5::H5Error {
+    fn from(e: RingError) -> Self {
+        minih5::H5Error::Vol(e.to_string())
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation. FNV-1a
+/// alone clusters nearby inputs; one finalizer pass scatters them over
+/// the whole circle.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The ring: a sorted list of `(point, shard rank)` pairs.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    nservers: usize,
+}
+
+impl HashRing {
+    /// Place `vnodes` points per server (at least one). The point layout
+    /// is a pure function of the server ranks, so every participant —
+    /// shard, producer, consumer — computes the identical ring.
+    pub fn new(servers: &[usize], vnodes: usize) -> Result<Self, RingError> {
+        if servers.is_empty() {
+            return Err(RingError::EmptyRing);
+        }
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(servers.len() * vnodes);
+        for &s in servers {
+            for v in 0..vnodes {
+                points.push((splitmix64(((s as u64) << 20) ^ v as u64), s));
+            }
+        }
+        // Sort by point, rank as tiebreak: collisions (astronomically
+        // rare) still order deterministically on every participant.
+        points.sort_unstable();
+        Ok(HashRing { points, nservers: servers.len() })
+    }
+
+    /// Number of distinct servers on the ring.
+    pub fn num_servers(&self) -> usize {
+        self.nservers
+    }
+
+    /// Where `key` lands on the circle.
+    fn key_point(key: &str) -> u64 {
+        splitmix64(fnv1a(key.as_bytes()))
+    }
+
+    /// The first replica of `key` — the successor shard of its point.
+    pub fn primary(&self, key: &str) -> usize {
+        self.replicas(key, 1)[0]
+    }
+
+    /// The `min(k, servers)` distinct shards holding `key`, in ring
+    /// (preference) order.
+    pub fn replicas(&self, key: &str, k: usize) -> Vec<usize> {
+        self.replicas_excluding(key, k, &[])
+    }
+
+    /// As [`HashRing::replicas`], skipping the shards in `excluded`
+    /// (known dead): the walk continues clockwise, so replacements join
+    /// the set in the same deterministic order on every client.
+    pub fn replicas_excluding(&self, key: &str, k: usize, excluded: &[usize]) -> Vec<usize> {
+        let h = Self::key_point(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out = Vec::new();
+        for i in 0..self.points.len() {
+            let (_, s) = self.points[(start + i) % self.points.len()];
+            if excluded.contains(&s) || out.contains(&s) {
+                continue;
+            }
+            out.push(s);
+            if out.len() == k {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_server_list_is_a_typed_error() {
+        assert_eq!(HashRing::new(&[], 8).unwrap_err(), RingError::EmptyRing);
+    }
+
+    #[test]
+    fn single_server_degenerates_cleanly() {
+        let ring = HashRing::new(&[7], 16).unwrap();
+        for key in ["a@0", "b@1", "grid@9"] {
+            assert_eq!(ring.primary(key), 7);
+            assert_eq!(ring.replicas(key, 3), vec![7], "k clamps to the server count");
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_prefix_stable() {
+        let servers = [2, 5, 9, 11, 14];
+        let ring = HashRing::new(&servers, 16).unwrap();
+        for v in 0..50u64 {
+            let key = format!("grid@{v}");
+            let r3 = ring.replicas(&key, 3);
+            assert_eq!(r3.len(), 3);
+            let mut uniq = r3.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas must be distinct shards: {r3:?}");
+            // k-prefix property: the k-set is a prefix of the (k+1)-set.
+            let r4 = ring.replicas(&key, 4);
+            assert_eq!(&r4[..3], &r3[..]);
+            assert!(r3.iter().all(|s| servers.contains(s)));
+        }
+    }
+
+    #[test]
+    fn exclusion_removes_only_the_dead_and_preserves_order() {
+        let ring = HashRing::new(&[0, 1, 2, 3, 4], 16).unwrap();
+        for v in 0..50u64 {
+            let key = format!("k@{v}");
+            let full = ring.replicas(&key, 5);
+            let dead = full[1];
+            let alive = ring.replicas_excluding(&key, 4, &[dead]);
+            assert!(!alive.contains(&dead));
+            // Survivors keep their relative ring order; the replacement
+            // appends where the walk finds it.
+            let expect: Vec<usize> = full.iter().copied().filter(|&s| s != dead).collect();
+            assert_eq!(alive, expect[..4].to_vec());
+        }
+    }
+
+    #[test]
+    fn load_spreads_over_vnodes() {
+        let servers: Vec<usize> = (0..4).collect();
+        let ring = HashRing::new(&servers, 64).unwrap();
+        let mut counts = [0usize; 4];
+        for v in 0..4000u64 {
+            counts[ring.primary(&format!("key-{v}"))] += 1;
+        }
+        // With 64 vnodes each shard should own a reasonable share —
+        // loose bounds, this is a smoke test of the placement, not a
+        // statistics assertion.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 400 && c < 2200, "server {s} owns {c} of 4000 keys: {counts:?}");
+        }
+    }
+}

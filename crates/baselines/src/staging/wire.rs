@@ -1,0 +1,172 @@
+//! Codec pairs for the staging tier's frames.
+//!
+//! Every `enc_*`/`dec_*` pair round-trips and carries a doctest proving
+//! it — the same convention `lowfive::protocol` uses, so `docs/
+//! PROTOCOL.md` stays greppable against the code. Method ids live in
+//! [`crate::staging`] (`DS_RPUT` …); these functions encode only the
+//! argument bytes that follow the RPC header.
+
+use bytes::Bytes;
+use minih5::codec::{Reader, Writer};
+use minih5::{BBox, H5Result};
+
+/// One intersecting piece of a get reply: the intersection box and its
+/// row-major packed bytes.
+pub type GetPiece = (BBox, Vec<u8>);
+/// Decoded get reply: the completeness flag plus the pieces.
+pub type GetReply = (bool, Vec<GetPiece>);
+/// One full stored entry on the wire: `(producer, bbox, data)`.
+pub type RerepEntry = (u64, BBox, Bytes);
+
+/// Encode a replicated put: `[key][producer u64][bbox][data]`.
+///
+/// ```
+/// use baselines::staging::wire::{enc_put, dec_put};
+/// use minih5::BBox;
+/// let bb = BBox::new(vec![0, 4], vec![2, 8]);
+/// let (key, producer, bb2, data) = dec_put(&enc_put("grid@0", 3, &bb, b"abcd")).unwrap();
+/// assert_eq!((key.as_str(), producer, bb2, &data[..]), ("grid@0", 3, bb, &b"abcd"[..]));
+/// ```
+pub fn enc_put(key: &str, producer: u64, bbox: &BBox, data: &[u8]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(key);
+    w.put_u64(producer);
+    w.put(bbox);
+    w.put_bytes(data);
+    w.finish()
+}
+
+/// Decode a replicated put.
+pub fn dec_put(args: &[u8]) -> H5Result<(String, u64, BBox, Bytes)> {
+    let mut r = Reader::new(args);
+    let key = r.get_str()?;
+    let producer = r.get_u64()?;
+    let bbox: BBox = r.get()?;
+    let data = Bytes::copy_from_slice(r.get_bytes()?);
+    Ok((key, producer, bbox, data))
+}
+
+/// Encode a replicated get: `[key][query bbox][elem size u64]`.
+///
+/// ```
+/// use baselines::staging::wire::{enc_get, dec_get};
+/// use minih5::BBox;
+/// let qbb = BBox::new(vec![1], vec![5]);
+/// let (key, qbb2, es) = dec_get(&enc_get("grid@2", &qbb, 8)).unwrap();
+/// assert_eq!((key.as_str(), qbb2, es), ("grid@2", qbb, 8));
+/// ```
+pub fn enc_get(key: &str, qbox: &BBox, es: usize) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(key);
+    w.put(qbox);
+    w.put_u64(es as u64);
+    w.finish()
+}
+
+/// Decode a replicated get.
+pub fn dec_get(args: &[u8]) -> H5Result<(String, BBox, usize)> {
+    let mut r = Reader::new(args);
+    let key = r.get_str()?;
+    let qbox: BBox = r.get()?;
+    let es = r.get_u64()? as usize;
+    Ok((key, qbox, es))
+}
+
+/// Encode a get reply: `[complete u8][n u64]` then `n` × `[ibox][bytes]`.
+/// `complete` says the shard holds puts from *every* producer for the
+/// key; an incomplete reply is advisory — the client keeps looking.
+///
+/// ```
+/// use baselines::staging::wire::{enc_get_reply, dec_get_reply};
+/// use minih5::BBox;
+/// let pieces = vec![(BBox::new(vec![0], vec![2]), vec![1u8, 2])];
+/// let (complete, back) = dec_get_reply(&enc_get_reply(true, &pieces)).unwrap();
+/// assert!(complete);
+/// assert_eq!(back, pieces);
+/// ```
+pub fn enc_get_reply(complete: bool, pieces: &[GetPiece]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u8(u8::from(complete));
+    w.put_u64(pieces.len() as u64);
+    for (ibox, body) in pieces {
+        w.put(ibox);
+        w.put_bytes(body);
+    }
+    w.finish()
+}
+
+/// Decode a get reply.
+pub fn dec_get_reply(reply: &[u8]) -> H5Result<GetReply> {
+    let mut r = Reader::new(reply);
+    let complete = r.get_u8()? != 0;
+    let n = r.get_u64()? as usize;
+    let mut pieces = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ibox: BBox = r.get()?;
+        let body = r.get_bytes()?.to_vec();
+        pieces.push((ibox, body));
+    }
+    Ok((complete, pieces))
+}
+
+/// Encode a re-replication push: `[key][n u64]` then `n` ×
+/// `[producer u64][bbox][data]` — *full* entries, not query pieces, so
+/// the receiving shard becomes a first-class replica.
+///
+/// ```
+/// use baselines::staging::wire::{enc_rerep, dec_rerep};
+/// use bytes::Bytes;
+/// use minih5::BBox;
+/// let entries = vec![(1u64, BBox::new(vec![0], vec![2]), Bytes::from_static(b"xy"))];
+/// let (key, back) = dec_rerep(&enc_rerep("grid@0", &entries)).unwrap();
+/// assert_eq!((key.as_str(), back), ("grid@0", entries));
+/// ```
+pub fn enc_rerep(key: &str, entries: &[RerepEntry]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(key);
+    w.put_u64(entries.len() as u64);
+    for (producer, bbox, data) in entries {
+        w.put_u64(*producer);
+        w.put(bbox);
+        w.put_bytes(data);
+    }
+    w.finish()
+}
+
+/// Decode a re-replication push.
+pub fn dec_rerep(args: &[u8]) -> H5Result<(String, Vec<RerepEntry>)> {
+    let mut r = Reader::new(args);
+    let key = r.get_str()?;
+    let n = r.get_u64()? as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let producer = r.get_u64()?;
+        let bbox: BBox = r.get()?;
+        let data = Bytes::copy_from_slice(r.get_bytes()?);
+        entries.push((producer, bbox, data));
+    }
+    Ok((key, entries))
+}
+
+/// Encode a read-repair request: `[key][target rank u64]` — "push your
+/// entries for `key` to `target`".
+///
+/// ```
+/// use baselines::staging::wire::{enc_sync, dec_sync};
+/// let (key, target) = dec_sync(&enc_sync("grid@1", 9)).unwrap();
+/// assert_eq!((key.as_str(), target), ("grid@1", 9));
+/// ```
+pub fn enc_sync(key: &str, target: usize) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(key);
+    w.put_u64(target as u64);
+    w.finish()
+}
+
+/// Decode a read-repair request.
+pub fn dec_sync(args: &[u8]) -> H5Result<(String, usize)> {
+    let mut r = Reader::new(args);
+    let key = r.get_str()?;
+    let target = r.get_u64()? as usize;
+    Ok((key, target))
+}

@@ -30,10 +30,10 @@ fn run(staged: bool) {
                 let bb = BBox::new(vec![r * N / 2, 0], vec![(r + 1) * N / 2, N]);
                 let data = grid_bytes(&bb);
                 if staged {
-                    client.put_staged("g", 0, bb, data.into());
+                    client.put_staged("g", 0, bb, data.into()).unwrap();
                     // No serving: producer is free immediately.
                 } else {
-                    client.put_local("g", 0, bb, data.into());
+                    client.put_local("g", 0, bb, data.into()).unwrap();
                     client.serve_local();
                 }
             }

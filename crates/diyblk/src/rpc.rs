@@ -69,6 +69,11 @@ use simmpi::{Comm, Payload, RecvError, SrcSel, ANY_SOURCE};
 /// range; chosen high to stay clear of application traffic).
 const TAG_REQUEST: u32 = 0x7F00_0001;
 const TAG_REPLY: u32 = 0x7F00_0002;
+/// Gossip lane: unacknowledged control datagrams (heartbeats, membership
+/// rumors) on their own tag, so liveness traffic is never queued behind —
+/// and never competes with — request/reply data frames on `TAG_REQUEST`.
+/// See `gossip_send` / `gossip_poll`.
+const TAG_GOSSIP: u32 = 0x7F00_0003;
 
 /// Call id of a notification: no reply is ever sent for it.
 const NOTIFY_ID: u64 = 0;
@@ -288,6 +293,31 @@ pub fn send_reply_parts(comm: &Comm, caller: Caller, reply: Payload) {
     if caller.call_id != NOTIFY_ID {
         comm.send_parts(caller.rank, TAG_REPLY, encode_reply_parts(caller.call_id, reply));
     }
+}
+
+/// Send a control datagram on the **gossip lane**: `[method u32][args]`,
+/// no call id, no reply, no retry. Gossip frames ride `TAG_GOSSIP` — a
+/// flow of their own — so a fault plan's once-per-flow drop can eat one
+/// heartbeat without touching the request/reply lane, and a serve loop
+/// busy with data frames never delays liveness traffic behind them.
+/// Exactly the semantics a heartbeat protocol wants: best-effort, lossy,
+/// cheap.
+pub fn gossip_send(comm: &Comm, dest: usize, method: u32, args: &[u8]) {
+    obsv::counter_add(obsv::Ctr::HeartbeatsSent, 1);
+    let mut b = BytesMut::with_capacity(4 + args.len());
+    b.put_u32_le(method);
+    b.put_slice(args);
+    comm.send(dest, TAG_GOSSIP, b.freeze());
+}
+
+/// Drain one pending gossip datagram without blocking, returning
+/// `(sender rank, method, args)`. Poll-loop servers call this each
+/// iteration, ahead of the request lane, so membership observations stay
+/// fresh even while the shard is saturated with data traffic.
+pub fn gossip_poll(comm: &Comm) -> Option<(usize, u32, Bytes)> {
+    let env = comm.try_recv(ANY_SOURCE, TAG_GOSSIP.into())?;
+    let method = u32::from_le_bytes(env.payload[..4].try_into().expect("4-byte gossip method"));
+    Some((env.src, method, env.payload.slice(4..)))
 }
 
 /// Client side: blocking calls and notifications to server ranks.

@@ -194,9 +194,29 @@ pub enum Ctr {
     /// shallow (zero-copy) serve path must keep this at **zero** — the
     /// fig5 deep-vs-shallow A/B asserts it.
     BytesCopied,
+    /// Replica registrations accepted by staging shards (one per put
+    /// landed on one replica, re-replicated entries excluded).
+    ReplicaPuts,
+    /// Read-repair pushes executed by staging shards: a client observed a
+    /// live replica answering incomplete next to a complete one and asked
+    /// the complete replica to sync it.
+    ReadRepairs,
+    /// Staging-server failures detected and routed around — by a client
+    /// (a fan-out slot failed `PeerDead` and the replica set was
+    /// recomputed) or by a peer shard (missed-heartbeat `Failed`
+    /// transition).
+    FailoversDetected,
+    /// Dataset bytes pushed by survivors re-replicating entries that lost
+    /// a replica to a failed shard.
+    ReRepBytes,
+    /// Heartbeat datagrams sent on the gossip lane.
+    HeartbeatsSent,
+    /// Healthy→Suspected membership transitions (a peer's heartbeats went
+    /// quiet past the suspect threshold; benign if it recovers).
+    StagingSuspects,
 }
 
-pub const NUM_CTRS: usize = 23;
+pub const NUM_CTRS: usize = 29;
 
 impl Ctr {
     pub const ALL: [Ctr; NUM_CTRS] = [
@@ -223,6 +243,12 @@ impl Ctr {
         Ctr::FetchCacheHits,
         Ctr::FetchCacheMisses,
         Ctr::BytesCopied,
+        Ctr::ReplicaPuts,
+        Ctr::ReadRepairs,
+        Ctr::FailoversDetected,
+        Ctr::ReRepBytes,
+        Ctr::HeartbeatsSent,
+        Ctr::StagingSuspects,
     ];
 
     pub fn name(self) -> &'static str {
@@ -250,6 +276,12 @@ impl Ctr {
             Ctr::FetchCacheHits => "fetch_cache_hits",
             Ctr::FetchCacheMisses => "fetch_cache_misses",
             Ctr::BytesCopied => "bytes_copied",
+            Ctr::ReplicaPuts => "replica_puts",
+            Ctr::ReadRepairs => "read_repairs",
+            Ctr::FailoversDetected => "failovers_detected",
+            Ctr::ReRepBytes => "rerep_bytes",
+            Ctr::HeartbeatsSent => "heartbeats_sent",
+            Ctr::StagingSuspects => "staging_suspects",
         }
     }
 }

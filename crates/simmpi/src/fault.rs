@@ -24,10 +24,16 @@
 //!   trouble that the RPC layer's timeouts, call ids, and bounded retry
 //!   are expected to absorb.
 //! * **kill** unwinds the rank's thread with a [`RankKilled`] panic
-//!   payload the moment it attempts its Nth send; use
+//!   payload the moment it attempts its Nth **user-tag** send; use
 //!   [`crate::WorldBuilder::run_chaos`] to catch the death, mark the rank
 //!   dead for [`crate::Comm::recv_timeout`] callers, and keep the
-//!   surviving ranks running.
+//!   surviving ranks running. Collective-internal sends don't advance
+//!   the kill counter: setup collectives (communicator splits, context
+//!   allocation) would otherwise shift every kill point by an
+//!   algorithm-dependent amount, and a rank dying mid-collective takes
+//!   the whole job down rather than exercising any recovery path. To
+//!   place a kill, count the protocol messages the victim sends —
+//!   e.g. one RPC reply per request served.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,8 +45,9 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::envelope::{split_wire_tag, WireTag};
 
-/// Kill directive: `rank` dies at its `at_send`-th send (1-based, counting
-/// every message the rank sends, collective framing included).
+/// Kill directive: `rank` dies at its `at_send`-th user-tag send
+/// (1-based; collective-internal sends don't count — see the module
+/// docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KillSpec {
     pub rank: usize,
@@ -100,7 +107,8 @@ impl FaultPlan {
         self
     }
 
-    /// Kill world rank `rank` at its `at_send`-th send (1-based).
+    /// Kill world rank `rank` at its `at_send`-th user-tag send
+    /// (1-based; collective-internal sends don't advance the counter).
     pub fn kill_rank(mut self, rank: usize, at_send: u64) -> Self {
         self.kills.push(KillSpec { rank, at_send });
         self
@@ -127,7 +135,9 @@ pub enum FaultKind {
 pub struct FaultEvent {
     /// Sending world rank.
     pub src: usize,
-    /// 1-based sequence number of the send on `src`.
+    /// 1-based sequence number of the send on `src`. For
+    /// [`FaultKind::Killed`] this is the **user-tag** send sequence the
+    /// kill was specified against, not the raw send count.
     pub seq: u64,
     /// Destination world rank. For [`FaultKind::Killed`] this is `src`:
     /// which message a rank was attempting at its Nth send depends on
@@ -181,6 +191,9 @@ pub(crate) struct FaultState {
     /// Per-world-rank send counters (atomic: a rank's helper threads —
     /// e.g. an async serve loop — share its counter).
     send_seq: Vec<AtomicU64>,
+    /// Per-world-rank **user-tag** send counters — the sequence kills
+    /// are specified against (collective framing excluded).
+    user_send_seq: Vec<AtomicU64>,
     /// `(src, dest, wire_tag)` flows that already lost a message.
     dropped: Mutex<HashSet<(usize, usize, WireTag)>>,
     trace: Mutex<Vec<FaultEvent>>,
@@ -191,6 +204,7 @@ impl FaultState {
         FaultState {
             plan,
             send_seq: (0..world_size).map(|_| AtomicU64::new(0)).collect(),
+            user_send_seq: (0..world_size).map(|_| AtomicU64::new(0)).collect(),
             dropped: Mutex::new(HashSet::new()),
             trace: Mutex::new(Vec::new()),
         }
@@ -200,25 +214,30 @@ impl FaultState {
     pub fn pre_send(&self, src: usize, dest: usize, wire_tag: WireTag) -> SendFate {
         let seq = self.send_seq[src].fetch_add(1, Ordering::Relaxed) + 1;
         let (ctx, tag) = split_wire_tag(wire_tag);
+        let user_tag = tag < crate::collectives::COLLECTIVE_TAG_BASE;
         let record = |kind: FaultKind| {
             self.trace.lock().push(FaultEvent { src, seq, dest, ctx, tag, kind });
         };
 
-        if self.plan.kills.iter().any(|k| k.rank == src && k.at_send == seq) {
-            // A kill is a property of the sender (its Nth send), not of
-            // the message it happened to be attempting: under ANY_SOURCE
-            // servers, which destination is current at send N depends on
-            // thread scheduling. Recording only sender facts keeps the
-            // trace bit-identical across replays of the same seed.
-            self.trace.lock().push(FaultEvent {
-                src,
-                seq,
-                dest: src,
-                ctx: 0,
-                tag: 0,
-                kind: FaultKind::Killed,
-            });
-            return SendFate::Kill(RankKilled { rank: src, at_send: seq });
+        if user_tag {
+            let useq = self.user_send_seq[src].fetch_add(1, Ordering::Relaxed) + 1;
+            if self.plan.kills.iter().any(|k| k.rank == src && k.at_send == useq) {
+                // A kill is a property of the sender (its Nth user-tag
+                // send), not of the message it happened to be attempting:
+                // under ANY_SOURCE servers, which destination is current
+                // at send N depends on thread scheduling. Recording only
+                // sender facts keeps the trace bit-identical across
+                // replays of the same seed.
+                self.trace.lock().push(FaultEvent {
+                    src,
+                    seq: useq,
+                    dest: src,
+                    ctx: 0,
+                    tag: 0,
+                    kind: FaultKind::Killed,
+                });
+                return SendFate::Kill(RankKilled { rank: src, at_send: useq });
+            }
         }
 
         // Draw the fates in a fixed order from a stream owned by this
@@ -229,7 +248,6 @@ impl FaultState {
         let roll_delay: f64 = rng.gen();
         let delay_frac: f64 = rng.gen();
         let roll_reorder: f64 = rng.gen();
-        let user_tag = tag < crate::collectives::COLLECTIVE_TAG_BASE;
 
         if user_tag
             && roll_drop < self.plan.drop_prob
@@ -334,6 +352,25 @@ mod tests {
         // Other ranks are unaffected.
         for _ in 0..5 {
             assert!(matches!(fs.pre_send(1, 0, wire), SendFate::Deliver));
+        }
+    }
+
+    #[test]
+    fn collective_sends_do_not_advance_the_kill_counter() {
+        let fs = state(FaultPlan::new(5).kill_rank(2, 2));
+        let user = make_wire_tag(0, 1);
+        let coll = make_wire_tag(0, crate::collectives::COLLECTIVE_TAG_BASE);
+        // A communicator split's worth of collective framing up front
+        // must not shift the kill point.
+        for _ in 0..7 {
+            assert!(matches!(fs.pre_send(2, 0, coll), SendFate::Deliver));
+        }
+        assert!(matches!(fs.pre_send(2, 0, user), SendFate::Deliver));
+        // More collective traffic between user sends changes nothing.
+        assert!(matches!(fs.pre_send(2, 0, coll), SendFate::Deliver));
+        match fs.pre_send(2, 0, user) {
+            SendFate::Kill(k) => assert_eq!((k.rank, k.at_send), (2, 2)),
+            _ => panic!("second user send of rank 2 must kill"),
         }
     }
 

@@ -137,12 +137,33 @@ impl TaskWorld {
         R: Send,
         F: Fn(TaskComm) -> R + Send + Sync,
     {
+        Self::run_chaos_observed(specs, cost, plan, None, f)
+    }
+
+    /// As [`TaskWorld::run_chaos`], recording spans/counters/histograms
+    /// into `observe` when given — the combination the chaos test suites
+    /// need to assert recovery counters (failovers, read repairs) from a
+    /// fault-injected run's metrics JSON.
+    pub fn run_chaos_observed<R, F>(
+        specs: &[TaskSpec],
+        cost: Option<CostModel>,
+        plan: FaultPlan,
+        observe: Option<&obsv::Registry>,
+        f: F,
+    ) -> ChaosOutput<R>
+    where
+        R: Send,
+        F: Fn(TaskComm) -> R + Send + Sync,
+    {
         let (offsets, total) = layout(specs);
         let offsets_ref = &offsets;
         let f = &f;
         let mut builder = World::builder(total).fault_plan(plan);
         if let Some(cm) = cost {
             builder = builder.cost_model(cm);
+        }
+        if let Some(reg) = observe {
+            builder = builder.observe(reg.clone());
         }
         builder.run_chaos(move |world| dispatch(specs, offsets_ref, world, f))
     }

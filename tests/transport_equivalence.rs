@@ -274,7 +274,7 @@ fn dataspaces_delivers_expected_bytes() {
             0 => {
                 let client = DsClient::new(tc.world.clone(), cfg);
                 let bb = w.producer_grid_box(tc.local.rank());
-                client.put_local("grid", 0, bb.clone(), grid_bytes(&w, &bb).into());
+                client.put_local("grid", 0, bb.clone(), grid_bytes(&w, &bb).into()).unwrap();
                 client.serve_local();
             }
             1 => run_server(&tc.world, &cfg),
