@@ -93,10 +93,22 @@ fn parse_args() -> Args {
             "--trials" => {
                 trials = it.next().expect("--trials needs a value").parse().expect("integer")
             }
+            "--transport" => {
+                // Every run in this process inherits the chosen backend:
+                // the runners build worlds via `TransportKind::from_env`,
+                // so the flag just pins the environment variable up front.
+                let v = it.next().expect("--transport needs inproc|socket|tcp");
+                match v.as_str() {
+                    "inproc" => std::env::set_var("SIMMPI_TRANSPORT", ""),
+                    "socket" | "uds" | "unix" | "tcp" => std::env::set_var("SIMMPI_TRANSPORT", v),
+                    other => panic!("unknown transport {other:?} (inproc|socket|tcp)"),
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [table1 fig5 fig6 fig7 fig8 fig9 fig11 table2 collectives \
-                     staging | all] [--scale small|medium|large] [--trials N]"
+                     staging | all] [--scale small|medium|large] [--trials N] \
+                     [--transport inproc|socket|tcp]"
                 );
                 std::process::exit(0);
             }
@@ -607,8 +619,10 @@ fn staging_fig(s: &Scale, scale: &str) {
 fn main() {
     let args = parse_args();
     println!(
-        "LowFive reproduction figures — scale {} ({} trials per point)",
-        args.scale_name, args.trials
+        "LowFive reproduction figures — scale {} ({} trials per point, {} transport)",
+        args.scale_name,
+        args.trials,
+        simmpi::TransportKind::from_env()
     );
     for exp in &args.experiments {
         match exp.as_str() {

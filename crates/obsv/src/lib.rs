@@ -214,9 +214,15 @@ pub enum Ctr {
     /// Healthy→Suspected membership transitions (a peer's heartbeats went
     /// quiet past the suspect threshold; benign if it recovers).
     StagingSuspects,
+    /// Frames handed to the simmpi socket transport's wire (zero on the
+    /// in-proc backend, which delivers envelopes without framing).
+    WireFramesSent,
+    /// Bytes handed to the socket transport's wire: frame headers plus
+    /// payloads. Compare against `bytes_sent` for framing overhead.
+    WireBytesSent,
 }
 
-pub const NUM_CTRS: usize = 29;
+pub const NUM_CTRS: usize = 31;
 
 impl Ctr {
     pub const ALL: [Ctr; NUM_CTRS] = [
@@ -249,6 +255,8 @@ impl Ctr {
         Ctr::ReRepBytes,
         Ctr::HeartbeatsSent,
         Ctr::StagingSuspects,
+        Ctr::WireFramesSent,
+        Ctr::WireBytesSent,
     ];
 
     pub fn name(self) -> &'static str {
@@ -282,6 +290,8 @@ impl Ctr {
             Ctr::ReRepBytes => "rerep_bytes",
             Ctr::HeartbeatsSent => "heartbeats_sent",
             Ctr::StagingSuspects => "staging_suspects",
+            Ctr::WireFramesSent => "wire_frames_sent",
+            Ctr::WireBytesSent => "wire_bytes_sent",
         }
     }
 }

@@ -729,9 +729,12 @@ fn frame_blocks(blocks: &[Bytes]) -> Payload {
     p
 }
 
-/// Inverse of [`frame_blocks`]: the delivered parts *are* the sender's
-/// blocks (empty blocks were dropped on send and are restored from the
-/// length table), so unframing is pure bookkeeping — zero copies.
+/// Inverse of [`frame_blocks`]. Over the in-proc transport the delivered
+/// parts *are* the sender's blocks (empty blocks were dropped on send and
+/// are restored from the length table), so unframing is pure bookkeeping.
+/// Over a wire transport the payload arrives in its contiguous flattened
+/// form; blocks are then sub-slices of one buffer. Both paths are
+/// zero-copy — a slice of a refcounted buffer is a refcount bump.
 fn unframe_blocks(mut p: Payload) -> Vec<Bytes> {
     let mut cnt = [0u8; 8];
     assert!(p.copy_prefix(&mut cnt), "framed block count");
@@ -740,18 +743,33 @@ fn unframe_blocks(mut p: Payload) -> Vec<Bytes> {
     let mut hdr = vec![0u8; hdr_len];
     assert!(p.copy_prefix(&mut hdr), "framed block lengths");
     p.advance(hdr_len);
-    let mut parts = p.parts().iter();
-    let mut out = Vec::with_capacity(count);
-    for i in 0..count {
+    let len_at = |i: usize| {
         let at = 8 + 8 * i;
-        let len = u64::from_le_bytes(hdr[at..at + 8].try_into().expect("8 bytes")) as usize;
-        if len == 0 {
-            out.push(Bytes::new());
-        } else {
-            let part = parts.next().expect("one part per non-empty block");
-            assert_eq!(part.len(), len, "block part length matches the frame table");
-            out.push(part.clone());
+        u64::from_le_bytes(hdr[at..at + 8].try_into().expect("8 bytes")) as usize
+    };
+    let aligned = p.parts().iter().map(Bytes::len).eq((0..count).map(len_at).filter(|&l| l != 0));
+    let mut out = Vec::with_capacity(count);
+    if aligned {
+        let mut parts = p.parts().iter();
+        for i in 0..count {
+            if len_at(i) == 0 {
+                out.push(Bytes::new());
+            } else {
+                out.push(parts.next().expect("one part per non-empty block").clone());
+            }
         }
+    } else {
+        // Contiguous (wire) form: one part holding every block in order.
+        // `into_bytes` is free here — flattening already happened on the
+        // wire — and each block is a shared sub-slice.
+        let data = p.into_bytes();
+        let mut off = 0;
+        for i in 0..count {
+            let len = len_at(i);
+            out.push(data.slice(off..off + len));
+            off += len;
+        }
+        assert_eq!(off, data.len(), "frame table covers the delivered bytes");
     }
     out
 }

@@ -66,7 +66,7 @@ impl Comm {
         rank: usize,
         members: Vec<usize>,
     ) -> Self {
-        let world_size = inner.mailboxes.len();
+        let world_size = inner.size;
         let mut local_of_world = vec![None; world_size];
         for (local, &w) in members.iter().enumerate() {
             local_of_world[w] = Some(local);
@@ -126,6 +126,11 @@ impl Comm {
         self.inner.stats.snapshot()
     }
 
+    /// Which delivery backend this world runs on.
+    pub fn transport_kind(&self) -> crate::transport::TransportKind {
+        self.inner.transport.kind()
+    }
+
     // ---------------------------------------------------------------
     // Point-to-point
     // ---------------------------------------------------------------
@@ -154,7 +159,16 @@ impl Comm {
         self.send_internal(dest, tag, payload);
     }
 
-    pub(crate) fn send_internal(&self, dest: usize, tag: Tag, payload: Payload) {
+    /// Everything backend-independent that precedes delivery: the fault
+    /// injector's verdict (taken *here*, before the transport, so drops,
+    /// reorders, and kills — and the fault trace — are identical on every
+    /// backend) and the wire envelope. `None` means the send was dropped.
+    fn prepare_send(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Payload,
+    ) -> Option<(usize, WireEnvelope, bool)> {
         let world_dest = self.members[dest];
         let world_src = self.members[self.rank];
         let wire_tag = make_wire_tag(self.ctx, tag);
@@ -163,29 +177,76 @@ impl Comm {
             match fs.pre_send(world_src, world_dest, wire_tag) {
                 crate::fault::SendFate::Deliver => {}
                 crate::fault::SendFate::DeliverFront => front = true,
-                crate::fault::SendFate::Drop => return,
+                crate::fault::SendFate::Drop => return None,
                 crate::fault::SendFate::Kill(k) => std::panic::panic_any(k),
             }
         }
-        self.inner.stats.record_send(payload.len());
+        let sent_ns = if obsv::active() { obsv::clock::now_ns() } else { 0 };
+        Some((world_dest, WireEnvelope { world_src, wire_tag, payload, sent_ns }, front))
+    }
+
+    /// Accounting for a payload the transport accepted. Fires only after
+    /// delivery, so a fault drop records nothing and a `WouldBlock`
+    /// refusal records nothing — stats count what actually went out.
+    fn record_sent(&self, len: usize) {
+        self.inner.stats.record_send(len);
         // Observability mirrors TransportStats exactly: both fire after
         // fault drops, so histogram sums and StatsSnapshot agree by
         // construction (cross-checked in tests/obsv_accounting.rs).
-        let sent_ns = if obsv::active() {
+        if obsv::active() {
             obsv::counter_add(obsv::Ctr::MsgsSent, 1);
-            obsv::counter_add(obsv::Ctr::BytesSent, payload.len() as u64);
-            obsv::hist_record(obsv::Hist::MsgSize, payload.len() as u64);
-            obsv::clock::now_ns()
-        } else {
-            0
-        };
-        let env = WireEnvelope { world_src, wire_tag, payload, sent_ns };
-        let mailbox = &self.inner.mailboxes[world_dest];
-        if front {
-            mailbox.push_front(env);
-        } else {
-            mailbox.push(env);
+            obsv::counter_add(obsv::Ctr::BytesSent, len as u64);
+            obsv::hist_record(obsv::Hist::MsgSize, len as u64);
         }
+    }
+
+    pub(crate) fn send_internal(&self, dest: usize, tag: Tag, payload: Payload) {
+        let Some((world_dest, env, front)) = self.prepare_send(dest, tag, payload) else {
+            return;
+        };
+        let len = env.payload.len();
+        self.inner.transport.deliver(world_dest, env, front);
+        self.record_sent(len);
+    }
+
+    fn try_send_internal(&self, dest: usize, tag: Tag, payload: Payload) -> Result<(), SendError> {
+        let Some((world_dest, env, front)) = self.prepare_send(dest, tag, payload) else {
+            return Ok(()); // a fault drop is a completed send, not a refusal
+        };
+        let len = env.payload.len();
+        match self.inner.transport.try_deliver(world_dest, env, front) {
+            Ok(()) => {
+                self.record_sent(len);
+                Ok(())
+            }
+            Err(_env) => Err(SendError::WouldBlock),
+        }
+    }
+
+    /// Nonblocking [`Comm::send`]: refuses with [`SendError::WouldBlock`]
+    /// instead of blocking when the backend's bounded send path is full.
+    /// The in-proc backend is unbounded and never refuses; the socket
+    /// backend refuses once the destination's writer queue is at
+    /// capacity — the backpressure signal `send` can only express by
+    /// blocking.
+    ///
+    /// A refused send is not delivered (and not counted); callers retry
+    /// or shed load. Note a fault-plan verdict consumed by a refused
+    /// attempt is not replayed on the retry.
+    pub fn try_send<B: Into<Bytes>>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: B,
+    ) -> Result<(), SendError> {
+        assert!(tag < crate::collectives::COLLECTIVE_TAG_BASE, "tag {tag:#x} is reserved");
+        self.try_send_internal(dest, tag, payload.into().into())
+    }
+
+    /// Nonblocking [`Comm::send_parts`]; see [`Comm::try_send`].
+    pub fn try_send_parts(&self, dest: usize, tag: Tag, payload: Payload) -> Result<(), SendError> {
+        assert!(tag < crate::collectives::COLLECTIVE_TAG_BASE, "tag {tag:#x} is reserved");
+        self.try_send_internal(dest, tag, payload)
     }
 
     /// Nonblocking send. Identical to [`Comm::send`] because sends are
@@ -242,12 +303,17 @@ impl Comm {
         !self.inner.dead[self.members[local]].load(Ordering::Relaxed)
     }
 
-    /// Predicate for receives: the awaited source is known dead. A
+    /// Predicate for receives: the awaited source is known dead *and* has
+    /// nothing left in the delivery path toward this rank — messages sent
+    /// before a kill stay receivable on every transport backend. A
     /// wildcard receive never aborts (any rank might still send).
     fn peer_dead(&self, m: &Matcher) -> impl Fn() -> bool + '_ {
         let src = m.src;
+        let me = self.members[self.rank];
         move || match src {
-            SrcSel::Rank(w) => self.inner.dead[w].load(Ordering::Relaxed),
+            SrcSel::Rank(w) => {
+                self.inner.dead[w].load(Ordering::Relaxed) && !self.inner.transport.in_flight(w, me)
+            }
             SrcSel::Any => false,
         }
     }
@@ -321,8 +387,12 @@ impl Comm {
     /// inside the arrival-order all-to-all.
     pub(crate) fn recv_parts_collective_any(&self, tag: TagSel) -> PartsEnvelope {
         let m = self.matcher(SrcSel::Any, tag);
-        let any_member_dead =
-            || self.members.iter().any(|&w| self.inner.dead[w].load(Ordering::Relaxed));
+        let me = self.members[self.rank];
+        let any_member_dead = || {
+            self.members.iter().any(|&w| {
+                self.inner.dead[w].load(Ordering::Relaxed) && !self.inner.transport.in_flight(w, me)
+            })
+        };
         match self.my_mailbox().pop_matching_abort(&m, &any_member_dead) {
             Ok(wire) => self.localize_parts(wire),
             Err(()) => std::panic::panic_any(crate::fault::PeerDied {
@@ -384,7 +454,7 @@ impl Comm {
     }
 
     fn my_mailbox(&self) -> &crate::mailbox::Mailbox {
-        &self.inner.mailboxes[self.members[self.rank]]
+        self.inner.transport.mailbox(self.members[self.rank])
     }
 
     // ---------------------------------------------------------------
@@ -447,6 +517,25 @@ impl Comm {
         self.split(0, self.rank)
     }
 }
+
+/// Why a nonblocking send did not go out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The backend's bounded send path is full; retry after draining.
+    /// Only the socket backend ever reports this — in-proc sends are
+    /// unbounded, preserving the original buffered-send semantics.
+    WouldBlock,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::WouldBlock => write!(f, "send queue full (would block)"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
 
 /// Why a timed receive completed without a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -572,25 +661,31 @@ mod tests {
     #[test]
     fn multipart_send_delivers_sender_allocations() {
         use crate::payload::Payload;
-        crate::world::World::run(2, |c| {
-            if c.rank() == 0 {
-                let head = bytes::Bytes::from(vec![1u8, 2]);
-                let lent = bytes::Bytes::from(vec![3u8, 4, 5]);
-                c.send_parts(1, 9, Payload::from_parts(vec![head, lent]));
-                // A second copy for the legacy receive path.
-                let head = bytes::Bytes::from(vec![1u8, 2]);
-                let lent = bytes::Bytes::from(vec![3u8, 4, 5]);
-                c.send_parts(1, 9, Payload::from_parts(vec![head, lent]));
-            } else {
-                // Parts-aware receive: structure preserved, nothing copied.
-                let env = c.recv_parts(0.into(), 9.into());
-                assert_eq!(env.payload.num_parts(), 2);
-                assert_eq!(&env.payload.to_bytes()[..], &[1, 2, 3, 4, 5]);
-                // Legacy receive: flattened to the concatenated stream.
-                let env = c.recv(0.into(), 9.into());
-                assert_eq!(&env.payload[..], &[1, 2, 3, 4, 5]);
-            }
-        });
+        // Structure preservation is an in-proc property: the socket backend
+        // flattens parts on the wire (byte identity across backends is pinned
+        // by the conformance suite), so this test must not follow
+        // SIMMPI_TRANSPORT.
+        crate::world::World::builder(2).transport(crate::transport::TransportKind::InProc).run(
+            |c| {
+                if c.rank() == 0 {
+                    let head = bytes::Bytes::from(vec![1u8, 2]);
+                    let lent = bytes::Bytes::from(vec![3u8, 4, 5]);
+                    c.send_parts(1, 9, Payload::from_parts(vec![head, lent]));
+                    // A second copy for the legacy receive path.
+                    let head = bytes::Bytes::from(vec![1u8, 2]);
+                    let lent = bytes::Bytes::from(vec![3u8, 4, 5]);
+                    c.send_parts(1, 9, Payload::from_parts(vec![head, lent]));
+                } else {
+                    // Parts-aware receive: structure preserved, nothing copied.
+                    let env = c.recv_parts(0.into(), 9.into());
+                    assert_eq!(env.payload.num_parts(), 2);
+                    assert_eq!(&env.payload.to_bytes()[..], &[1, 2, 3, 4, 5]);
+                    // Legacy receive: flattened to the concatenated stream.
+                    let env = c.recv(0.into(), 9.into());
+                    assert_eq!(&env.payload[..], &[1, 2, 3, 4, 5]);
+                }
+            },
+        );
     }
 
     #[test]

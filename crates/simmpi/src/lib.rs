@@ -58,9 +58,10 @@ mod payload;
 pub mod pod;
 mod stats;
 mod task;
+mod transport;
 mod world;
 
-pub use comm::{Comm, RecvError, RecvRequest};
+pub use comm::{Comm, RecvError, RecvRequest, SendError};
 pub use cost::{
     allgather_messages, alltoall_messages, ceil_log2, critical_path_recvs, gather_messages,
     CollectiveAlgo, CostModel,
@@ -71,4 +72,5 @@ pub use payload::Payload;
 pub use pod::Pod;
 pub use stats::TransportStats;
 pub use task::{TaskComm, TaskSpec, TaskWorld};
+pub use transport::{SocketConfig, SocketMode, TransportKind};
 pub use world::{ChaosOutput, RankDeath, World, WorldBuilder};

@@ -19,6 +19,10 @@ use crate::envelope::{split_wire_tag, SrcSel, TagSel, WireEnvelope};
 pub(crate) struct Mailbox {
     queue: Mutex<VecDeque<WireEnvelope>>,
     available: Condvar,
+    /// Notified whenever a receive removes an envelope — the socket
+    /// backend's reader waits on this to keep a destination's queue under
+    /// its receive window (flow control back onto the wire).
+    drained: Condvar,
 }
 
 /// Matching key used by receives: the communicator context plus user-level
@@ -79,12 +83,18 @@ impl Mailbox {
         let mut q = self.queue.lock();
         loop {
             if let Some(i) = q.iter().position(|e| m.matches(e)) {
-                return Ok(q.remove(i).expect("index verified by position()"));
+                let env = q.remove(i).expect("index verified by position()");
+                self.drained.notify_all();
+                return Ok(env);
             }
             if aborted() {
                 return Err(());
             }
-            self.available.wait(&mut q);
+            // Bounded wait: `aborted` can flip without a queue operation
+            // (e.g. a dead peer's last in-flight frame landing on another
+            // tag just before its delivered-counter store), so re-check it
+            // periodically.
+            self.available.wait_for(&mut q, std::time::Duration::from_millis(50));
         }
     }
 
@@ -101,7 +111,9 @@ impl Mailbox {
         let mut q = self.queue.lock();
         loop {
             if let Some(i) = q.iter().position(|e| m.matches(e)) {
-                return Ok(q.remove(i).expect("index verified by position()"));
+                let env = q.remove(i).expect("index verified by position()");
+                self.drained.notify_all();
+                return Ok(env);
             }
             if aborted() {
                 return Err(crate::comm::RecvError::PeerDead);
@@ -110,7 +122,10 @@ impl Mailbox {
             if now >= deadline {
                 return Err(crate::comm::RecvError::TimedOut);
             }
-            self.available.wait_for(&mut q, deadline - now);
+            // Capped below the deadline so `aborted` flips that arrive
+            // without a queue operation still get re-checked promptly.
+            self.available
+                .wait_for(&mut q, (deadline - now).min(std::time::Duration::from_millis(50)));
         }
     }
 
@@ -118,7 +133,23 @@ impl Mailbox {
     pub fn try_pop_matching(&self, m: &Matcher) -> Option<WireEnvelope> {
         let mut q = self.queue.lock();
         let i = q.iter().position(|e| m.matches(e))?;
-        q.remove(i)
+        let env = q.remove(i);
+        self.drained.notify_all();
+        env
+    }
+
+    /// Block until fewer than `limit` envelopes are queued, the closed
+    /// flag turns true, or (defensively) a bounded wait elapses. Used by
+    /// the socket backend's reader to stop draining the wire once the
+    /// destination rank falls behind — what turns a full mailbox into
+    /// sender-visible backpressure.
+    pub fn wait_below(&self, limit: usize, closed: &dyn Fn() -> bool) {
+        let mut q = self.queue.lock();
+        while q.len() >= limit && !closed() {
+            // Bounded wait: `closed` can flip without a queue operation
+            // (shutdown, rank death), so re-check it periodically.
+            self.drained.wait_for(&mut q, std::time::Duration::from_millis(50));
+        }
     }
 
     /// Nonblocking probe: report `(world_src, tag, len)` of the first
@@ -145,6 +176,8 @@ impl Mailbox {
     }
 
     /// Number of queued (undelivered) envelopes, for diagnostics.
+    /// (The socket reader's window check reads the queue length under its
+    /// own lock in [`Mailbox::wait_below`] rather than through this.)
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.queue.lock().len()

@@ -12,6 +12,7 @@
 use crate::comm::Comm;
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
+use crate::transport::TransportKind;
 use crate::world::{ChaosOutput, RunOutput, World};
 
 /// One task's name and process count.
@@ -112,10 +113,29 @@ impl TaskWorld {
         R: Send,
         F: Fn(TaskComm) -> R + Send + Sync,
     {
+        Self::run_observed_on(specs, cost, observe, TransportKind::from_env(), f)
+    }
+
+    /// As [`TaskWorld::run_observed`], pinning the delivery backend
+    /// explicitly. A/B equivalence tests run the same workload over
+    /// [`TransportKind::InProc`] and [`TransportKind::Socket`] with this,
+    /// instead of racing on the process-global `SIMMPI_TRANSPORT`
+    /// environment variable from parallel test threads.
+    pub fn run_observed_on<R, F>(
+        specs: &[TaskSpec],
+        cost: Option<CostModel>,
+        observe: Option<&obsv::Registry>,
+        transport: TransportKind,
+        f: F,
+    ) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(TaskComm) -> R + Send + Sync,
+    {
         let (offsets, total) = layout(specs);
         let offsets_ref = &offsets;
         let f = &f;
-        let mut builder = World::builder(total);
+        let mut builder = World::builder(total).transport(transport);
         if let Some(cm) = cost {
             builder = builder.cost_model(cm);
         }
@@ -155,10 +175,27 @@ impl TaskWorld {
         R: Send,
         F: Fn(TaskComm) -> R + Send + Sync,
     {
+        Self::run_chaos_observed_on(specs, cost, plan, observe, TransportKind::from_env(), f)
+    }
+
+    /// As [`TaskWorld::run_chaos_observed`], pinning the delivery backend
+    /// explicitly (see [`TaskWorld::run_observed_on`]).
+    pub fn run_chaos_observed_on<R, F>(
+        specs: &[TaskSpec],
+        cost: Option<CostModel>,
+        plan: FaultPlan,
+        observe: Option<&obsv::Registry>,
+        transport: TransportKind,
+        f: F,
+    ) -> ChaosOutput<R>
+    where
+        R: Send,
+        F: Fn(TaskComm) -> R + Send + Sync,
+    {
         let (offsets, total) = layout(specs);
         let offsets_ref = &offsets;
         let f = &f;
-        let mut builder = World::builder(total).fault_plan(plan);
+        let mut builder = World::builder(total).fault_plan(plan).transport(transport);
         if let Some(cm) = cost {
             builder = builder.cost_model(cm);
         }

@@ -1,0 +1,57 @@
+//! The original delivery path: the sender pushes straight into the
+//! destination's mailbox. No threads, no framing, no copies — a
+//! multi-part [`crate::Payload`] arrives as the sender's refcounted
+//! allocations, which is what makes the zero-copy serve path possible.
+
+use crate::envelope::WireEnvelope;
+use crate::mailbox::Mailbox;
+
+use super::{Transport, TransportKind};
+
+pub(crate) struct InProcTransport {
+    mailboxes: Vec<Mailbox>,
+}
+
+impl InProcTransport {
+    pub fn new(size: usize) -> Self {
+        InProcTransport { mailboxes: (0..size).map(|_| Mailbox::default()).collect() }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn mailbox(&self, world_rank: usize) -> &Mailbox {
+        &self.mailboxes[world_rank]
+    }
+
+    fn deliver(&self, world_dest: usize, env: WireEnvelope, front: bool) {
+        if front {
+            self.mailboxes[world_dest].push_front(env);
+        } else {
+            self.mailboxes[world_dest].push(env);
+        }
+    }
+
+    fn try_deliver(
+        &self,
+        world_dest: usize,
+        env: WireEnvelope,
+        front: bool,
+    ) -> Result<(), WireEnvelope> {
+        // Mailboxes are unbounded (MPI buffered-send semantics), so the
+        // nonblocking path never refuses.
+        self.deliver(world_dest, env, front);
+        Ok(())
+    }
+
+    fn wake_all(&self) {
+        for mb in &self.mailboxes {
+            mb.wake();
+        }
+    }
+
+    fn shutdown(&self) {}
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::InProc
+    }
+}

@@ -1,0 +1,533 @@
+//! Socket backend: envelopes cross a real wire.
+//!
+//! Topology, per destination rank `d` (all inside one process for tests,
+//! but nothing below assumes it):
+//!
+//! ```text
+//! Comm::send ─▶ Link[d] (bounded frame queue) ─▶ writer thread ─▶ socket
+//!                                                                   │
+//! mailbox[d] ◀─ reader thread (seq check, window, push/push_front) ◀┘
+//! ```
+//!
+//! * One listener per rank (Unix-domain socket in a per-world temp
+//!   directory, or TCP on a 127.0.0.1 ephemeral port), connected at world
+//!   construction.
+//! * One **writer thread** per destination consuming that destination's
+//!   bounded [`Link`] queue — the bound is what gives [`crate::Comm`] a
+//!   real backpressure signal ([`crate::SendError::WouldBlock`]).
+//! * One **reader thread** per destination demuxing frames into the
+//!   destination's [`Mailbox`], verifying per-source sequence numbers and
+//!   honoring the mailbox receive window ([`Mailbox::wait_below`]) so a
+//!   slow receiver backs pressure up the wire.
+//!
+//! Multi-part payloads are written part by part — no gather copy on the
+//! send side (`BytesCopied` stays untouched) — and arrive as `len`
+//! contiguous bytes: the wire form *is* the flattened form, so zero-copy
+//! lends degrade to exactly one serialize.
+//!
+//! The fault injector's reorder crosses the wire as the frame header's
+//! [`FRONT_FLAG`]; frames stay FIFO on the wire (sequence numbers remain
+//! consecutive) and the *reader* applies the front-of-mailbox insertion.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::envelope::WireEnvelope;
+use crate::mailbox::Mailbox;
+use crate::payload::Payload;
+
+use super::frame::{next_seq, FrameHeader, FRONT_FLAG, HDR_LEN};
+use super::{SocketConfig, SocketMode, Transport, TransportKind};
+
+/// Either socket flavor, unified for the reader/writer loops.
+enum Conn {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One frame awaiting its writer thread.
+struct QueuedFrame {
+    header: FrameHeader,
+    payload: Payload,
+}
+
+struct LinkQueue {
+    frames: VecDeque<QueuedFrame>,
+    /// Next sequence counter per *source* world rank (frames from one
+    /// source stay FIFO on the link, so assignment order under this lock
+    /// is wire order; the reader verifies).
+    next_seq: Vec<u32>,
+    closed: bool,
+}
+
+/// The bounded send queue feeding one destination's writer thread.
+struct Link {
+    q: Mutex<LinkQueue>,
+    /// Signaled when a frame is queued (writer wakes).
+    ready: Condvar,
+    /// Signaled when a frame is consumed (blocked senders wake).
+    space: Condvar,
+    cap: usize,
+    /// Next sequence counter the reader *has already pushed into the
+    /// mailbox*, per source world rank (the delivered mirror of
+    /// [`LinkQueue::next_seq`]). `next_seq[s] != delivered[s]` means frames
+    /// from `s` are still in flight — queued, on the wire, or held at the
+    /// receive window — which the death-abort predicate must wait out so
+    /// messages sent before a kill stay receivable, exactly as in-proc.
+    delivered: Vec<AtomicU32>,
+}
+
+impl Link {
+    fn new(cap: usize, size: usize) -> Self {
+        Link {
+            q: Mutex::new(LinkQueue {
+                frames: VecDeque::new(),
+                next_seq: vec![0; size],
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            cap: cap.max(1),
+            delivered: (0..size).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+}
+
+/// State shared by rank threads and the backend's reader/writer threads
+/// (which outlive the rank scope, hence `Arc` + detached threads joined in
+/// [`Transport::shutdown`]).
+struct Shared {
+    mailboxes: Vec<Mailbox>,
+    links: Vec<Link>,
+    recv_window: usize,
+    closed: AtomicBool,
+}
+
+pub(crate) struct SocketTransport {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    uds_dir: Option<PathBuf>,
+    done: AtomicBool,
+}
+
+impl SocketTransport {
+    pub fn new(size: usize, cfg: SocketConfig) -> Self {
+        let shared = Arc::new(Shared {
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            links: (0..size).map(|_| Link::new(cfg.queue_cap, size)).collect(),
+            recv_window: cfg.recv_window.max(1),
+            closed: AtomicBool::new(false),
+        });
+        let uds_dir = match cfg.mode {
+            #[cfg(unix)]
+            SocketMode::Unix => Some(fresh_uds_dir()),
+            _ => None,
+        };
+        let mut handles = Vec::with_capacity(2 * size);
+        for dest in 0..size {
+            let (write_half, read_half) = connect_pair(cfg.mode, uds_dir.as_deref(), dest);
+            let sh = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("simmpi-wr-{dest}"))
+                    .spawn(move || writer_loop(&sh, dest, write_half))
+                    .expect("spawn socket writer"),
+            );
+            let sh = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("simmpi-rd-{dest}"))
+                    .spawn(move || reader_loop(&sh, dest, read_half))
+                    .expect("spawn socket reader"),
+            );
+        }
+        SocketTransport {
+            shared,
+            handles: Mutex::new(handles),
+            uds_dir,
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Queue a frame on `world_dest`'s link, assigning its sequence
+    /// number. Blocking variant waits for space; nonblocking hands the
+    /// envelope back when the queue is at capacity.
+    fn enqueue(
+        &self,
+        world_dest: usize,
+        env: WireEnvelope,
+        front: bool,
+        block: bool,
+    ) -> Result<(), WireEnvelope> {
+        let link = &self.shared.links[world_dest];
+        let mut q = link.q.lock();
+        while q.frames.len() >= link.cap && !q.closed {
+            if !block {
+                return Err(env);
+            }
+            // Bounded wait: `closed` can flip without a queue operation.
+            link.space.wait_for(&mut q, Duration::from_millis(50));
+        }
+        if q.closed {
+            // World tear-down: nobody will receive; drop silently, exactly
+            // like an envelope in flight when the run ends.
+            return Ok(());
+        }
+        let counter = q.next_seq[env.world_src];
+        q.next_seq[env.world_src] = next_seq(counter);
+        let header = FrameHeader {
+            len: env.payload.len() as u64,
+            wire_tag: env.wire_tag,
+            src: env.world_src as u32,
+            seq: if front { counter | FRONT_FLAG } else { counter },
+            sent_ns: env.sent_ns,
+        };
+        let wire_bytes = HDR_LEN as u64 + header.len;
+        q.frames.push_back(QueuedFrame { header, payload: env.payload });
+        link.ready.notify_all();
+        drop(q);
+        // Recorded here, on the sending rank's thread — writer threads
+        // have no obsv recorder lane.
+        if obsv::active() {
+            obsv::counter_add(obsv::Ctr::WireFramesSent, 1);
+            obsv::counter_add(obsv::Ctr::WireBytesSent, wire_bytes);
+        }
+        Ok(())
+    }
+}
+
+impl Transport for SocketTransport {
+    fn mailbox(&self, world_rank: usize) -> &Mailbox {
+        &self.shared.mailboxes[world_rank]
+    }
+
+    fn deliver(&self, world_dest: usize, env: WireEnvelope, front: bool) {
+        let delivered = self.enqueue(world_dest, env, front, true);
+        debug_assert!(delivered.is_ok(), "blocking enqueue cannot refuse");
+    }
+
+    fn try_deliver(
+        &self,
+        world_dest: usize,
+        env: WireEnvelope,
+        front: bool,
+    ) -> Result<(), WireEnvelope> {
+        self.enqueue(world_dest, env, front, false)
+    }
+
+    fn wake_all(&self) {
+        for mb in &self.shared.mailboxes {
+            mb.wake();
+        }
+    }
+
+    fn in_flight(&self, world_src: usize, world_dest: usize) -> bool {
+        let link = &self.shared.links[world_dest];
+        let sent = link.q.lock().next_seq[world_src];
+        sent != link.delivered[world_src].load(Ordering::Acquire)
+    }
+
+    fn shutdown(&self) {
+        if self.done.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.closed.store(true, Ordering::SeqCst);
+        for link in &self.shared.links {
+            let mut q = link.q.lock();
+            q.closed = true;
+            link.ready.notify_all();
+            link.space.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(dir) = &self.uds_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Socket
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A unique, writable directory for this world's Unix socket files.
+#[cfg(unix)]
+fn fresh_uds_dir() -> PathBuf {
+    static WORLD_NO: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "simmpi-{}-{}",
+        std::process::id(),
+        WORLD_NO.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create UDS socket directory");
+    dir
+}
+
+/// Bind rank `dest`'s listener, connect the sender side, and accept the
+/// receiver side. Listeners have a backlog, so connect-then-accept on one
+/// thread cannot deadlock.
+fn connect_pair(mode: SocketMode, uds_dir: Option<&std::path::Path>, dest: usize) -> (Conn, Conn) {
+    match mode {
+        #[cfg(unix)]
+        SocketMode::Unix => {
+            let path = uds_dir.expect("UDS mode has a socket dir").join(format!("rank-{dest}"));
+            let listener = UnixListener::bind(&path).expect("bind rank UDS listener");
+            let write_half = UnixStream::connect(&path).expect("connect rank UDS");
+            let (read_half, _) = listener.accept().expect("accept rank UDS");
+            (Conn::Unix(write_half), Conn::Unix(read_half))
+        }
+        _ => {
+            let _ = uds_dir;
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind rank TCP listener");
+            let addr = listener.local_addr().expect("listener addr");
+            let write_half = TcpStream::connect(addr).expect("connect rank TCP");
+            let (read_half, _) = listener.accept().expect("accept rank TCP");
+            write_half.set_nodelay(true).expect("nodelay");
+            read_half.set_nodelay(true).expect("nodelay");
+            (Conn::Tcp(write_half), Conn::Tcp(read_half))
+        }
+    }
+}
+
+/// Drain `dest`'s link queue onto the socket. Exits once the queue is
+/// closed *and* drained (or the peer vanished); dropping the connection
+/// EOFs the matching reader.
+fn writer_loop(shared: &Shared, dest: usize, mut conn: Conn) {
+    let link = &shared.links[dest];
+    loop {
+        let next = {
+            let mut q = link.q.lock();
+            loop {
+                if let Some(f) = q.frames.pop_front() {
+                    link.space.notify_all();
+                    break Some(f);
+                }
+                if q.closed {
+                    break None;
+                }
+                link.ready.wait(&mut q);
+            }
+        };
+        let Some(frame) = next else { break };
+        if write_frame(&mut conn, &frame).is_err() {
+            break;
+        }
+    }
+}
+
+/// Header, then every payload part in order — the wire is where a
+/// multi-part payload flattens, with no intermediate gather buffer.
+fn write_frame(conn: &mut Conn, frame: &QueuedFrame) -> std::io::Result<()> {
+    conn.write_all(&frame.header.encode())?;
+    for part in frame.payload.parts() {
+        conn.write_all(part.as_ref())?;
+    }
+    conn.flush()
+}
+
+/// Demux frames arriving for `dest` into its mailbox: verify per-source
+/// sequence numbers, honor the receive window, apply front-of-queue
+/// (reorder) insertion. Exits on EOF (writer gone).
+fn reader_loop(shared: &Shared, dest: usize, mut conn: Conn) {
+    let mut expect = vec![0u32; shared.mailboxes.len()];
+    let closed = || shared.closed.load(Ordering::Relaxed);
+    loop {
+        let mut hdr_buf = [0u8; HDR_LEN];
+        if conn.read_exact(&mut hdr_buf).is_err() {
+            break; // EOF: the writer closed its end.
+        }
+        let header = FrameHeader::decode(&hdr_buf);
+        let src = header.src as usize;
+        let mut body = vec![0u8; header.len as usize];
+        if conn.read_exact(&mut body).is_err() {
+            break;
+        }
+        assert_eq!(
+            header.seq_counter(),
+            expect[src],
+            "socket frame from rank {src} to rank {dest} out of sequence"
+        );
+        expect[src] = next_seq(expect[src]);
+        // Flow control: a mailbox at its window stops the drain, which
+        // backs up the kernel buffer, then the writer, then the sender.
+        shared.mailboxes[dest].wait_below(shared.recv_window, &closed);
+        let env = WireEnvelope {
+            world_src: src,
+            wire_tag: header.wire_tag,
+            payload: Bytes::from(body).into(),
+            sent_ns: header.sent_ns,
+        };
+        if header.is_front() {
+            shared.mailboxes[dest].push_front(env);
+        } else {
+            shared.mailboxes[dest].push(env);
+        }
+        // Only after the push: `in_flight` turning false must imply the
+        // envelope is already visible in the mailbox (death-abort races).
+        shared.links[dest].delivered[src].store(expect[src], Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{make_wire_tag, SrcSel, TagSel};
+    use crate::mailbox::Matcher;
+
+    fn env(src: usize, tag: u32, body: &[u8]) -> WireEnvelope {
+        WireEnvelope {
+            world_src: src,
+            wire_tag: make_wire_tag(0, tag),
+            payload: Bytes::copy_from_slice(body).into(),
+            sent_ns: 0,
+        }
+    }
+
+    fn pop(t: &SocketTransport, dest: usize, src: usize, tag: u32) -> Vec<u8> {
+        let m = Matcher { ctx: 0, src: SrcSel::Rank(src), tag: TagSel::Tag(tag) };
+        let wire = t.mailbox(dest).pop_matching_abort(&m, &|| false).expect("delivered");
+        wire.payload.to_bytes().as_ref().to_vec()
+    }
+
+    fn roundtrip_over(mode: SocketMode) {
+        let t = SocketTransport::new(2, SocketConfig { mode, ..SocketConfig::default() });
+        t.deliver(1, env(0, 7, b"hello"), false);
+        t.deliver(1, env(0, 7, b"world"), false);
+        assert_eq!(pop(&t, 1, 0, 7), b"hello");
+        assert_eq!(pop(&t, 1, 0, 7), b"world");
+        t.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_roundtrip_preserves_order() {
+        roundtrip_over(SocketMode::Unix);
+    }
+
+    #[test]
+    fn tcp_roundtrip_preserves_order() {
+        roundtrip_over(SocketMode::Tcp);
+    }
+
+    #[test]
+    fn multipart_payload_flattens_on_the_wire() {
+        let t = SocketTransport::new(2, SocketConfig::default());
+        let payload =
+            Payload::from_parts(vec![Bytes::from(vec![1u8, 2]), Bytes::from(vec![3u8, 4, 5])]);
+        let env = WireEnvelope { world_src: 0, wire_tag: make_wire_tag(0, 9), payload, sent_ns: 0 };
+        t.deliver(1, env, false);
+        let m = Matcher { ctx: 0, src: SrcSel::Rank(0), tag: TagSel::Tag(9) };
+        let wire = t.mailbox(1).pop_matching_abort(&m, &|| false).expect("delivered");
+        assert_eq!(wire.payload.num_parts(), 1, "wire form is contiguous");
+        assert_eq!(wire.payload.to_bytes().as_ref(), &[1, 2, 3, 4, 5]);
+        t.shutdown();
+    }
+
+    #[test]
+    fn front_delivery_overtakes_queued_frames() {
+        let t = SocketTransport::new(2, SocketConfig::default());
+        t.deliver(1, env(0, 1, b"first"), false);
+        t.deliver(1, env(0, 1, b"second"), false);
+        // Give both frames time to land, then overtake them.
+        std::thread::sleep(Duration::from_millis(50));
+        t.deliver(1, env(0, 1, b"urgent"), true);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pop(&t, 1, 0, 1), b"urgent");
+        assert_eq!(pop(&t, 1, 0, 1), b"first");
+        assert_eq!(pop(&t, 1, 0, 1), b"second");
+        t.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_refuses_when_saturated() {
+        // recv_window = 1 parks the reader after one delivery; queue_cap =
+        // 1 plus ~1 MiB frames (far beyond any kernel socket buffer) then
+        // saturate the whole path within a handful of sends.
+        let cfg = SocketConfig { queue_cap: 1, recv_window: 1, ..SocketConfig::default() };
+        let t = SocketTransport::new(2, cfg);
+        let big = vec![0xABu8; 1 << 20];
+        let mut refused = false;
+        for _ in 0..64 {
+            if t.try_deliver(1, env(0, 3, &big), false).is_err() {
+                refused = true;
+                break;
+            }
+        }
+        assert!(refused, "a 1-frame queue behind a 1-envelope window must fill");
+        // Draining the mailbox un-wedges the path end to end.
+        let mut drained = 0;
+        let m = Matcher { ctx: 0, src: SrcSel::Rank(0), tag: TagSel::Tag(3) };
+        while t
+            .mailbox(1)
+            .pop_matching_deadline(&m, std::time::Instant::now() + Duration::from_secs(5), &|| {
+                false
+            })
+            .is_ok()
+        {
+            drained += 1;
+            if t.try_deliver(1, env(0, 4, b"after-drain"), false).is_ok() {
+                break;
+            }
+        }
+        assert!(drained >= 1, "drained {drained} envelopes without freeing space");
+        t.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_threads() {
+        let t = SocketTransport::new(3, SocketConfig::default());
+        t.deliver(2, env(1, 5, b"x"), false);
+        assert_eq!(pop(&t, 2, 1, 5), b"x");
+        t.shutdown();
+        t.shutdown();
+        assert!(t.handles.lock().is_empty());
+    }
+}

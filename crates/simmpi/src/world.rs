@@ -6,12 +6,16 @@ use std::sync::Arc;
 use crate::comm::Comm;
 use crate::cost::{CollectiveAlgo, CostModel};
 use crate::fault::{FaultEvent, FaultPlan, FaultState, PeerDied, RankKilled};
-use crate::mailbox::Mailbox;
 use crate::stats::{StatsSnapshot, TransportStats};
+use crate::transport::{make_transport, SocketConfig, Transport, TransportKind};
 
 /// Shared state behind every [`Comm`] of one run.
 pub(crate) struct WorldInner {
-    pub mailboxes: Vec<Mailbox>,
+    /// World rank count.
+    pub size: usize,
+    /// The delivery backend: owns the per-rank mailboxes and the machinery
+    /// (if any) that carries envelopes to them.
+    pub transport: Box<dyn Transport>,
     /// Next communicator context id (0 is the world communicator).
     pub next_ctx: AtomicU32,
     pub stats: TransportStats,
@@ -27,12 +31,14 @@ pub(crate) struct WorldInner {
 impl WorldInner {
     fn new(
         size: usize,
+        transport: Box<dyn Transport>,
         cost: Option<CostModel>,
         coll_algo: CollectiveAlgo,
         fault: Option<FaultState>,
     ) -> Self {
         WorldInner {
-            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            size,
+            transport,
             next_ctx: AtomicU32::new(1),
             stats: TransportStats::default(),
             cost,
@@ -46,9 +52,7 @@ impl WorldInner {
     /// the dead rank can abort.
     fn mark_dead(&self, world_rank: usize) {
         self.dead[world_rank].store(true, std::sync::atomic::Ordering::SeqCst);
-        for mb in &self.mailboxes {
-            mb.wake();
-        }
+        self.transport.wake_all();
     }
 }
 
@@ -67,6 +71,8 @@ pub struct WorldBuilder {
     coll_algo: CollectiveAlgo,
     fault: Option<FaultPlan>,
     observe: Option<obsv::Registry>,
+    transport: TransportKind,
+    socket: SocketConfig,
 }
 
 /// Results of a completed run plus transport statistics.
@@ -127,6 +133,10 @@ impl World {
             coll_algo: CollectiveAlgo::default(),
             fault: None,
             observe: None,
+            // `SIMMPI_TRANSPORT=socket` flips every world in the process
+            // onto the wire; explicit [`WorldBuilder::transport`] wins.
+            transport: TransportKind::from_env(),
+            socket: SocketConfig::from_env(),
         }
     }
 }
@@ -163,10 +173,27 @@ impl WorldBuilder {
         self
     }
 
+    /// Pin the delivery backend, overriding the `SIMMPI_TRANSPORT`
+    /// environment default. A/B tests use this to run the same workload
+    /// over [`TransportKind::InProc`] and [`TransportKind::Socket`]
+    /// side by side without racing on process-global environment state.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
+    /// Tune the socket backend (queue bound, receive window, UDS vs TCP).
+    /// Only consulted when the transport is [`TransportKind::Socket`].
+    pub fn socket_config(mut self, cfg: SocketConfig) -> Self {
+        self.socket = cfg;
+        self
+    }
+
     fn build_inner(&mut self) -> Arc<WorldInner> {
         assert!(self.size > 0, "world size must be at least 1");
         let fault = self.fault.take().map(|p| FaultState::new(p, self.size));
-        Arc::new(WorldInner::new(self.size, self.cost.take(), self.coll_algo, fault))
+        let transport = make_transport(self.transport, self.size, self.socket);
+        Arc::new(WorldInner::new(self.size, transport, self.cost.take(), self.coll_algo, fault))
     }
 
     /// Spawn the ranks and block until they all return.
@@ -196,6 +223,7 @@ impl WorldBuilder {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect::<Vec<R>>()
         });
+        inner.transport.shutdown();
         RunOutput { results, stats: inner.stats.snapshot() }
     }
 
@@ -243,6 +271,7 @@ impl WorldBuilder {
                 .map(|h| h.join().expect("rank thread panicked outside catch_unwind"))
                 .collect()
         });
+        inner.transport.shutdown();
         let mut results = Vec::with_capacity(self.size);
         let mut deaths = Vec::new();
         for outcome in outcomes {

@@ -21,7 +21,13 @@ use std::time::Duration;
 use bench::workload::Workload;
 use lowfive::{DistVolBuilder, LowFiveProps};
 use minih5::{H5Error, Vol, H5};
-use simmpi::{ChaosOutput, FaultKind, FaultPlan, TaskComm, TaskSpec, TaskWorld};
+use simmpi::{ChaosOutput, FaultKind, FaultPlan, TaskComm, TaskSpec, TaskWorld, TransportKind};
+
+/// Socket re-runs are opt-in (`SIMMPI_SOCKET_CHAOS=1`): the CI
+/// transport-matrix job sets the variable; plain `cargo test` skips them.
+fn socket_chaos_enabled() -> bool {
+    std::env::var("SIMMPI_SOCKET_CHAOS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn workload() -> Workload {
     Workload { producers: 2, consumers: 2, grid_per_prod: 64, particles_per_prod: 16 }
@@ -39,8 +45,18 @@ fn world_ranks(tc: &TaskComm, task_id: usize) -> Vec<usize> {
 /// Consumers return the bytes they read (producers return `Vec::new()`);
 /// `props` lets tests arm the consumer-side retry policy.
 fn run_exchange(w: Workload, plan: FaultPlan, props: LowFiveProps) -> ChaosOutput<Vec<u8>> {
+    run_exchange_on(w, plan, props, TransportKind::from_env())
+}
+
+/// As [`run_exchange`], pinning the delivery backend (socket re-runs).
+fn run_exchange_on(
+    w: Workload,
+    plan: FaultPlan,
+    props: LowFiveProps,
+    kind: TransportKind,
+) -> ChaosOutput<Vec<u8>> {
     let specs = [TaskSpec::new("p", w.producers), TaskSpec::new("c", w.consumers)];
-    TaskWorld::run_chaos(&specs, None, plan, move |tc| {
+    TaskWorld::run_chaos_observed_on(&specs, None, plan, None, kind, move |tc| {
         let producers = world_ranks(&tc, 0);
         let consumers = world_ranks(&tc, 1);
         let vol: Arc<dyn Vol> = if tc.task_id == 0 {
@@ -307,16 +323,22 @@ fn killed_producer_does_not_wedge_inflight_batches() {
 /// consumers must come back with `H5Error::PeerUnavailable` — quickly,
 /// not after burning every timeout, and certainly not hanging — and the
 /// same seed must reproduce the identical trace.
-#[test]
-fn killed_producer_surfaces_peer_unavailable_everywhere() {
-    let seed = 0xFEED_BEEF;
-    let run = || {
-        let specs = [TaskSpec::new("p", 1), TaskSpec::new("c", 2)];
-        // Send 30 is well past communicator setup and the two metadata
-        // replies, and far before the ~160 replies the consumers' read
-        // loops demand: the producer dies with both consumers mid-read.
-        let plan = FaultPlan::new(seed).kill_rank(0, 30);
-        TaskWorld::run_chaos(&specs, None, plan, move |tc| -> Result<(), String> {
+/// The doomed-producer scenario shared by the acceptance test and the
+/// socket kill-trace comparison: the sole producer is killed at user
+/// send 30, both consumers must surface `PeerUnavailable`.
+fn run_doomed(kind: TransportKind) -> ChaosOutput<Result<(), String>> {
+    let specs = [TaskSpec::new("p", 1), TaskSpec::new("c", 2)];
+    // Send 30 is well past communicator setup and the two metadata
+    // replies, and far before the ~160 replies the consumers' read
+    // loops demand: the producer dies with both consumers mid-read.
+    let plan = FaultPlan::new(0xFEED_BEEF).kill_rank(0, 30);
+    TaskWorld::run_chaos_observed_on(
+        &specs,
+        None,
+        plan,
+        None,
+        kind,
+        move |tc| -> Result<(), String> {
             let producers = world_ranks(&tc, 0);
             let consumers = world_ranks(&tc, 1);
             if tc.task_id == 0 {
@@ -365,9 +387,13 @@ fn killed_producer_surfaces_peer_unavailable_everywhere() {
                     Err(e) => Err(format!("wrong error kind: {e}")),
                 }
             }
-        })
-    };
+        },
+    )
+}
 
+#[test]
+fn killed_producer_surfaces_peer_unavailable_everywhere() {
+    let run = || run_doomed(TransportKind::from_env());
     let t0 = std::time::Instant::now();
     let out = run();
     let elapsed = t0.elapsed();
@@ -477,4 +503,56 @@ fn file_mode_open_honors_rpc_policy() {
     });
     assert_eq!(out[1], vec![7, 8, 9, 10]);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Socket re-run of the drop-once recovery path (the CI transport-matrix
+/// job arms it): the idempotent-retry machinery must recover identically
+/// when requests and replies cross a real wire instead of a mailbox.
+#[test]
+fn socket_dropped_messages_recover_via_retry() {
+    if !socket_chaos_enabled() {
+        eprintln!("skipped: set SIMMPI_SOCKET_CHAOS=1 to run the socket chaos re-runs");
+        return;
+    }
+    let w = workload();
+    let plan = FaultPlan::new(0xD809).drop_once(1.0);
+    let mut props = LowFiveProps::new();
+    props.set_rpc_timeout("*", Some(Duration::from_millis(200)));
+    props.set_rpc_retries("*", 4);
+    let out = run_exchange_on(w, plan, props, TransportKind::Socket);
+    assert_consumer_bytes_exact(&w, &out);
+    assert!(
+        out.trace.iter().any(|e| e.kind == FaultKind::Dropped),
+        "the plan must actually have dropped something"
+    );
+}
+
+/// A kill is recorded as pure sender facts `(src, user-send seq)`, so the
+/// doomed-producer trace must be bit-identical across backends — the
+/// in-proc and socket runs inject the very same failure. CI greps this
+/// test's `kill-trace-equal: ok` line (run with `--nocapture`).
+#[test]
+fn socket_kill_trace_matches_inproc() {
+    if !socket_chaos_enabled() {
+        eprintln!("skipped: set SIMMPI_SOCKET_CHAOS=1 to run the socket chaos re-runs");
+        return;
+    }
+    let inproc = run_doomed(TransportKind::InProc);
+    let socket = run_doomed(TransportKind::Socket);
+    assert_eq!(inproc.trace, socket.trace, "kill trace must be backend-invariant");
+    for (kind, out) in [("inproc", &inproc), ("socket", &socket)] {
+        assert_eq!(out.deaths.len(), 1, "[{kind}] deaths: {:?}", out.deaths);
+        assert_eq!(out.deaths[0].rank, 0, "[{kind}]");
+        assert!(out.deaths[0].injected, "[{kind}]");
+        assert!(out.results[0].is_none(), "[{kind}] the producer never returns");
+        for c in 1..=2 {
+            let r = out.results[c].as_ref().expect("consumer survived").as_ref();
+            let msg = r.expect_err("consumer cannot have succeeded");
+            assert!(
+                msg.starts_with("peer unavailable:"),
+                "[{kind}] consumer {c} must see PeerUnavailable, got: {msg}"
+            );
+        }
+    }
+    println!("kill-trace-equal: ok");
 }

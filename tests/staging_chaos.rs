@@ -27,7 +27,13 @@ use baselines::staging::{
 };
 use minih5::BBox;
 use obsv::json::Value;
-use simmpi::{ChaosOutput, FaultKind, FaultPlan, TaskComm, TaskSpec, TaskWorld};
+use simmpi::{ChaosOutput, FaultKind, FaultPlan, TaskComm, TaskSpec, TaskWorld, TransportKind};
+
+/// Socket re-runs are opt-in (`SIMMPI_SOCKET_CHAOS=1`): the CI
+/// transport-matrix job sets the variable; plain `cargo test` skips them.
+fn socket_chaos_enabled() -> bool {
+    std::env::var("SIMMPI_SOCKET_CHAOS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 const PRODUCERS: usize = 2;
 const CONSUMERS: usize = 2;
@@ -119,12 +125,22 @@ fn world_ranks(tc: &TaskComm, task_id: usize) -> Vec<usize> {
 /// gate sentinel; consumers poll the gate, read every version **twice**
 /// asserting byte identity, linger `hold`, and release the shards.
 fn run_tier(t: Tier, plan: FaultPlan, observe: Option<&obsv::Registry>) -> ChaosOutput<()> {
+    run_tier_on(t, plan, observe, TransportKind::from_env())
+}
+
+/// As [`run_tier`], pinning the delivery backend (socket re-runs).
+fn run_tier_on(
+    t: Tier,
+    plan: FaultPlan,
+    observe: Option<&obsv::Registry>,
+    kind: TransportKind,
+) -> ChaosOutput<()> {
     let specs = [
         TaskSpec::new("producer", PRODUCERS),
         TaskSpec::new("staging", t.shards),
         TaskSpec::new("consumer", CONSUMERS),
     ];
-    TaskWorld::run_chaos_observed(&specs, None, plan, observe, move |tc| {
+    TaskWorld::run_chaos_observed_on(&specs, None, plan, observe, kind, move |tc| {
         let mut cfg =
             StagingConfig::new(world_ranks(&tc, 1), world_ranks(&tc, 0), world_ranks(&tc, 2));
         cfg.replication = t.k;
@@ -363,4 +379,98 @@ fn kill_trace_replays_bit_identically() {
     assert_eq!((kill.src, kill.seq), (victim, 3));
     assert_eq!(a.deaths.len(), 1);
     assert_eq!(b.deaths.len(), 1);
+}
+
+/// Socket re-run of the deterministic single-kill scenario: the kill
+/// trace and the failover-detection counter must match the in-proc run
+/// exactly — the fault layer decides before the transport, and each
+/// client discovers the victim dead exactly once on either backend.
+#[test]
+fn socket_single_kill_matches_inproc() {
+    if !socket_chaos_enabled() {
+        eprintln!("skipped: set SIMMPI_SOCKET_CHAOS=1 to run the socket chaos re-runs");
+        return;
+    }
+    let t = Tier::new(4, 2);
+    let victim = t.ring().replicas(&staging_key("grid", 0), t.k)[0];
+    let plan = || FaultPlan::new(77).kill_rank(victim, 3);
+    let reg_in = obsv::Registry::new();
+    let reg_so = obsv::Registry::new();
+    let a = run_tier_on(t.clone(), plan(), Some(&reg_in), TransportKind::InProc);
+    let b = run_tier_on(t, plan(), Some(&reg_so), TransportKind::Socket);
+    assert_only_planned_deaths(&a, &[victim]);
+    assert_only_planned_deaths(&b, &[victim]);
+    assert_eq!(a.trace, b.trace, "kill trace must be backend-invariant");
+    assert_eq!(
+        reg_in.report().counter(obsv::Ctr::FailoversDetected),
+        reg_so.report().counter(obsv::Ctr::FailoversDetected),
+        "failover detections must match across backends"
+    );
+}
+
+/// Socket re-run of the double-kill acceptance scenario: byte-identical
+/// reads (asserted inside the consumer bodies), the exact
+/// `failovers_detected` count the in-proc run pins, and the same
+/// recovery machinery engaging. When `SIMMPI_SOCKET_METRICS_OUT` names a
+/// path, the socket run's metrics JSON is written there — the artifact
+/// the CI transport-matrix job uploads.
+#[test]
+fn socket_double_kill_matches_inproc() {
+    if !socket_chaos_enabled() {
+        eprintln!("skipped: set SIMMPI_SOCKET_CHAOS=1 to run the socket chaos re-runs");
+        return;
+    }
+    let make = || {
+        let mut t = Tier::new(5, 3);
+        t.rounds = 4;
+        t
+    };
+    let tier = make();
+    let ring = tier.ring();
+    let front = ring.replicas(&staging_key("grid", 0), tier.k);
+    let victims = [front[0], front[1]];
+    let plan = || {
+        let t = make();
+        let mut plan = FaultPlan::new(33);
+        for v in victims {
+            plan = plan.kill_rank(v, t.acks_of(v) + 1);
+        }
+        plan
+    };
+    let run = |kind| {
+        let mut t = make();
+        t.gate = t.gate_avoiding(&victims);
+        let reg = obsv::Registry::new();
+        let out = run_tier_on(t, plan(), Some(&reg), kind);
+        assert_eq!(out.deaths.len(), 2, "[{kind}] both planned kills fire: {:?}", out.deaths);
+        assert_only_planned_deaths(&out, &victims);
+        reg
+    };
+    let reg_in = run(TransportKind::InProc);
+    let reg_so = run(TransportKind::Socket);
+    for (kind, reg) in [("inproc", &reg_in), ("socket", &reg_so)] {
+        let report = reg.report();
+        assert_eq!(
+            report.counter(obsv::Ctr::FailoversDetected),
+            (CONSUMERS * victims.len()) as u64,
+            "[{kind}] each consumer discovers each victim dead exactly once"
+        );
+        assert!(report.counter(obsv::Ctr::ReadRepairs) >= 1, "[{kind}] repair must engage");
+        assert!(report.counter(obsv::Ctr::ReplicaPuts) > 0, "[{kind}]");
+    }
+    // `read_repairs` / `rerep_bytes` race with tear-down (repair pushes
+    // are fire-and-forget), so only the deterministic counter is compared
+    // across backends.
+    assert_eq!(
+        reg_in.report().counter(obsv::Ctr::FailoversDetected),
+        reg_so.report().counter(obsv::Ctr::FailoversDetected),
+        "failover detections must match across backends"
+    );
+    if let Ok(path) = std::env::var("SIMMPI_SOCKET_METRICS_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, reg_so.report().metrics_json())
+                .unwrap_or_else(|e| panic!("write socket metrics JSON to {path}: {e}"));
+            println!("socket-metrics-json: {path}");
+        }
+    }
 }
