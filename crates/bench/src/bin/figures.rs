@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig11`, `table2`, `collectives`, `staging`, or `all`. Results print
-//! as aligned tables and are also appended as CSV under
+//! `fig11`, `table2`, `collectives`, `staging`, `streaming`, or `all`.
+//! Results print as aligned tables and are also appended as CSV under
 //! `bench-results/`.
 //!
 //! Scales (`--scale small|medium|large`) set rank counts and per-producer
@@ -107,7 +107,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [table1 fig5 fig6 fig7 fig8 fig9 fig11 table2 collectives \
-                     staging | all] [--scale small|medium|large] [--trials N] \
+                     staging streaming | all] [--scale small|medium|large] [--trials N] \
                      [--transport inproc|socket|tcp]"
                 );
                 std::process::exit(0);
@@ -127,6 +127,7 @@ fn parse_args() -> Args {
             "table2",
             "collectives",
             "staging",
+            "streaming",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -616,6 +617,67 @@ fn staging_fig(s: &Scale, scale: &str) {
     );
 }
 
+/// Sustained step-streaming traffic: one fast producer versus slow
+/// consumers, under each back-pressure mode (see
+/// `bench::runners::run_streaming` and docs/STREAMING.md). Three runs,
+/// each with its own metrics registry:
+///
+/// * `baseline` — `DropOldest`, consumers never subscribe: the
+///   producer's unconstrained publish rate.
+/// * `drop` — `DropOldest` with slow `EveryStep` subscribers: the rate
+///   must stay close to the baseline (CI asserts within 10%) because
+///   eviction, not the consumers, absorbs the lag.
+/// * `block` — `Block` with the same subscribers: the publish loop
+///   throttles down to the slowest consumer's pace and sheds nothing.
+///
+/// Rows land in `bench-results/streaming_rates.csv`; per-run counters in
+/// `streaming_<mode>.metrics.json` (the CI streaming job asserts
+/// `steps_published` everywhere, `steps_dropped == 0` for `block`, and
+/// `steps_dropped >= 1` for `drop`).
+fn streaming_fig(scale: &str) {
+    use bench::runners::run_streaming;
+    use lowfive::BackPressure;
+
+    let consumers = 3usize;
+    let steps = 60u64;
+    println!("\n== Streaming: sustained step traffic under both back-pressure modes ==");
+    println!(
+        "{:>10} {:>10} {:>7} {:>10} {:>12} {:>10} {:>9} {:>8}",
+        "mode", "consumers", "steps", "seconds", "steps/s", "published", "dropped", "drained"
+    );
+    let out = results_dir().join("streaming_rates.csv");
+    let header = "scale,mode,consumers,steps,seconds,steps_per_s,published,dropped,drained";
+    let run = |mode: BackPressure, subscribe: bool, name: &str| {
+        let reg = obsv::Registry::new();
+        let m = run_streaming(consumers, steps, mode, subscribe, Some(&reg));
+        println!(
+            "{name:>10} {consumers:>10} {steps:>7} {:>10.4} {:>12.1} {:>10} {:>9} {:>8}",
+            m.seconds, m.rate, m.published, m.dropped, m.drained
+        );
+        csv(
+            &out,
+            header,
+            &format!(
+                "{scale},{name},{consumers},{steps},{},{},{},{},{}",
+                m.seconds, m.rate, m.published, m.dropped, m.drained
+            ),
+        );
+        write_obsv_artifacts(&reg.report(), &format!("streaming_{name}"));
+        m
+    };
+    let baseline = run(BackPressure::DropOldest, false, "baseline");
+    let drop = run(BackPressure::DropOldest, true, "drop");
+    let block = run(BackPressure::Block, true, "block");
+    assert_eq!(baseline.published, steps);
+    assert!(drop.drained && block.drained, "subscribed runs must drain cleanly");
+    assert_eq!(block.dropped, 0, "Block mode is lossless");
+    println!(
+        "  (drop keeps {:.0}% of the baseline rate; block throttles to {:.0}%)",
+        100.0 * drop.rate / baseline.rate,
+        100.0 * block.rate / baseline.rate
+    );
+}
+
 fn main() {
     let args = parse_args();
     println!(
@@ -636,6 +698,7 @@ fn main() {
             "table2" => table2(&args.scale, args.trials),
             "collectives" => collectives_fig(&args.scale, args.trials),
             "staging" => staging_fig(&args.scale, &args.scale_name),
+            "streaming" => streaming_fig(&args.scale_name),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
         }
     }

@@ -601,6 +601,135 @@ pub fn run_staging(
     }
 }
 
+/// Outcome of one step-streaming run (see [`run_streaming`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingOutcome {
+    /// Steps the producer published.
+    pub steps: u64,
+    /// Wall seconds of the producer's publish loop (excludes the final
+    /// drain wait), max over producer ranks.
+    pub seconds: f64,
+    /// Producer step rate: `steps / seconds`.
+    pub rate: f64,
+    /// `steps_published` counter summed over all lanes.
+    pub published: u64,
+    /// `steps_dropped` counter summed over all lanes.
+    pub dropped: u64,
+    /// Did [`lowfive::StepPublisher::finish`] drain cleanly (every
+    /// consumer acknowledged every step)?
+    pub drained: bool,
+}
+
+/// Sustained-traffic streaming scenario (`streaming` experiment): one
+/// fast producer rank publishes `steps` steps of a small dataset (a
+/// ~0.5 ms write-and-publish loop) while `consumers` slow consumer ranks
+/// follow with [`lowfive::StepPolicy::EveryStep`] at ~3 ms per step.
+///
+/// The interesting contrast is the back-pressure `mode`:
+/// [`BackPressure::DropOldest`] lets the producer run at its natural
+/// rate and sheds steps (the CI job asserts the rate stays within 10% of
+/// the unconsumed baseline), while [`BackPressure::Block`] throttles the
+/// publish loop down to the slowest consumer's pace and drops nothing.
+/// With `subscribe` false the consumers never subscribe at all — that is
+/// the baseline rate, and the final drain then necessarily times out
+/// (`drained` is false).
+///
+/// Consumers verify every non-torn step's payload: dataset `x` of step
+/// `n` holds the value `n` in every cell, so a stale or misrouted slot
+/// read fails loudly rather than skewing the timing.
+pub fn run_streaming(
+    consumers: usize,
+    steps: u64,
+    mode: lowfive::BackPressure,
+    subscribe: bool,
+    observe: Option<&obsv::Registry>,
+) -> StreamingOutcome {
+    use lowfive::{StepPolicy, StepPublisher, StepSubscription};
+    assert!(consumers > 0 && steps > 0);
+    let own;
+    let reg = match observe {
+        Some(r) => r,
+        None => {
+            own = obsv::Registry::new();
+            &own
+        }
+    };
+    let specs = [TaskSpec::new("producer", 1), TaskSpec::new("consumer", consumers)];
+    let out = TaskWorld::run_observed(&specs, None, Some(reg), move |tc| {
+        let _task = obsv::span_tagged(obsv::Phase::Task, tc.task_id as u64);
+        let mut props = LowFiveProps::new();
+        props.set_stream_queue_depth("sim.h5", 4).set_stream_backpressure("sim.h5", mode);
+        if tc.task_id == 0 {
+            let consumers = world_ranks(&tc, 1);
+            let vol = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .produce("sim.h5@s*", consumers)
+                .async_serve(true)
+                .build();
+            let h5 = H5::with_vol(vol.clone() as Arc<dyn Vol>);
+            let publisher = StepPublisher::new(vol.clone(), "sim.h5").expect("publisher");
+            let t0 = Instant::now();
+            for n in 0..steps {
+                let f = h5.create_file(&publisher.step_file()).expect("create slot");
+                let d = f
+                    .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[64]))
+                    .expect("step dataset");
+                d.write_selection(&Selection::block(&[0], &[64]), &[n; 64]).expect("step write");
+                f.close().expect("close slot");
+                publisher.publish().expect("publish");
+                // The producer's natural inter-step gap: fast, but not a
+                // pure spin — the baseline rate must be reproducible.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+            let seconds = t0.elapsed().as_secs_f64();
+            // Blocking mode with live consumers must drain every step;
+            // otherwise bound the wait (an unconsumed baseline never
+            // drains by construction).
+            let grace = if subscribe {
+                std::time::Duration::from_secs(30)
+            } else {
+                std::time::Duration::from_millis(50)
+            };
+            let drained = publisher.finish(Some(grace));
+            vol.drain();
+            (seconds, drained)
+        } else {
+            let producers = world_ranks(&tc, 0);
+            let vol = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("sim.h5@s*", producers)
+                .build();
+            if subscribe {
+                let h5 = H5::with_vol(vol.clone() as Arc<dyn Vol>);
+                let mut sub =
+                    StepSubscription::new(vol, "sim.h5", StepPolicy::EveryStep).expect("subscribe");
+                while let Some(step) = sub.next_step().expect("next step") {
+                    let f = h5.open_file(&step.file).expect("open step");
+                    let d = f.open_dataset("x").expect("step dataset");
+                    let got = d.read_all::<u64>().expect("step read");
+                    f.close().expect("close step");
+                    if !sub.is_torn(&step) {
+                        assert_eq!(got, vec![step.seq; 64], "step {} payload", step.seq);
+                    }
+                    // The slow-consumer pace that creates back-pressure.
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+            }
+            (0.0, true)
+        }
+    });
+    let (seconds, drained) = out.results[0];
+    let report = reg.report();
+    StreamingOutcome {
+        steps,
+        seconds,
+        rate: steps as f64 / seconds.max(1e-9),
+        published: report.counter(obsv::Ctr::StepsPublished),
+        dropped: report.counter(obsv::Ctr::StepsDropped),
+        drained: out.results.iter().all(|&(_, d)| d) && drained,
+    }
+}
+
 /// Bredala (Fig. 9): contiguous policy for the particles, bounding-box
 /// policy for the grid, timed separately.
 pub fn run_bredala(w: &Workload) -> BredalaMeasurement {
@@ -766,6 +895,26 @@ mod tests {
             out.stats.bytes,
             lf.bytes
         );
+    }
+
+    #[test]
+    fn streaming_modes_complete() {
+        // DropOldest with slow consumers: every step published, at least
+        // one shed, and the stragglers still drain once the series ends.
+        let drop = run_streaming(2, 12, lowfive::BackPressure::DropOldest, true, None);
+        assert_eq!(drop.published, 12);
+        assert!(drop.dropped >= 1, "slow consumers must force drops");
+        assert!(drop.drained, "consumers catch up after the end");
+        // Block never drops and drains cleanly.
+        let block = run_streaming(2, 12, lowfive::BackPressure::Block, true, None);
+        assert_eq!(block.published, 12);
+        assert_eq!(block.dropped, 0, "Block mode is lossless");
+        assert!(block.drained);
+        // Unconsumed baseline: full rate, queue overflow, drain timeout.
+        let base = run_streaming(2, 12, lowfive::BackPressure::DropOldest, false, None);
+        assert_eq!(base.published, 12);
+        assert_eq!(base.dropped, 12 - 4, "depth-4 queue keeps only the tail");
+        assert!(!base.drained, "nobody consumed; the drain must time out");
     }
 
     #[test]

@@ -206,6 +206,10 @@ pub struct DistMetadataVol {
     /// Consumer-side cache of metadata and redirect results (pipelined
     /// fetch path only; see [`FetchCache`]).
     fetch_cache: Mutex<FetchCache>,
+    /// Step-streaming state: registered series and their announce
+    /// windows (see [`crate::stream`]). Slot files of a series bypass
+    /// the DONE-counted session map entirely.
+    stream: Mutex<crate::stream::StreamState>,
 }
 
 /// Builder for [`DistMetadataVol`].
@@ -298,6 +302,7 @@ impl DistVolBuilder {
             self_weak: weak.clone(),
             pending_meta: Mutex::default(),
             fetch_cache: Mutex::default(),
+            stream: Mutex::default(),
         })
     }
 }
@@ -318,13 +323,33 @@ impl DistMetadataVol {
         *self.profile.lock() = TransportProfile::default();
     }
 
-    fn consume_link_for(&self, name: &str) -> Option<&Link> {
+    /// The transport properties this VOL was built with.
+    pub(crate) fn props(&self) -> &LowFiveProps {
+        &self.props
+    }
+
+    /// This task's local communicator.
+    pub(crate) fn local_comm(&self) -> &Comm {
+        &self.local
+    }
+
+    /// Is overlap mode (background serve thread) enabled?
+    pub(crate) fn is_async_serve(&self) -> bool {
+        self.async_serve
+    }
+
+    /// The step-streaming state shared with [`crate::stream`].
+    pub(crate) fn stream_state(&self) -> &Mutex<crate::stream::StreamState> {
+        &self.stream
+    }
+
+    pub(crate) fn consume_link_for(&self, name: &str) -> Option<&Link> {
         self.links.iter().find(|l| l.dir == LinkDir::Consume && glob_match(&l.pattern, name))
     }
 
     /// All consumer world ranks subscribed to `name` (fan-out: multiple
     /// Produce links can match).
-    fn consumers_for(&self, name: &str) -> Vec<usize> {
+    pub(crate) fn consumers_for(&self, name: &str) -> Vec<usize> {
         let mut out: Vec<usize> = Vec::new();
         for l in &self.links {
             if l.dir == LinkDir::Produce && glob_match(&l.pattern, name) {
@@ -384,6 +409,15 @@ impl DistMetadataVol {
             }
         }
         drop(idx);
+        // The all-to-all alone is not a barrier: a rank can complete it
+        // (everyone has *sent*) while a peer has yet to fold the received
+        // bundles into its serve index. Anything that makes the file
+        // visible after this returns — an overlap-mode step announce, the
+        // metadata reply that unblocks a consumer's open — must imply
+        // that *every* producer rank can already answer `M_INTERSECT`
+        // for it, or a consumer races the laggard and reads an empty
+        // owner set (silently zero-filled data).
+        self.local.barrier();
         let mut p = self.profile.lock();
         p.index_seconds += sp.finish();
         p.index_boxes += nboxes;
@@ -461,6 +495,13 @@ impl DistMetadataVol {
                 } else {
                     ServeOutcome::Reply(ack)
                 }
+            }
+            M_STEP_SUB | M_STEP_NEXT | M_STEP_ACK => {
+                // A producer blocked in this synchronous loop could never
+                // publish another step, so streaming refuses to start.
+                ServeOutcome::Reply(enc_result(Err(H5Error::Vol(
+                    "step streaming requires overlap mode (DistVolBuilder::async_serve)".into(),
+                ))))
             }
             m => ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
                 "unknown RPC method {m}"
@@ -605,10 +646,19 @@ impl DistMetadataVol {
         }
         // Overlap mode: register the session, release any consumers that
         // asked early, make sure the serve thread runs, and return.
-        self.sessions
-            .lock()
-            .open
-            .insert(filename.to_string(), (consumers.len(), std::collections::HashSet::new()));
+        //
+        // Step slot files never enter the session map: their lifetime is
+        // governed by the series' announce window (publish → retire), not
+        // by counted consumer DONEs — a `LatestStep` subscriber may never
+        // open a given slot at all. Consumer closes of slot files hit the
+        // async loop's absent-file DONE branch and are simply acked.
+        let is_step = self.stream.lock().is_step_file(filename);
+        if !is_step {
+            self.sessions
+                .lock()
+                .open
+                .insert(filename.to_string(), (consumers.len(), std::collections::HashSet::new()));
+        }
         {
             let mut pending = self.pending_meta.lock();
             let (now, later): (Vec<_>, Vec<_>) =
@@ -622,6 +672,15 @@ impl DistMetadataVol {
                 diyblk::rpc::send_reply(&self.world, caller, enc_result(reply));
             }
         }
+        self.ensure_serve_thread();
+        Ok(())
+    }
+
+    /// Start the overlap-mode serve thread if it is not already running.
+    /// Called from the first async `file_close` and from
+    /// [`crate::stream::StepPublisher::new`] (subscribes can arrive
+    /// before the first slot file closes).
+    pub(crate) fn ensure_serve_thread(&self) {
         let mut guard = self.serve_thread.lock();
         if guard.is_none() {
             let me = self.self_weak.upgrade().expect("self is alive during close");
@@ -639,7 +698,6 @@ impl DistMetadataVol {
                     .expect("spawn serve thread"),
             );
         }
-        Ok(())
     }
 
     /// Block until every outstanding async serve session completes and
@@ -654,8 +712,18 @@ impl DistMetadataVol {
                 None => return,
             }
         };
-        // Wake the loop so it can observe the drain request.
-        RpcClient::new(&self.world).notify(self.world.rank(), M_SHUTDOWN, &[]);
+        // Wake the loop so it can observe the drain request. The notify
+        // is an ordinary message, so under fault injection it can be
+        // dropped like any other — re-send until the loop exits (extra
+        // M_SHUTDOWNs are idempotent: they just re-mark the drain).
+        let rpc = RpcClient::new(&self.world);
+        loop {
+            rpc.notify(self.world.rank(), M_SHUTDOWN, &[]);
+            if handle.is_finished() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
         handle.join().expect("serve thread panicked");
     }
 
@@ -675,7 +743,7 @@ impl DistMetadataVol {
                 let known = {
                     let s = self.sessions.lock();
                     s.open.contains_key(&file) || s.completed.contains(&file)
-                };
+                } || self.stream.lock().serveable.contains(&file);
                 if known {
                     let reply = self
                         .meta
@@ -725,10 +793,25 @@ impl DistMetadataVol {
                     ServeOutcome::Continue
                 }
             }
+            M_STEP_SUB => ServeOutcome::Reply(crate::stream::serve_step_sub(self, &args)),
+            M_STEP_NEXT => {
+                ServeOutcome::Reply(crate::stream::serve_step_next(self, caller.rank, &args))
+            }
+            M_STEP_ACK => {
+                ServeOutcome::Reply(crate::stream::serve_step_ack(self, caller.rank, &args))
+            }
             m => ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
                 "unknown RPC method {m}"
             ))))),
         });
+        // The loop has stopped: any metadata request still parked here
+        // (a consumer running ahead to a snapshot we will never close)
+        // would otherwise hang its sender through our drain. Failing it
+        // now surfaces the lifecycle bug on the consumer instead.
+        let orphaned: Vec<(Caller, String)> = self.pending_meta.lock().drain(..).collect();
+        for (caller, file) in orphaned {
+            diyblk::rpc::send_reply(&self.world, caller, enc_result(Err(H5Error::NotFound(file))));
+        }
         self.profile.lock().serve_seconds += sp.finish();
     }
 
@@ -743,7 +826,7 @@ impl DistMetadataVol {
     /// [`H5Error::PeerUnavailable`] after the bounded attempts — all
     /// consumer RPCs (metadata, intersect, data) are idempotent, so
     /// resending is safe. Returns the still-encoded reply frame.
-    fn call_producer(
+    pub(crate) fn call_producer(
         &self,
         file: &str,
         server: usize,
@@ -770,7 +853,7 @@ impl DistMetadataVol {
     /// differs from the last generation that producer reported: the
     /// cached metadata and owner lists were built against a snapshot the
     /// producer has since rewritten.
-    fn note_gen(&self, file: &str, server: usize, gen: u64) -> bool {
+    pub(crate) fn note_gen(&self, file: &str, server: usize, gen: u64) -> bool {
         let mut cache = self.fetch_cache.lock();
         match cache.gens.insert((file.to_string(), server), gen) {
             Some(old) if old != gen => {
@@ -780,6 +863,15 @@ impl DistMetadataVol {
             }
             _ => false,
         }
+    }
+
+    /// The last generation producer world rank `server` reported for
+    /// `file` on this consumer, if any reply has carried one yet. Step
+    /// subscribers compare this against an announce's generation to
+    /// detect a slot recycled mid-read
+    /// ([`crate::stream::StepSubscription::is_torn`]).
+    pub fn noted_gen(&self, file: &str, server: usize) -> Option<u64> {
+        self.fetch_cache.lock().gens.get(&(file.to_string(), server)).copied()
     }
 
     fn consumer_open(&self, name: &str, link: &Link) -> H5Result<ObjId> {
@@ -1255,6 +1347,10 @@ impl Vol for DistMetadataVol {
         // A recreated file is no longer safe to serve from old state.
         if self.async_serve {
             self.sessions.lock().completed.remove(name);
+            // A recycled step slot stops being serveable until the next
+            // publish re-announces it (metadata requests meanwhile park
+            // in pending_meta and are flushed by the slot's next close).
+            self.stream.lock().serveable.remove(name);
         }
         self.meta.file_create(name)
     }

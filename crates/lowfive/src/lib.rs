@@ -69,14 +69,19 @@
 // value; a stray `.clone()` there silently reintroduces the copy this
 // crate exists to avoid, so redundant clones are a hard error.
 #![deny(clippy::redundant_clone)]
+// This crate is the workspace's public API surface; every exported item
+// carries rustdoc (promoted to an error by the CI docs job).
+#![warn(missing_docs)]
 
 pub mod base;
 pub mod dist;
 pub mod metadata;
 pub mod props;
 pub mod protocol;
+pub mod stream;
 
 pub use base::BaseVol;
 pub use dist::{DistMetadataVol, DistVolBuilder, Link, LinkDir, TransportProfile};
 pub use metadata::MetadataVol;
-pub use props::{glob_match, LowFiveProps};
+pub use props::{glob_match, BackPressure, LowFiveProps};
+pub use stream::{Step, StepPolicy, StepPublisher, StepSubscription};

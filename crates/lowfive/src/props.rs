@@ -12,6 +12,19 @@ use std::time::Duration;
 use diyblk::RetryPolicy;
 use minih5::Ownership;
 
+/// What a producer's `publish` does when a stream series' bounded step
+/// queue is full (see `crate::stream` and `docs/STREAMING.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackPressure {
+    /// `publish` blocks until the slowest subscribed consumer retires a
+    /// step. Lossless: every consumer sees every step.
+    #[default]
+    Block,
+    /// `publish` evicts the oldest retained step and proceeds at full
+    /// rate. Slow consumers observe gaps (counted as `steps_dropped`).
+    DropOldest,
+}
+
 #[derive(Debug, Clone)]
 enum Action {
     Memory(bool),
@@ -21,6 +34,8 @@ enum Action {
     RpcTimeout(Option<Duration>),
     RpcRetries(u32),
     FetchPipeline(bool),
+    StreamQueueDepth(usize),
+    StreamBackpressure(BackPressure),
 }
 
 #[derive(Debug, Clone)]
@@ -40,6 +55,7 @@ pub struct LowFiveProps {
 }
 
 impl LowFiveProps {
+    /// Empty property list: every knob at its documented default.
     pub fn new() -> Self {
         Self::default()
     }
@@ -136,6 +152,55 @@ impl LowFiveProps {
             action: Action::FetchPipeline(on),
         });
         self
+    }
+
+    /// Bound the number of unretired steps a stream series matching
+    /// `file_pat` retains (default **4**, minimum 1). Match against the
+    /// *series* name, not the per-step slot filenames derived from it.
+    pub fn set_stream_queue_depth(&mut self, file_pat: &str, depth: usize) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::StreamQueueDepth(depth.max(1)),
+        });
+        self
+    }
+
+    /// Select what `publish` does when the step queue of a series
+    /// matching `file_pat` is full (default [`BackPressure::Block`]).
+    pub fn set_stream_backpressure(&mut self, file_pat: &str, mode: BackPressure) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::StreamBackpressure(mode),
+        });
+        self
+    }
+
+    /// Effective step-queue depth for stream series `file`.
+    pub fn stream_queue_depth_for(&self, file: &str) -> usize {
+        let mut depth = 4;
+        for r in &self.rules {
+            if let Action::StreamQueueDepth(v) = r.action {
+                if glob_match(&r.file_pat, file) {
+                    depth = v;
+                }
+            }
+        }
+        depth
+    }
+
+    /// Effective back-pressure mode for stream series `file`.
+    pub fn stream_backpressure_for(&self, file: &str) -> BackPressure {
+        let mut mode = BackPressure::Block;
+        for r in &self.rules {
+            if let Action::StreamBackpressure(v) = r.action {
+                if glob_match(&r.file_pat, file) {
+                    mode = v;
+                }
+            }
+        }
+        mode
     }
 
     /// Should remote reads of `file` use the pipelined fetch path?
@@ -308,6 +373,24 @@ mod tests {
         // Last matching rule wins.
         p.set_fetch_pipeline("*", true);
         assert!(p.fetch_pipeline_for("legacy/step1.h5"));
+    }
+
+    #[test]
+    fn stream_knobs_default_and_pattern_scope() {
+        let p = LowFiveProps::new();
+        assert_eq!(p.stream_queue_depth_for("sim.h5"), 4);
+        assert_eq!(p.stream_backpressure_for("sim.h5"), BackPressure::Block);
+
+        let mut p = LowFiveProps::new();
+        p.set_stream_queue_depth("sim*", 2);
+        p.set_stream_backpressure("sim*", BackPressure::DropOldest);
+        assert_eq!(p.stream_queue_depth_for("sim.h5"), 2);
+        assert_eq!(p.stream_backpressure_for("sim.h5"), BackPressure::DropOldest);
+        assert_eq!(p.stream_queue_depth_for("other.h5"), 4);
+        assert_eq!(p.stream_backpressure_for("other.h5"), BackPressure::Block);
+        // Last matching rule wins; depth is clamped to at least one slot.
+        p.set_stream_queue_depth("*", 0);
+        assert_eq!(p.stream_queue_depth_for("sim.h5"), 1);
     }
 
     #[test]

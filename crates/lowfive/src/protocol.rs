@@ -19,6 +19,17 @@
 //! * `M_DONE` — consumer `file_close` notification; producers exit their
 //!   serve loop when every consumer has reported done.
 //!
+//! Three more methods carry the step-streaming control plane (see
+//! `crate::stream` and the repository's `docs/STREAMING.md`):
+//!
+//! * `M_STEP_SUB` — subscribe to a step series: returns the retained
+//!   window bounds so a late joiner can catch up from the step index,
+//! * `M_STEP_NEXT` — poll for the next step matching a subscribe policy;
+//!   the *announce* reply names the step's slot file and generation,
+//! * `M_STEP_ACK` — cumulative consumption acknowledgement (`cursor`
+//!   covers every step below it), multicast to all producer ranks so the
+//!   bounded step queues retire entries in lockstep.
+//!
 //! The index exchange among producers (Algorithm 1) uses a plain tagged
 //! message (`TAG_INDEX`) on the producer task's local communicator.
 //!
@@ -67,6 +78,12 @@ pub const M_SHUTDOWN: u32 = 5;
 /// Batched data query: all of a consumer's selections for one producer
 /// in a single frame, answered in a single reply.
 pub const M_DATA_BATCH: u32 = 6;
+/// Subscribe to a step series: returns the retained window bounds.
+pub const M_STEP_SUB: u32 = 7;
+/// Poll for the next step of a series under a subscribe policy.
+pub const M_STEP_NEXT: u32 = 8;
+/// Cumulative step-consumption acknowledgement (multicast to producers).
+pub const M_STEP_ACK: u32 = 9;
 
 /// Tag for the producer-local index exchange (Algorithm 1).
 pub const TAG_INDEX: u32 = 0x7F10_0001;
@@ -185,10 +202,13 @@ pub fn dec_data_req_batch(b: &[u8]) -> H5Result<(String, Vec<(String, Selection)
     Ok((file, entries))
 }
 
+/// Encode an `M_DONE` notification: just the filename (same body as
+/// [`enc_metadata_req`]).
 pub fn enc_done_req(file: &str) -> Bytes {
     enc_metadata_req(file)
 }
 
+/// Decode an `M_DONE` notification into the filename.
 pub fn dec_done_req(b: &[u8]) -> H5Result<String> {
     dec_metadata_req(b)
 }
@@ -479,6 +499,7 @@ pub struct ReplyFrame {
 }
 
 impl ReplyFrame {
+    /// An empty frame.
     pub fn new() -> Self {
         ReplyFrame::default()
     }
@@ -515,6 +536,7 @@ impl ReplyFrame {
         self.hdr.len() + self.parts.len()
     }
 
+    /// Has nothing been framed yet?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -537,16 +559,19 @@ pub struct PayloadReader {
 }
 
 impl PayloadReader {
+    /// Start reading `p` from its first byte.
     pub fn new(p: Payload) -> Self {
         PayloadReader { p }
     }
 
+    /// Read one byte off the front of the payload.
     pub fn get_u8(&mut self) -> H5Result<u8> {
         let mut b = [0u8; 1];
         self.read_exact(&mut b)?;
         Ok(b[0])
     }
 
+    /// Read a little-endian `u64` off the front of the payload.
     pub fn get_u64(&mut self) -> H5Result<u64> {
         let mut b = [0u8; 8];
         self.read_exact(&mut b)?;
@@ -658,6 +683,185 @@ pub fn dec_index_bundle(b: &[u8]) -> H5Result<Vec<(String, String, u64, BBox)>> 
         out.push((r.get_str()?, r.get_str()?, r.get_u64()?, r.get()?));
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Step streaming (M_STEP_SUB / M_STEP_NEXT / M_STEP_ACK)
+// ---------------------------------------------------------------------
+
+/// Wire codes of the subscribe policies carried in `M_STEP_NEXT`
+/// requests. `crate::stream::StepPolicy` maps onto these; the skip
+/// bound rides next to the code so the frame shape is fixed.
+pub const STEP_POLICY_EVERY: u8 = 0;
+/// Wire code: deliver the newest retained step at or past the cursor.
+pub const STEP_POLICY_LATEST: u8 = 1;
+/// Wire code: deliver in order but allow skipping up to `n` steps ahead.
+pub const STEP_POLICY_SKIP_OK: u8 = 2;
+
+/// Encode a step-subscribe request (`M_STEP_SUB`): just the series name.
+///
+/// ```
+/// use lowfive::protocol::{enc_step_sub_req, dec_step_sub_req};
+/// assert_eq!(dec_step_sub_req(&enc_step_sub_req("sim.h5")).unwrap(), "sim.h5");
+/// ```
+pub fn enc_step_sub_req(series: &str) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(series);
+    w.finish()
+}
+
+/// Decode a step-subscribe request into the series name.
+pub fn dec_step_sub_req(b: &[u8]) -> H5Result<String> {
+    Reader::new(b).get_str()
+}
+
+/// Encode a step-subscribe reply: the retained window start (the oldest
+/// step a late joiner can still catch up from), the next sequence number
+/// the producer will publish, and whether the series has ended.
+///
+/// ```
+/// use lowfive::protocol::{enc_step_sub_reply, dec_step_sub_reply};
+/// assert_eq!(dec_step_sub_reply(&enc_step_sub_reply(3, 7, false)).unwrap(), (3, 7, false));
+/// assert_eq!(dec_step_sub_reply(&enc_step_sub_reply(9, 9, true)).unwrap(), (9, 9, true));
+/// ```
+pub fn enc_step_sub_reply(window_start: u64, next_seq: u64, ended: bool) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u64(window_start);
+    w.put_u64(next_seq);
+    w.put_u8(ended as u8);
+    w.finish()
+}
+
+/// Decode a step-subscribe reply into `(window_start, next_seq, ended)`.
+pub fn dec_step_sub_reply(b: &[u8]) -> H5Result<(u64, u64, bool)> {
+    let mut r = Reader::new(b);
+    Ok((r.get_u64()?, r.get_u64()?, r.get_u8()? != 0))
+}
+
+/// Encode a step-next request (`M_STEP_NEXT`): the series, the caller's
+/// cumulative cursor (every step below it is consumed), the policy wire
+/// code, and the skip bound (meaningful for [`STEP_POLICY_SKIP_OK`],
+/// zero otherwise).
+///
+/// ```
+/// use lowfive::protocol::{enc_step_next_req, dec_step_next_req, STEP_POLICY_SKIP_OK};
+/// let frame = enc_step_next_req("sim.h5", 4, STEP_POLICY_SKIP_OK, 2);
+/// assert_eq!(dec_step_next_req(&frame).unwrap(), ("sim.h5".into(), 4, STEP_POLICY_SKIP_OK, 2));
+/// ```
+pub fn enc_step_next_req(series: &str, cursor: u64, policy: u8, skip: u64) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(series);
+    w.put_u64(cursor);
+    w.put_u8(policy);
+    w.put_u64(skip);
+    w.finish()
+}
+
+/// Decode a step-next request into `(series, cursor, policy code, skip)`.
+pub fn dec_step_next_req(b: &[u8]) -> H5Result<(String, u64, u8, u64)> {
+    let mut r = Reader::new(b);
+    Ok((r.get_str()?, r.get_u64()?, r.get_u8()?, r.get_u64()?))
+}
+
+/// One `M_STEP_NEXT` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepNextReply {
+    /// Nothing at or past the cursor is retained yet; poll again.
+    Pending,
+    /// A step *announce*: the chosen step and where to read it.
+    Step {
+        /// Sequence number of the announced step.
+        seq: u64,
+        /// Slot filename holding the step's datasets (open it like any
+        /// consumed file).
+        file: String,
+        /// The producer's generation of the slot file at publish time; a
+        /// later read observing a different generation proves the slot
+        /// was recycled underneath the announce (drop-oldest mode only).
+        gen: u64,
+        /// Publish timestamp, `obsv::clock::now_ns` domain (threads share
+        /// one process clock, so consumers can histogram step latency).
+        pub_ns: u64,
+    },
+    /// The series ended and nothing at or past the cursor remains; `head`
+    /// is the final next-sequence value to acknowledge.
+    Ended {
+        /// One past the last published sequence number.
+        head: u64,
+    },
+}
+
+const STEP_NEXT_PENDING: u8 = 0;
+const STEP_NEXT_STEP: u8 = 1;
+const STEP_NEXT_ENDED: u8 = 2;
+
+/// Encode a step-next reply.
+///
+/// ```
+/// use lowfive::protocol::{enc_step_next_reply, dec_step_next_reply, StepNextReply};
+/// for reply in [
+///     StepNextReply::Pending,
+///     StepNextReply::Step { seq: 5, file: "sim.h5@s1".into(), gen: 2, pub_ns: 99 },
+///     StepNextReply::Ended { head: 6 },
+/// ] {
+///     assert_eq!(dec_step_next_reply(&enc_step_next_reply(&reply)).unwrap(), reply);
+/// }
+/// ```
+pub fn enc_step_next_reply(reply: &StepNextReply) -> Bytes {
+    let mut w = Writer::new();
+    match reply {
+        StepNextReply::Pending => w.put_u8(STEP_NEXT_PENDING),
+        StepNextReply::Step { seq, file, gen, pub_ns } => {
+            w.put_u8(STEP_NEXT_STEP);
+            w.put_u64(*seq);
+            w.put_str(file);
+            w.put_u64(*gen);
+            w.put_u64(*pub_ns);
+        }
+        StepNextReply::Ended { head } => {
+            w.put_u8(STEP_NEXT_ENDED);
+            w.put_u64(*head);
+        }
+    }
+    w.finish()
+}
+
+/// Decode a step-next reply.
+pub fn dec_step_next_reply(b: &[u8]) -> H5Result<StepNextReply> {
+    let mut r = Reader::new(b);
+    match r.get_u8()? {
+        STEP_NEXT_PENDING => Ok(StepNextReply::Pending),
+        STEP_NEXT_STEP => {
+            let seq = r.get_u64()?;
+            let file = r.get_str()?;
+            let gen = r.get_u64()?;
+            let pub_ns = r.get_u64()?;
+            Ok(StepNextReply::Step { seq, file, gen, pub_ns })
+        }
+        STEP_NEXT_ENDED => Ok(StepNextReply::Ended { head: r.get_u64()? }),
+        t => Err(H5Error::Format(format!("bad step-next discriminant {t}"))),
+    }
+}
+
+/// Encode a step-ack request (`M_STEP_ACK`): the series and the caller's
+/// cumulative cursor. Acks are idempotent max-merges on the producer, so
+/// a retransmit (lost ack under a retry policy) is harmless.
+///
+/// ```
+/// use lowfive::protocol::{enc_step_ack_req, dec_step_ack_req};
+/// assert_eq!(dec_step_ack_req(&enc_step_ack_req("sim.h5", 12)).unwrap(), ("sim.h5".into(), 12));
+/// ```
+pub fn enc_step_ack_req(series: &str, cursor: u64) -> Bytes {
+    let mut w = Writer::new();
+    w.put_str(series);
+    w.put_u64(cursor);
+    w.finish()
+}
+
+/// Decode a step-ack request into `(series, cursor)`.
+pub fn dec_step_ack_req(b: &[u8]) -> H5Result<(String, u64)> {
+    let mut r = Reader::new(b);
+    Ok((r.get_str()?, r.get_u64()?))
 }
 
 #[cfg(test)]

@@ -1,0 +1,726 @@
+//! Step-based streaming on top of the VOL: ADIOS-SST-style
+//! publish/subscribe of timestep sequences.
+//!
+//! The base transport exchanges whole files — a producer closes a file,
+//! consumers read it, everyone moves on. Iterative workflows want the
+//! *series* shape instead: the producer emits snapshot after snapshot of
+//! the same logical output, and consumers follow along at their own pace.
+//! This module adds that shape without changing the data path at all:
+//!
+//! * A **series** is a logical name (say `"sim.h5"`). Each published step
+//!   is an ordinary HDF5 file written through the VOL into a rotating
+//!   *slot* (`sim.h5@s0`, `sim.h5@s1`, …, wrapping after
+//!   `queue depth + 2` slots), so indexing, serving, zero-copy reads,
+//!   and generation tags all apply to steps unmodified.
+//! * A [`StepPublisher`] appends step announces to a bounded in-memory
+//!   queue on every producer rank; [`StepPublisher::publish`] applies the
+//!   series' back-pressure mode ([`BackPressure::Block`] waits for the
+//!   slowest consumer, [`BackPressure::DropOldest`] evicts the oldest
+//!   unconsumed step and keeps going).
+//! * A [`StepSubscription`] polls its home producer with a
+//!   [`StepPolicy`] — every step in order, always the latest, or in-order
+//!   with a bounded skip — and acknowledges consumption cumulatively to
+//!   *all* producer ranks (piggybacked on the poll for the home rank). A
+//!   late joiner starts from the oldest step the window still retains
+//!   (`M_STEP_SUB` returns the window bounds).
+//!
+//! The control plane is three RPC methods served by the overlap-mode
+//! serve thread (`M_STEP_SUB`, `M_STEP_NEXT`, `M_STEP_ACK` — byte
+//! formats in [`crate::protocol`] and `docs/PROTOCOL.md`; lifecycle
+//! diagrams in `docs/STREAMING.md`). Streaming therefore **requires**
+//! overlap mode ([`crate::DistVolBuilder::async_serve`]): a producer
+//! blocked in a synchronous serve loop could never publish the next step.
+//!
+//! ## Ordering contract
+//!
+//! On a multi-rank producer task, every rank must create the publisher,
+//! write/close the slot files, and call [`StepPublisher::publish`] /
+//! [`StepPublisher::finish`] in lockstep (the same sequence on every
+//! rank), exactly like any other collective. Slot-file closes already
+//! synchronize the ranks (the index exchange is an all-to-all), so by the
+//! time any rank announces step *n*, every producer rank serves it.
+//!
+//! ## Back-pressure and slot reuse
+//!
+//! With `queue depth = c`, slots rotate through `c + 2` filenames, and a
+//! step's slot is recreated (truncated, bumping the file generation) only
+//! once the step `c + 2` sequence numbers ahead is being written. Under
+//! [`BackPressure::Block`] a step leaves the window only after every
+//! consumer acknowledged it, so the slot a producer truncates is always
+//! fully consumed — the mode is lossless. Under
+//! [`BackPressure::DropOldest`] an evicted step's slot can be truncated
+//! while a straggling consumer still holds its announce; the read stays
+//! memory-safe (it observes the recycled file), and the consumer can
+//! *detect* the tear by comparing the generation its home producer
+//! reported during the read against the announced one — see
+//! [`StepSubscription::is_torn`].
+//!
+//! ## Example
+//!
+//! One producer rank streams three steps to one consumer:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lowfive::{DistVolBuilder, StepPolicy, StepPublisher, StepSubscription};
+//! use minih5::{Dataspace, Datatype, Selection, Vol, H5};
+//! use simmpi::{TaskSpec, TaskWorld};
+//!
+//! let specs = [TaskSpec::new("producer", 1), TaskSpec::new("consumer", 1)];
+//! TaskWorld::run(&specs, |tc| {
+//!     if tc.task_id == 0 {
+//!         let vol = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+//!             .produce("sim.h5@s*", vec![1])
+//!             .async_serve(true) // streaming requires overlap mode
+//!             .build();
+//!         let h5 = H5::with_vol(vol.clone() as Arc<dyn Vol>);
+//!         let publisher = StepPublisher::new(vol.clone(), "sim.h5").unwrap();
+//!         for t in 0..3u64 {
+//!             let f = h5.create_file(&publisher.step_file()).unwrap();
+//!             let d = f
+//!                 .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[4]))
+//!                 .unwrap();
+//!             d.write_selection(&Selection::block(&[0], &[4]), &[t, t, t, t]).unwrap();
+//!             f.close().unwrap();
+//!             publisher.publish().unwrap();
+//!         }
+//!         assert!(publisher.finish(None), "all steps consumed");
+//!         vol.drain();
+//!     } else {
+//!         let vol = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+//!             .consume("sim.h5@s*", vec![0])
+//!             .build();
+//!         let h5 = H5::with_vol(vol.clone() as Arc<dyn Vol>);
+//!         let mut sub = StepSubscription::new(vol, "sim.h5", StepPolicy::EveryStep).unwrap();
+//!         let mut seen = Vec::new();
+//!         while let Some(step) = sub.next_step().unwrap() {
+//!             let f = h5.open_file(&step.file).unwrap();
+//!             let d = f.open_dataset("x").unwrap();
+//!             seen.push(d.read_all::<u64>().unwrap()[0]);
+//!             f.close().unwrap();
+//!         }
+//!         assert_eq!(seen, vec![0, 1, 2]);
+//!     }
+//! });
+//! ```
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use minih5::{H5Error, H5Result};
+
+use crate::dist::DistMetadataVol;
+use crate::props::BackPressure;
+use crate::protocol::*;
+
+/// How a [`StepSubscription`] walks a series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepPolicy {
+    /// Deliver every retained step in sequence order. Combined with
+    /// [`BackPressure::Block`] this is lossless: the consumer sees the
+    /// exact sequence the producer published.
+    EveryStep,
+    /// Always deliver the newest retained step at or past the cursor,
+    /// skipping anything older (a dashboard following a simulation).
+    LatestStep,
+    /// Deliver in order, but allow jumping up to `n` steps ahead of the
+    /// cursor when the consumer has fallen behind: the newest retained
+    /// step within `cursor + n` is chosen, or the oldest available one
+    /// if even that range has been outrun.
+    SkipOk(u64),
+}
+
+impl StepPolicy {
+    /// The `(code, skip)` pair carried in `M_STEP_NEXT` requests.
+    fn wire(self) -> (u8, u64) {
+        match self {
+            StepPolicy::EveryStep => (STEP_POLICY_EVERY, 0),
+            StepPolicy::LatestStep => (STEP_POLICY_LATEST, 0),
+            StepPolicy::SkipOk(n) => (STEP_POLICY_SKIP_OK, n),
+        }
+    }
+}
+
+/// One delivered step, as returned by [`StepSubscription::next_step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Sequence number within the series (0-based, strictly increasing;
+    /// gaps mean the policy or back-pressure skipped steps).
+    pub seq: u64,
+    /// Slot filename holding the step's datasets; open it through the
+    /// same consume link as any other file.
+    pub file: String,
+    /// The slot file's generation at publish time (see
+    /// [`StepSubscription::is_torn`]).
+    pub gen: u64,
+}
+
+/// The slot filename of sequence number `seq` in a ring of `ring` slots.
+fn slot_name(series: &str, slot: u64) -> String {
+    format!("{series}@s{slot}")
+}
+
+/// One retained (published, not yet retired) step.
+pub(crate) struct StepRecord {
+    seq: u64,
+    gen: u64,
+    pub_ns: u64,
+    file: String,
+}
+
+/// Per-series producer-side state: the bounded announce window and the
+/// per-consumer cumulative cursors.
+pub(crate) struct SeriesState {
+    capacity: usize,
+    mode: BackPressure,
+    next_seq: u64,
+    /// Retained steps, ascending by `seq`.
+    window: VecDeque<StepRecord>,
+    /// consumer world rank → cumulative cursor (every step below it is
+    /// consumed by that rank). Initialized to 0 for every expected
+    /// consumer, max-merged by idempotent `M_STEP_ACK`s.
+    cursors: HashMap<usize, u64>,
+    ended: bool,
+}
+
+impl SeriesState {
+    fn min_cursor(&self) -> u64 {
+        self.cursors.values().copied().min().unwrap_or(u64::MAX)
+    }
+
+    fn window_start(&self) -> u64 {
+        self.window.front().map(|r| r.seq).unwrap_or(self.next_seq)
+    }
+
+    /// Drop fully-consumed steps off the front of the window.
+    fn retire(&mut self) {
+        let min = self.min_cursor();
+        while self.window.front().is_some_and(|r| r.seq < min) {
+            self.window.pop_front();
+        }
+    }
+}
+
+/// All streaming state held by one [`DistMetadataVol`].
+#[derive(Default)]
+pub(crate) struct StreamState {
+    pub(crate) series: HashMap<String, SeriesState>,
+    /// Slot files published at least once and not since recreated: the
+    /// async serve loop answers `M_METADATA` for these without a session
+    /// (step files never enter the DONE-counted session map).
+    pub(crate) serveable: HashSet<String>,
+}
+
+impl StreamState {
+    /// Is `name` a slot file of a registered series? (`<series>@s<digits>`
+    /// with `<series>` registered.)
+    pub(crate) fn is_step_file(&self, name: &str) -> bool {
+        match name.rsplit_once("@s") {
+            Some((series, digits)) => {
+                !digits.is_empty()
+                    && digits.bytes().all(|b| b.is_ascii_digit())
+                    && self.series.contains_key(series)
+            }
+            None => false,
+        }
+    }
+}
+
+/// Producer half of a step series.
+///
+/// Create one per series (collectively, on every producer rank) after
+/// building an overlap-mode VOL; then, per step: write the slot file named
+/// by [`Self::step_file`] through the ordinary HDF5 API, close it, and
+/// call [`Self::publish`]. Call [`Self::finish`] before
+/// [`DistMetadataVol::drain`].
+pub struct StepPublisher {
+    vol: Arc<DistMetadataVol>,
+    series: String,
+    ring: u64,
+}
+
+impl StepPublisher {
+    /// Register `series` on this producer rank and make sure the serve
+    /// thread is answering subscribe requests.
+    ///
+    /// The queue depth and back-pressure mode come from the VOL's
+    /// properties, matched against the *series* name
+    /// ([`crate::LowFiveProps::set_stream_queue_depth`] /
+    /// [`crate::LowFiveProps::set_stream_backpressure`]). Expected
+    /// consumers are the ranks of the produce links matching the series'
+    /// slot files.
+    ///
+    /// Errors if the VOL is not in overlap mode, if no produce link
+    /// matches the slot files, or if the series already has a publisher.
+    pub fn new(vol: Arc<DistMetadataVol>, series: &str) -> H5Result<Self> {
+        if !vol.is_async_serve() {
+            return Err(H5Error::Vol(
+                "step streaming requires overlap mode (DistVolBuilder::async_serve)".into(),
+            ));
+        }
+        let capacity = vol.props().stream_queue_depth_for(series);
+        let mode = vol.props().stream_backpressure_for(series);
+        let consumers = vol.consumers_for(&slot_name(series, 0));
+        if consumers.is_empty() {
+            return Err(H5Error::Vol(format!(
+                "no produce link matches the step files of series {series:?} \
+                 (declare e.g. .produce(\"{series}@s*\", …))"
+            )));
+        }
+        {
+            let mut st = vol.stream_state().lock();
+            if st.series.contains_key(series) {
+                return Err(H5Error::Vol(format!("series {series:?} already has a publisher")));
+            }
+            st.series.insert(
+                series.to_string(),
+                SeriesState {
+                    capacity,
+                    mode,
+                    next_seq: 0,
+                    window: VecDeque::new(),
+                    cursors: consumers.iter().map(|&r| (r, 0)).collect(),
+                    ended: false,
+                },
+            );
+        }
+        // Subscribes may arrive before the first slot file closes; the
+        // serve thread must be up to answer them.
+        vol.ensure_serve_thread();
+        Ok(StepPublisher { vol, series: series.to_string(), ring: capacity as u64 + 2 })
+    }
+
+    /// The slot filename the *next* step must be written to.
+    ///
+    /// Slots rotate through `queue depth + 2` names, so under
+    /// [`BackPressure::Block`] a name is only ever recreated after the
+    /// step previously in it was retired (acknowledged by every
+    /// consumer) — see the module docs for the safety argument.
+    pub fn step_file(&self) -> String {
+        let st = self.vol.stream_state().lock();
+        let seq = st.series[&self.series].next_seq;
+        slot_name(&self.series, seq % self.ring)
+    }
+
+    /// Publish the step currently sitting in [`Self::step_file`] (which
+    /// must have been written and closed): append it to the announce
+    /// window and return its sequence number.
+    ///
+    /// When the window is full, [`BackPressure::Block`] waits here until
+    /// the slowest consumer retires a step; [`BackPressure::DropOldest`]
+    /// evicts the oldest retained step (counted under `steps_dropped`)
+    /// and returns immediately. `steps_published` / `steps_dropped` are
+    /// bumped on producer-local rank 0 only, so summed metrics stay exact
+    /// for multi-rank producer tasks.
+    pub fn publish(&self) -> H5Result<u64> {
+        let file = self.step_file();
+        // The slot must hold a closed snapshot; its generation is what
+        // consumers use to detect recycled slots.
+        self.vol.metadata().file_meta(&file)?;
+        let gen = self.vol.metadata().generation(&file);
+        let pub_ns = obsv::clock::now_ns();
+        let count_here = self.vol.local_comm().rank() == 0;
+        loop {
+            let mut st = self.vol.stream_state().lock();
+            let s = st.series.get_mut(&self.series).expect("registered in new()");
+            s.retire();
+            if s.window.len() >= s.capacity {
+                match s.mode {
+                    BackPressure::Block => {
+                        drop(st);
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    }
+                    BackPressure::DropOldest => {
+                        s.window.pop_front();
+                        if count_here {
+                            obsv::counter_add(obsv::Ctr::StepsDropped, 1);
+                        }
+                    }
+                }
+            }
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.window.push_back(StepRecord { seq, gen, pub_ns, file: file.clone() });
+            st.serveable.insert(file);
+            if count_here {
+                obsv::counter_add(obsv::Ctr::StepsPublished, 1);
+            }
+            return Ok(seq);
+        }
+    }
+
+    /// Mark the series ended and wait (up to `grace`; `None` waits
+    /// forever) until every expected consumer has acknowledged every
+    /// published step. Returns whether the drain was clean — `false`
+    /// means a consumer never caught up (it died, or never subscribed).
+    ///
+    /// Subscribers polling past the end receive `Ended` and stop, so
+    /// marking the end *first* cannot deadlock against a consumer still
+    /// waiting for more steps.
+    pub fn finish(&self, grace: Option<Duration>) -> bool {
+        let deadline = grace.map(|g| std::time::Instant::now() + g);
+        let head = {
+            let mut st = self.vol.stream_state().lock();
+            let s = st.series.get_mut(&self.series).expect("registered in new()");
+            s.ended = true;
+            s.next_seq
+        };
+        loop {
+            {
+                let st = self.vol.stream_state().lock();
+                if st.series[&self.series].min_cursor() >= head {
+                    return true;
+                }
+            }
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Consumer half of a step series.
+///
+/// Construction subscribes to the consumer's *home* producer (the same
+/// load-spreading choice file opens make) and starts at the oldest step
+/// the window retains — a late joiner catches up from there. Iterate with
+/// [`Self::next_step`]; acknowledgements are sent automatically.
+pub struct StepSubscription {
+    vol: Arc<DistMetadataVol>,
+    series: String,
+    policy: StepPolicy,
+    producers: Vec<usize>,
+    home: usize,
+    cursor: u64,
+    /// The step most recently delivered and not yet acknowledged.
+    last: Option<u64>,
+    done: bool,
+}
+
+impl StepSubscription {
+    /// Subscribe to `series` under `policy`, blocking (in 1 ms polls)
+    /// until the producer registers the series. The RPC policy configured
+    /// for the series still bounds each poll, so a dead producer surfaces
+    /// as [`H5Error::PeerUnavailable`] instead of hanging forever.
+    pub fn new(vol: Arc<DistMetadataVol>, series: &str, policy: StepPolicy) -> H5Result<Self> {
+        let producers = vol
+            .consume_link_for(&slot_name(series, 0))
+            .ok_or_else(|| {
+                H5Error::Vol(format!(
+                    "no consume link matches the step files of series {series:?} \
+                     (declare e.g. .consume(\"{series}@s*\", …))"
+                ))
+            })?
+            .remote_ranks
+            .clone();
+        let home = producers[vol.local_comm().rank() % producers.len()];
+        let window_start = loop {
+            let reply = vol.call_producer(series, home, M_STEP_SUB, &enc_step_sub_req(series))?;
+            match dec_result(&reply) {
+                Ok(body) => break dec_step_sub_reply(&body)?.0,
+                // Not registered yet: the producer task is still starting.
+                Err(H5Error::NotFound(_)) => std::thread::sleep(Duration::from_millis(1)),
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(StepSubscription {
+            vol,
+            series: series.to_string(),
+            policy,
+            producers,
+            home,
+            cursor: window_start,
+            last: None,
+            done: false,
+        })
+    }
+
+    /// The producer world rank this subscription polls.
+    pub fn home(&self) -> usize {
+        self.home
+    }
+
+    /// Deliver the next step under the subscription's policy, or `None`
+    /// once the series has ended and nothing remains to deliver.
+    ///
+    /// Calling `next_step` again acknowledges the previously delivered
+    /// step (cumulatively and idempotently, so a retried ack is
+    /// harmless): the home producer learns the new cursor from the
+    /// `M_STEP_NEXT` poll itself, the other producer ranks from an
+    /// explicit `M_STEP_ACK`. The poll repeats in 1 ms intervals until a
+    /// step, or the end of the series, is announced.
+    ///
+    /// The ack-before-poll ordering matters for shutdown: a producer may
+    /// exit the moment its last owed ack arrives, so the consumer must
+    /// never send it anything *after* the message that completes its
+    /// drain. Piggybacking the home ack on the poll — and, at the end of
+    /// the series, acking only when the cursor is still behind the head —
+    /// keeps every producer alive until it has replied to the consumer's
+    /// final message to it.
+    pub fn next_step(&mut self) -> H5Result<Option<Step>> {
+        if self.done {
+            return Ok(None);
+        }
+        if let Some(s) = self.last.take() {
+            self.cursor = self.cursor.max(s + 1);
+            self.ack_others(self.cursor)?;
+        }
+        let (code, skip) = self.policy.wire();
+        loop {
+            let reply = self.vol.call_producer(
+                &self.series,
+                self.home,
+                M_STEP_NEXT,
+                &enc_step_next_req(&self.series, self.cursor, code, skip),
+            )?;
+            match dec_step_next_reply(&dec_result(&reply)?)? {
+                StepNextReply::Pending => std::thread::sleep(Duration::from_millis(1)),
+                StepNextReply::Step { seq, file, gen, pub_ns } => {
+                    obsv::counter_add(obsv::Ctr::StepsLagged, seq.saturating_sub(self.cursor));
+                    obsv::hist_record(
+                        obsv::Hist::StepLatencyNs,
+                        obsv::clock::now_ns().saturating_sub(pub_ns),
+                    );
+                    // Prime the fetch cache's generation record so reads
+                    // of a recycled slot invalidate stale cached lookups.
+                    self.vol.note_gen(&file, self.home, gen);
+                    self.last = Some(seq);
+                    self.cursor = seq;
+                    return Ok(Some(Step { seq, file, gen }));
+                }
+                StepNextReply::Ended { head } => {
+                    // Every producer already holds `self.cursor` (home
+                    // from the poll above, the rest from `ack_others`).
+                    // If that cursor is the head, nothing is owed — and a
+                    // producer whose drain condition was just met may
+                    // already be gone, so a redundant ack could block on
+                    // a dead serve loop.
+                    if self.cursor < head {
+                        self.ack_all(head)?;
+                        self.cursor = head;
+                    }
+                    self.done = true;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Did the slot behind `step` get recycled while we were reading it?
+    ///
+    /// Only possible under [`BackPressure::DropOldest`] (see the module
+    /// docs). Call after reading the step's data: compares the generation
+    /// the home producer reported during those reads against the
+    /// announced one. A torn step's data belongs (partly) to a newer
+    /// step — discard it and move on.
+    pub fn is_torn(&self, step: &Step) -> bool {
+        self.vol.noted_gen(&step.file, self.home).is_some_and(|g| g != step.gen)
+    }
+
+    fn ack(&self, producer: usize, cursor: u64) -> H5Result<()> {
+        let reply = self.vol.call_producer(
+            &self.series,
+            producer,
+            M_STEP_ACK,
+            &enc_step_ack_req(&self.series, cursor),
+        )?;
+        dec_result(&reply)?;
+        Ok(())
+    }
+
+    fn ack_all(&self, cursor: u64) -> H5Result<()> {
+        for &p in &self.producers {
+            self.ack(p, cursor)?;
+        }
+        Ok(())
+    }
+
+    /// Ack every producer rank except home (which learns the cursor from
+    /// the `M_STEP_NEXT` polls themselves).
+    fn ack_others(&self, cursor: u64) -> H5Result<()> {
+        for &p in &self.producers {
+            if p != self.home {
+                self.ack(p, cursor)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serve-side handlers (run on the overlap-mode serve thread)
+// ---------------------------------------------------------------------
+
+/// Answer `M_STEP_SUB`: the series' retained window bounds, or
+/// `NotFound` while the series is not registered yet (the consumer
+/// retries).
+pub(crate) fn serve_step_sub(vol: &DistMetadataVol, args: &Bytes) -> Bytes {
+    let reply = dec_step_sub_req(args).and_then(|series| {
+        let st = vol.stream_state().lock();
+        match st.series.get(&series) {
+            Some(s) => Ok(enc_step_sub_reply(s.window_start(), s.next_seq, s.ended)),
+            None => Err(H5Error::NotFound(series)),
+        }
+    });
+    enc_result(reply)
+}
+
+/// Answer `M_STEP_NEXT` from consumer world rank `rank`: select a
+/// retained step under the requested policy, report the end of the
+/// series, or ask the consumer to poll again. The request's cursor
+/// doubles as a piggybacked ack (max-merged like `M_STEP_ACK`), so a
+/// consumer never owes its home producer a separate ack message.
+pub(crate) fn serve_step_next(vol: &DistMetadataVol, rank: usize, args: &Bytes) -> Bytes {
+    let reply = dec_step_next_req(args).and_then(|(series, cursor, policy, skip)| {
+        if policy > STEP_POLICY_SKIP_OK {
+            return Err(H5Error::Format(format!("unknown step policy code {policy}")));
+        }
+        let mut st = vol.stream_state().lock();
+        let s = st.series.get_mut(&series).ok_or_else(|| H5Error::NotFound(series.clone()))?;
+        let c = s.cursors.entry(rank).or_insert(0);
+        *c = (*c).max(cursor);
+        let chosen = match select_step(&s.window, cursor, policy, skip) {
+            Some(r) => StepNextReply::Step {
+                seq: r.seq,
+                file: r.file.clone(),
+                gen: r.gen,
+                pub_ns: r.pub_ns,
+            },
+            None if s.ended => StepNextReply::Ended { head: s.next_seq },
+            None => StepNextReply::Pending,
+        };
+        Ok(enc_step_next_reply(&chosen))
+    });
+    enc_result(reply)
+}
+
+/// Apply `M_STEP_ACK` from consumer world rank `rank`: max-merge its
+/// cumulative cursor. Unknown series are acked anyway — a late duplicate
+/// after a restart carries no information worth erroring on.
+pub(crate) fn serve_step_ack(vol: &DistMetadataVol, rank: usize, args: &Bytes) -> Bytes {
+    let reply = dec_step_ack_req(args).map(|(series, cursor)| {
+        let mut st = vol.stream_state().lock();
+        if let Some(s) = st.series.get_mut(&series) {
+            let c = s.cursors.entry(rank).or_insert(0);
+            *c = (*c).max(cursor);
+        }
+        Bytes::new()
+    });
+    enc_result(reply)
+}
+
+/// Pick the step a consumer at `cursor` should receive, or `None` when
+/// nothing at or past the cursor is retained. `window` ascends by `seq`.
+fn select_step(
+    window: &VecDeque<StepRecord>,
+    cursor: u64,
+    policy: u8,
+    skip: u64,
+) -> Option<&StepRecord> {
+    let mut avail = window.iter().filter(|r| r.seq >= cursor);
+    match policy {
+        STEP_POLICY_EVERY => avail.next(),
+        STEP_POLICY_LATEST => avail.next_back(),
+        _ => {
+            // SkipOk(n): the newest step within `cursor + n`, else the
+            // oldest available (the consumer has been outrun; jump to the
+            // window start rather than past it).
+            let limit = cursor.saturating_add(skip);
+            let mut first = None;
+            let mut best = None;
+            for r in avail {
+                if first.is_none() {
+                    first = Some(r);
+                }
+                if r.seq <= limit {
+                    best = Some(r);
+                }
+            }
+            best.or(first)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(seqs: &[u64]) -> VecDeque<StepRecord> {
+        seqs.iter()
+            .map(|&seq| StepRecord { seq, gen: seq + 1, pub_ns: 0, file: slot_name("s", seq % 6) })
+            .collect()
+    }
+
+    #[test]
+    fn select_every_is_in_order() {
+        let w = window(&[3, 4, 5, 6]);
+        assert_eq!(select_step(&w, 0, STEP_POLICY_EVERY, 0).unwrap().seq, 3);
+        assert_eq!(select_step(&w, 5, STEP_POLICY_EVERY, 0).unwrap().seq, 5);
+        assert!(select_step(&w, 7, STEP_POLICY_EVERY, 0).is_none());
+    }
+
+    #[test]
+    fn select_latest_takes_newest() {
+        let w = window(&[3, 4, 5, 6]);
+        assert_eq!(select_step(&w, 0, STEP_POLICY_LATEST, 0).unwrap().seq, 6);
+        assert_eq!(select_step(&w, 6, STEP_POLICY_LATEST, 0).unwrap().seq, 6);
+        assert!(select_step(&w, 7, STEP_POLICY_LATEST, 0).is_none());
+    }
+
+    #[test]
+    fn select_skip_ok_bounds_the_jump() {
+        let w = window(&[3, 4, 5, 6]);
+        // Within range: newest step not past cursor + skip.
+        assert_eq!(select_step(&w, 3, STEP_POLICY_SKIP_OK, 2).unwrap().seq, 5);
+        // Exactly in order when skip is 0.
+        assert_eq!(select_step(&w, 4, STEP_POLICY_SKIP_OK, 0).unwrap().seq, 4);
+        // Outrun: cursor + skip falls before the window — take its start.
+        assert_eq!(select_step(&w, 0, STEP_POLICY_SKIP_OK, 1).unwrap().seq, 3);
+        assert!(select_step(&w, 7, STEP_POLICY_SKIP_OK, 3).is_none());
+    }
+
+    #[test]
+    fn step_file_names_are_recognized() {
+        let mut st = StreamState::default();
+        st.series.insert(
+            "sim.h5".to_string(),
+            SeriesState {
+                capacity: 2,
+                mode: BackPressure::Block,
+                next_seq: 0,
+                window: VecDeque::new(),
+                cursors: HashMap::new(),
+                ended: false,
+            },
+        );
+        assert!(st.is_step_file("sim.h5@s0"));
+        assert!(st.is_step_file("sim.h5@s12"));
+        assert!(!st.is_step_file("sim.h5"), "series name itself is not a slot");
+        assert!(!st.is_step_file("other.h5@s0"), "unregistered series");
+        assert!(!st.is_step_file("sim.h5@sx"), "suffix must be digits");
+        assert!(!st.is_step_file("sim.h5@s"), "suffix must be non-empty");
+    }
+
+    #[test]
+    fn retire_honors_the_slowest_cursor() {
+        let mut s = SeriesState {
+            capacity: 4,
+            mode: BackPressure::Block,
+            next_seq: 7,
+            window: window(&[3, 4, 5, 6]),
+            cursors: [(8, 5u64), (9, 4u64)].into_iter().collect(),
+            ended: false,
+        };
+        s.retire();
+        let left: Vec<u64> = s.window.iter().map(|r| r.seq).collect();
+        assert_eq!(left, vec![4, 5, 6], "rank 9 still needs step 4");
+        assert_eq!(s.window_start(), 4);
+        // No consumers at all: nothing ever blocks retirement.
+        s.cursors.clear();
+        s.retire();
+        assert_eq!(s.window_start(), s.next_seq);
+    }
+}

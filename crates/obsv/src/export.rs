@@ -17,9 +17,13 @@ pub const METRICS_SCHEMA: &str = "lowfive-obsv-metrics-v1";
 /// A paired span reconstructed from a lane's event stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRec {
+    /// The transport phase the span belongs to.
     pub phase: Phase,
+    /// Correlation id carried over from the span's events.
     pub tag: u64,
+    /// Span open time, nanoseconds since the clock origin.
     pub start_ns: u64,
+    /// Span close time, nanoseconds since the clock origin.
     pub end_ns: u64,
 }
 

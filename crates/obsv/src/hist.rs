@@ -56,6 +56,7 @@ impl Default for AtomicHist {
 }
 
 impl AtomicHist {
+    /// Record one value: three relaxed atomic adds.
     #[inline]
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
@@ -63,6 +64,7 @@ impl AtomicHist {
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Copy the current totals into a plain-data snapshot.
     pub fn snapshot(&self) -> HistData {
         HistData {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
@@ -76,8 +78,11 @@ impl AtomicHist {
 /// lossless (verified by proptest).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistData {
+    /// Per-bucket observation counts (see [`bucket_index`]).
     pub buckets: [u64; NUM_BUCKETS],
+    /// Total observations.
     pub count: u64,
+    /// Sum of observed values (wrapping, like the atomic writer).
     pub sum: u64,
 }
 
@@ -88,6 +93,7 @@ impl Default for HistData {
 }
 
 impl HistData {
+    /// Record one value into the plain-data form.
     pub fn record(&mut self, value: u64) {
         self.buckets[bucket_index(value)] += 1;
         self.count += 1;
@@ -96,6 +102,7 @@ impl HistData {
         self.sum = self.sum.wrapping_add(value);
     }
 
+    /// Fold `other`'s observations into this snapshot (lossless).
     pub fn merge(&mut self, other: &HistData) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += *b;
@@ -104,6 +111,7 @@ impl HistData {
         self.sum = self.sum.wrapping_add(other.sum);
     }
 
+    /// Has nothing been recorded?
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }

@@ -11,13 +11,17 @@ use std::fmt::Write as _;
 /// A parsed JSON document node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// JSON `null`.
     Null,
+    /// JSON `true`/`false`.
     Bool(bool),
     /// All numbers are f64. Every quantity the exporters emit (nanosecond
     /// timestamps within a run, byte counts, call ids) fits losslessly in
     /// the 53-bit mantissa.
     Num(f64),
+    /// JSON string.
     Str(String),
+    /// JSON array.
     Arr(Vec<Value>),
     /// Insertion-ordered; duplicate keys are not produced by the writer.
     Obj(Vec<(String, Value)>),
@@ -32,6 +36,7 @@ impl Value {
         }
     }
 
+    /// The value as a float, if it is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
@@ -39,6 +44,7 @@ impl Value {
         }
     }
 
+    /// The value as an unsigned integer, if it is a whole non-negative number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
@@ -46,6 +52,7 @@ impl Value {
         }
     }
 
+    /// The value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -53,6 +60,7 @@ impl Value {
         }
     }
 
+    /// The value as a slice of elements, if it is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(items) => Some(items),
@@ -104,14 +112,17 @@ pub fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
+/// A float number value.
 pub fn num(n: f64) -> Value {
     Value::Num(n)
 }
 
+/// An integer number value (lossless up to 2^53).
 pub fn int(n: u64) -> Value {
     Value::Num(n as f64)
 }
 
+/// A string value.
 pub fn s(text: &str) -> Value {
     Value::Str(text.to_string())
 }

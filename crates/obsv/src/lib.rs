@@ -29,6 +29,8 @@
 //! functional in all configurations because `lowfive`'s
 //! `TransportProfile` seconds are derived from it.
 
+#![warn(missing_docs)]
+
 use std::cell::RefCell;
 
 pub mod export;
@@ -110,6 +112,7 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Every phase, in declaration order.
     pub const ALL: [Phase; 9] = [
         Phase::Index,
         Phase::Serve,
@@ -122,6 +125,7 @@ impl Phase {
         Phase::Task,
     ];
 
+    /// Stable trace/metrics key for this phase.
     pub fn name(self) -> &'static str {
         match self {
             Phase::Index => "index",
@@ -220,11 +224,23 @@ pub enum Ctr {
     /// Bytes handed to the socket transport's wire: frame headers plus
     /// payloads. Compare against `bytes_sent` for framing overhead.
     WireBytesSent,
+    /// Steps published into a stream series (counted once per step on the
+    /// producer's rank 0, so lane sums stay exact for multi-rank tasks).
+    StepsPublished,
+    /// Steps evicted unconsumed by `DropOldest` back-pressure (producer
+    /// rank 0 only, like `steps_published`).
+    StepsDropped,
+    /// Cumulative consumer lag observed at step delivery: for each
+    /// delivered step, how many sequence numbers past the consumer's
+    /// cursor it was (0 for an in-order `EveryStep` consumer).
+    StepsLagged,
 }
 
-pub const NUM_CTRS: usize = 31;
+/// Number of [`Ctr`] variants (the fixed width of every counter array).
+pub const NUM_CTRS: usize = 34;
 
 impl Ctr {
+    /// Every counter, in declaration order.
     pub const ALL: [Ctr; NUM_CTRS] = [
         Ctr::MsgsSent,
         Ctr::BytesSent,
@@ -257,8 +273,12 @@ impl Ctr {
         Ctr::StagingSuspects,
         Ctr::WireFramesSent,
         Ctr::WireBytesSent,
+        Ctr::StepsPublished,
+        Ctr::StepsDropped,
+        Ctr::StepsLagged,
     ];
 
+    /// Stable metrics-JSON key for this counter.
     pub fn name(self) -> &'static str {
         match self {
             Ctr::MsgsSent => "msgs_sent",
@@ -292,6 +312,9 @@ impl Ctr {
             Ctr::StagingSuspects => "staging_suspects",
             Ctr::WireFramesSent => "wire_frames_sent",
             Ctr::WireBytesSent => "wire_bytes_sent",
+            Ctr::StepsPublished => "steps_published",
+            Ctr::StepsDropped => "steps_dropped",
+            Ctr::StepsLagged => "steps_lagged",
         }
     }
 }
@@ -323,11 +346,17 @@ pub enum Hist {
     CollBytes,
     /// Wall time spent inside each collective call, nanoseconds.
     CollLatencyNs,
+    /// Publish-to-delivery latency per streamed step, nanoseconds
+    /// (consumer receipt of the announce minus the producer's publish
+    /// stamp; both sides share the process clock).
+    StepLatencyNs,
 }
 
-pub const NUM_HISTS: usize = 10;
+/// Number of [`Hist`] variants (the fixed width of every histogram array).
+pub const NUM_HISTS: usize = 11;
 
 impl Hist {
+    /// Every histogram, in declaration order.
     pub const ALL: [Hist; NUM_HISTS] = [
         Hist::MsgSize,
         Hist::MsgLatencyNs,
@@ -339,8 +368,10 @@ impl Hist {
         Hist::FetchBatchEntries,
         Hist::CollBytes,
         Hist::CollLatencyNs,
+        Hist::StepLatencyNs,
     ];
 
+    /// Stable metrics-JSON key for this histogram.
     pub fn name(self) -> &'static str {
         match self {
             Hist::MsgSize => "msg_size",
@@ -353,6 +384,7 @@ impl Hist {
             Hist::FetchBatchEntries => "fetch_batch_entries",
             Hist::CollBytes => "coll_bytes",
             Hist::CollLatencyNs => "coll_latency_ns",
+            Hist::StepLatencyNs => "step_latency_ns",
         }
     }
 }
@@ -454,14 +486,17 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
+    /// Clock-domain timestamp at which the span opened.
     pub fn start_ns(&self) -> u64 {
         self.start_ns
     }
 
+    /// Nanoseconds elapsed since the span opened (span stays open).
     pub fn elapsed_ns(&self) -> u64 {
         clock::now_ns().saturating_sub(self.start_ns)
     }
 
+    /// Seconds elapsed since the span opened (span stays open).
     pub fn elapsed_seconds(&self) -> f64 {
         self.elapsed_ns() as f64 * 1e-9
     }

@@ -38,6 +38,7 @@ impl Default for Registry {
 }
 
 impl Registry {
+    /// A registry with the default per-lane event capacity.
     pub fn new() -> Self {
         Self::with_capacity(DEFAULT_EVENTS_PER_LANE)
     }
@@ -99,10 +100,12 @@ struct RecorderInner {
 }
 
 impl Recorder {
+    /// The rank this lane was created for.
     pub fn rank(&self) -> usize {
         self.inner.rank
     }
 
+    /// Index among this rank's lanes (0 for the rank thread itself).
     pub fn lane(&self) -> usize {
         self.inner.lane
     }
@@ -141,19 +144,24 @@ impl Recorder {
 /// Snapshot of one lane.
 #[derive(Debug, Clone)]
 pub struct LaneReport {
+    /// The rank the lane belongs to.
     pub rank: usize,
+    /// Index among that rank's lanes.
     pub lane: usize,
     /// Surviving ring events, oldest first.
     pub events: Vec<Event>,
     /// Events lost to ring overflow.
     pub dropped: u64,
+    /// Counter totals, indexed by [`Ctr`] discriminant.
     pub counters: [u64; NUM_CTRS],
+    /// Histogram snapshots, indexed by [`Hist`] discriminant.
     pub hists: [HistData; NUM_HISTS],
 }
 
 /// Aggregated time attributed to one phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseTotal {
+    /// The phase being totalled.
     pub phase: Phase,
     /// Completed (paired) spans.
     pub spans: u64,
@@ -164,6 +172,7 @@ pub struct PhaseTotal {
 /// Merged view over all lanes; exporters live in [`crate::export`].
 #[derive(Debug, Clone)]
 pub struct Report {
+    /// Every lane's snapshot, sorted by `(rank, lane)`.
     pub lanes: Vec<LaneReport>,
 }
 

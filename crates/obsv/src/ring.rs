@@ -8,14 +8,18 @@
 /// Whether an event opens or closes a span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
+    /// The span opened.
     Enter,
+    /// The span closed.
     Exit,
 }
 
 /// One recorded span edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
+    /// Enter or exit.
     pub kind: EventKind,
+    /// The transport phase the span belongs to.
     pub phase: crate::Phase,
     /// Free-form correlation id (RPC call id, task id, …); 0 when unused.
     pub tag: u64,
@@ -23,6 +27,7 @@ pub struct Event {
     pub t_ns: u64,
 }
 
+/// The fixed-capacity, drop-oldest span-event buffer of one lane.
 #[derive(Debug)]
 pub struct EventRing {
     slots: Vec<Event>,
@@ -33,6 +38,7 @@ pub struct EventRing {
 }
 
 impl EventRing {
+    /// A ring holding at most `cap` events (allocated up front).
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "ring capacity must be positive");
         EventRing { slots: Vec::with_capacity(cap), cap, head: 0 }
