@@ -206,6 +206,11 @@ pub struct DistMetadataVol {
     /// Consumer-side cache of metadata and redirect results (pipelined
     /// fetch path only; see [`FetchCache`]).
     fetch_cache: Mutex<FetchCache>,
+    /// Producer-side negotiated codec masks, `(file, consumer world
+    /// rank)` → consumer caps ∩ our caps. Populated from the metadata
+    /// handshake and `M_CODEC_OFFER` notifications; a pair with no entry
+    /// falls through to raw.
+    codec_masks: Mutex<HashMap<(String, usize), u64>>,
     /// Step-streaming state: registered series and their announce
     /// windows (see [`crate::stream`]). Slot files of a series bypass
     /// the DONE-counted session map entirely.
@@ -302,6 +307,7 @@ impl DistVolBuilder {
             self_weak: weak.clone(),
             pending_meta: Mutex::default(),
             fetch_cache: Mutex::default(),
+            codec_masks: Mutex::default(),
             stream: Mutex::default(),
         })
     }
@@ -341,6 +347,107 @@ impl DistMetadataVol {
     /// The step-streaming state shared with [`crate::stream`].
     pub(crate) fn stream_state(&self) -> &Mutex<crate::stream::StreamState> {
         &self.stream
+    }
+
+    // -----------------------------------------------------------------
+    // Wire codecs: negotiation, encode-on-serve, decode-on-scatter
+    // -----------------------------------------------------------------
+
+    /// Record a consumer rank's advertised codec caps for `file`,
+    /// intersected with our own policy's caps — the negotiated mask every
+    /// data reply toward that rank is encoded under. Called from the
+    /// metadata-handshake and step-subscribe arms (before any parking)
+    /// and from `M_CODEC_OFFER` notifications.
+    pub(crate) fn record_consumer_caps(&self, file: &str, rank: usize, caps: u64) {
+        let mask = caps & self.props.wire_codec_for(file).caps();
+        self.codec_masks.lock().insert((file.to_string(), rank), mask);
+    }
+
+    /// The negotiated codec mask toward `rank` for `file`. No recorded
+    /// negotiation (e.g. the consumer's offer was dropped by fault
+    /// injection) falls through to raw — always correct, never faster.
+    pub(crate) fn negotiated_mask(&self, file: &str, rank: usize) -> u64 {
+        self.codec_masks.lock().get(&(file.to_string(), rank)).copied().unwrap_or(CAP_RAW)
+    }
+
+    /// Pick the codec for one reply body of `len` bytes toward a
+    /// consumer negotiated at `mask`. `Auto` compresses only when the
+    /// attached cost model says the modeled wire saving beats the
+    /// modeled codec cost (no cost model — in-proc transport — means
+    /// raw); a forced `Rle`/`DeltaRle` policy skips the cost check.
+    fn pick_codec(&self, file: &str, mask: u64, len: usize) -> u8 {
+        let preferred = preferred_codec(mask);
+        if preferred == CODEC_RAW {
+            return CODEC_RAW;
+        }
+        match self.props.wire_codec_for(file) {
+            WireCodec::Auto => match self.world.cost_model() {
+                Some(cm) if cm.compression_worthwhile(len) => preferred,
+                _ => CODEC_RAW,
+            },
+            WireCodec::Raw => CODEC_RAW,
+            _ => preferred,
+        }
+    }
+
+    /// Codec-wrap one reply body toward `caller`, maintaining the
+    /// pre/post byte counters and the codec-latency histogram. The raw
+    /// path (and the not-smaller fallback inside [`encode_coded`]) keeps
+    /// the body's lent parts untouched.
+    fn encode_reply_body(&self, file: &str, caller: usize, body: Payload) -> Payload {
+        obsv::counter_add(obsv::Ctr::BytesPreCodec, body.len() as u64);
+        let codec = self.pick_codec(file, self.negotiated_mask(file, caller), body.len());
+        let coded = if codec == CODEC_RAW {
+            encode_coded(body, CODEC_RAW)
+        } else {
+            let t0 = obsv::clock::now_ns();
+            let coded = encode_coded(body, codec);
+            obsv::hist_record(obsv::Hist::CodecLatencyNs, obsv::clock::now_ns() - t0);
+            coded
+        };
+        obsv::counter_add(obsv::Ctr::BytesOnWire, (coded.len() - 1) as u64);
+        coded
+    }
+
+    /// [`Self::encode_reply_body`] flattened to contiguous bytes, for
+    /// the small single-part control replies (step announces).
+    pub(crate) fn encode_reply_bytes(&self, file: &str, caller: usize, body: Bytes) -> Bytes {
+        let coded = self.encode_reply_body(file, caller, Payload::from(body));
+        // Control frames are header-sized; flatten by hand so the gather
+        // stays outside the dataset-byte `BytesCopied` accounting.
+        let mut v = Vec::with_capacity(coded.len());
+        for part in coded.parts() {
+            v.extend_from_slice(part);
+        }
+        Bytes::from(v)
+    }
+
+    /// Strip and expand the codec prefix of a contiguous reply body.
+    /// `allowed` is this consumer's own advertised cap set — a producer
+    /// may only use codecs we offered.
+    pub(crate) fn decode_reply_body(&self, file: &str, b: &Bytes) -> H5Result<Bytes> {
+        let allowed = self.props.wire_codec_for(file).caps();
+        if b.first() == Some(&CODEC_RAW) {
+            return dec_coded(b, allowed);
+        }
+        let t0 = obsv::clock::now_ns();
+        let out = dec_coded(b, allowed)?;
+        obsv::hist_record(obsv::Hist::CodecLatencyNs, obsv::clock::now_ns() - t0);
+        Ok(out)
+    }
+
+    /// Parts-preserving [`Self::decode_reply_body`] for the pipelined
+    /// scatter path: a raw body sheds its prefix in place.
+    fn decode_reply_payload(&self, file: &str, p: Payload) -> H5Result<Payload> {
+        let allowed = self.props.wire_codec_for(file).caps();
+        let mut d = [0u8; 1];
+        if p.copy_prefix(&mut d) && d[0] == CODEC_RAW {
+            return decode_coded_payload(p, allowed);
+        }
+        let t0 = obsv::clock::now_ns();
+        let out = decode_coded_payload(p, allowed)?;
+        obsv::hist_record(obsv::Hist::CodecLatencyNs, obsv::clock::now_ns() - t0);
+        Ok(out)
     }
 
     pub(crate) fn consume_link_for(&self, name: &str) -> Option<&Link> {
@@ -439,10 +546,11 @@ impl DistMetadataVol {
                 pending.drain(..).partition(|(_, f)| f == filename);
             *pending = later;
             for (caller, file) in now {
+                let mask = self.negotiated_mask(&file, caller.rank);
                 let reply = self
                     .meta
                     .file_meta(&file)
-                    .map(|m| enc_metadata_reply(self.meta.generation(&file), &m));
+                    .map(|m| enc_metadata_reply(self.meta.generation(&file), mask, &m));
                 diyblk::rpc::send_reply(&self.world, caller, enc_result(reply));
             }
         }
@@ -456,13 +564,17 @@ impl DistMetadataVol {
         server.serve(|caller, method, args| match method {
             M_METADATA => {
                 self.profile.lock().metadata_requests += 1;
-                let file = match dec_metadata_req(&args) {
-                    Ok(f) => f,
+                let (file, caps) = match dec_metadata_req(&args) {
+                    Ok(fc) => fc,
                     Err(e) => return ServeOutcome::Reply(enc_result(Err(e))),
                 };
+                // Record the negotiation before any parking, so a flush
+                // from a later serve session already knows the mask.
+                self.record_consumer_caps(&file, caller.rank, caps);
                 match self.meta.file_meta(&file) {
                     Ok(meta) => ServeOutcome::Reply(enc_result(Ok(enc_metadata_reply(
                         self.meta.generation(&file),
+                        self.negotiated_mask(&file, caller.rank),
                         &meta,
                     )))),
                     Err(H5Error::NotFound(_))
@@ -478,9 +590,15 @@ impl DistMetadataVol {
                     Err(e) => ServeOutcome::Reply(enc_result(Err(e))),
                 }
             }
+            M_CODEC_OFFER => {
+                if let Ok((file, caps)) = dec_codec_offer(&args) {
+                    self.record_consumer_caps(&file, caller.rank, caps);
+                }
+                ServeOutcome::Continue
+            }
             M_INTERSECT => ServeOutcome::Reply(self.serve_intersect(&args)),
-            M_DATA => ServeOutcome::ReplyParts(self.serve_data(&args)),
-            M_DATA_BATCH => ServeOutcome::ReplyParts(self.serve_data_batch(&args)),
+            M_DATA => ServeOutcome::ReplyParts(self.serve_data(&args, caller.rank)),
+            M_DATA_BATCH => ServeOutcome::ReplyParts(self.serve_data_batch(&args, caller.rank)),
             M_DONE => {
                 let file = dec_done_req(&args).unwrap_or_default();
                 if file == filename {
@@ -589,21 +707,23 @@ impl DistMetadataVol {
 
     /// Answer a single `M_DATA` query (shared by both serve loops) as a
     /// multi-part frame lending shallow region bytes.
-    fn serve_data(&self, args: &Bytes) -> Payload {
+    fn serve_data(&self, args: &Bytes, caller: usize) -> Payload {
         let reply = dec_data_req(args).and_then(|(file, dset, sel)| {
             let gen = self.meta.generation(&file);
             let mut frame = ReplyFrame::new();
             self.answer_data_query_into(&mut frame, gen, &file, &dset, &sel)?;
-            Ok(frame.finish())
+            Ok((file, frame.finish()))
         });
         let mut p = self.profile.lock();
         p.data_requests += 1;
-        if let Ok(b) = &reply {
+        if let Ok((_, b)) = &reply {
+            // Profiled at the pre-codec length: `bytes_served` counts what
+            // the consumer receives after decode, not what crossed the wire.
             p.bytes_served += b.len() as u64;
             obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
         }
         drop(p);
-        enc_result_payload(reply)
+        enc_result_payload(reply.map(|(file, body)| self.encode_reply_body(&file, caller, body)))
     }
 
     /// Answer a batched `M_DATA_BATCH` query (shared by both serve
@@ -611,7 +731,7 @@ impl DistMetadataVol {
     /// in entry order, all in a single multi-part frame. Each entry is
     /// answered exactly as a lone `M_DATA` would be, so batching never
     /// changes the bytes a consumer sees.
-    fn serve_data_batch(&self, args: &Bytes) -> Payload {
+    fn serve_data_batch(&self, args: &Bytes, caller: usize) -> Payload {
         let reply = dec_data_req_batch(args).and_then(|(file, entries)| {
             let gen = self.meta.generation(&file);
             let mut frame = ReplyFrame::new();
@@ -620,15 +740,15 @@ impl DistMetadataVol {
                 self.answer_data_query_into(&mut frame, gen, &file, dset, sel)?;
             }
             self.profile.lock().data_requests += entries.len() as u64;
-            Ok(frame.finish())
+            Ok((file, frame.finish()))
         });
         let mut p = self.profile.lock();
-        if let Ok(b) = &reply {
+        if let Ok((_, b)) = &reply {
             p.bytes_served += b.len() as u64;
             obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
         }
         drop(p);
-        enc_result_payload(reply)
+        enc_result_payload(reply.map(|(file, body)| self.encode_reply_body(&file, caller, body)))
     }
 
     fn producer_close(&self, filename: &str) -> H5Result<()> {
@@ -665,10 +785,11 @@ impl DistMetadataVol {
                 pending.drain(..).partition(|(_, f)| f == filename);
             *pending = later;
             for (caller, file) in now {
+                let mask = self.negotiated_mask(&file, caller.rank);
                 let reply = self
                     .meta
                     .file_meta(&file)
-                    .map(|m| enc_metadata_reply(self.meta.generation(&file), &m));
+                    .map(|m| enc_metadata_reply(self.meta.generation(&file), mask, &m));
                 diyblk::rpc::send_reply(&self.world, caller, enc_result(reply));
             }
         }
@@ -736,19 +857,21 @@ impl DistMetadataVol {
         server.serve(|caller, method, args| match method {
             M_METADATA => {
                 self.profile.lock().metadata_requests += 1;
-                let file = match dec_metadata_req(&args) {
-                    Ok(f) => f,
+                let (file, caps) = match dec_metadata_req(&args) {
+                    Ok(fc) => fc,
                     Err(e) => return ServeOutcome::Reply(enc_result(Err(e))),
                 };
+                self.record_consumer_caps(&file, caller.rank, caps);
                 let known = {
                     let s = self.sessions.lock();
                     s.open.contains_key(&file) || s.completed.contains(&file)
                 } || self.stream.lock().serveable.contains(&file);
                 if known {
+                    let mask = self.negotiated_mask(&file, caller.rank);
                     let reply = self
                         .meta
                         .file_meta(&file)
-                        .map(|m| enc_metadata_reply(self.meta.generation(&file), &m));
+                        .map(|m| enc_metadata_reply(self.meta.generation(&file), mask, &m));
                     ServeOutcome::Reply(enc_result(reply))
                 } else if self
                     .links
@@ -762,9 +885,15 @@ impl DistMetadataVol {
                     ServeOutcome::Reply(enc_result(Err(H5Error::NotFound(file))))
                 }
             }
+            M_CODEC_OFFER => {
+                if let Ok((file, caps)) = dec_codec_offer(&args) {
+                    self.record_consumer_caps(&file, caller.rank, caps);
+                }
+                ServeOutcome::Continue
+            }
             M_INTERSECT => ServeOutcome::Reply(self.serve_intersect(&args)),
-            M_DATA => ServeOutcome::ReplyParts(self.serve_data(&args)),
-            M_DATA_BATCH => ServeOutcome::ReplyParts(self.serve_data_batch(&args)),
+            M_DATA => ServeOutcome::ReplyParts(self.serve_data(&args, caller.rank)),
+            M_DATA_BATCH => ServeOutcome::ReplyParts(self.serve_data_batch(&args, caller.rank)),
             M_DONE => {
                 let file = dec_done_req(&args).unwrap_or_default();
                 let mut s = self.sessions.lock();
@@ -793,7 +922,9 @@ impl DistMetadataVol {
                     ServeOutcome::Continue
                 }
             }
-            M_STEP_SUB => ServeOutcome::Reply(crate::stream::serve_step_sub(self, &args)),
+            M_STEP_SUB => {
+                ServeOutcome::Reply(crate::stream::serve_step_sub(self, caller.rank, &args))
+            }
             M_STEP_NEXT => {
                 ServeOutcome::Reply(crate::stream::serve_step_next(self, caller.rank, &args))
             }
@@ -889,6 +1020,10 @@ impl DistMetadataVol {
             }
             obsv::counter_add(obsv::Ctr::FetchCacheMisses, 1);
         }
+        // Advertise our codec caps in the handshake; the home producer
+        // answers with the negotiated mask. The other producers learn the
+        // caps from the fire-and-forget offers below.
+        let caps = self.props.wire_codec_for(name).caps();
         let (home, reply) = if self.props.metadata_broadcast_for(name) {
             // Collective variant (paper §V-C): one rank fetches, the task
             // broadcasts — m−1 fewer round trips to the producers.
@@ -899,7 +1034,7 @@ impl DistMetadataVol {
             let home = link.remote_ranks[0];
             let reply = if self.local.rank() == 0 {
                 let reply = self
-                    .call_producer(name, home, M_METADATA, &enc_metadata_req(name))
+                    .call_producer(name, home, M_METADATA, &enc_metadata_req(name, caps))
                     .unwrap_or_else(|e| enc_result(Err(e)));
                 self.local.bcast_bytes(0, Some(reply))
             } else {
@@ -910,9 +1045,31 @@ impl DistMetadataVol {
             // Each consumer rank has a "home" producer for metadata
             // requests, spreading the load across the producer task.
             let home = link.remote_ranks[self.local.rank() % link.remote_ranks.len()];
-            (home, self.call_producer(name, home, M_METADATA, &enc_metadata_req(name))?)
+            (home, self.call_producer(name, home, M_METADATA, &enc_metadata_req(name, caps))?)
         };
-        let (gen, meta) = dec_metadata_reply(&dec_result(&reply)?)?;
+        let (gen, mask, meta) = dec_metadata_reply(&dec_result(&reply)?)?;
+        if mask & !caps != 0 {
+            return Err(H5Error::Format(format!(
+                "producer negotiated codec mask {mask:#x} outside our advertised caps {caps:#x}"
+            )));
+        }
+        // Every producer rank may serve our data queries, not just the
+        // home rank that answered the handshake — fan our caps out to the
+        // rest as fire-and-forget offers. Per-flow FIFO ordering means an
+        // offer lands before any M_DATA we send that producer afterwards;
+        // a dropped offer just leaves that pair on raw.
+        if caps != CAP_RAW {
+            // In broadcast mode only local rank 0 performed the handshake;
+            // everyone else must offer to the home producer as well.
+            let handshook = !self.props.metadata_broadcast_for(name) || self.local.rank() == 0;
+            let rpc = RpcClient::new(&self.world);
+            let offer = enc_codec_offer(name, caps);
+            for &p in &link.remote_ranks {
+                if !(handshook && p == home) {
+                    rpc.notify(p, M_CODEC_OFFER, &offer);
+                }
+            }
+        }
         // Record the generation *before* caching: a bump clears stale
         // entries first, so the fresh tree is what ends up cached.
         self.note_gen(name, home, gen);
@@ -1055,7 +1212,7 @@ impl DistMetadataVol {
             )?;
             fetched += reply.len() as u64;
             obsv::hist_record(obsv::Hist::BytesFetched, reply.len() as u64);
-            let dr = dec_data_reply(&dec_result(&reply)?)?;
+            let dr = dec_data_reply(&self.decode_reply_body(&filename, &dec_result(&reply)?)?)?;
             self.note_gen(&filename, producers[p], dr.gen);
             scatter_segments(&mut out, &dr, es)?;
         }
@@ -1212,7 +1369,9 @@ impl DistMetadataVol {
                 r.map_err(|e| Self::peer_error(calls[k].server, policy, e)).and_then(|reply| {
                     fetched += reply.len() as u64;
                     obsv::hist_record(obsv::Hist::BytesFetched, reply.len() as u64);
-                    let mut pr = PayloadReader::new(dec_result_payload(reply)?);
+                    let mut pr = PayloadReader::new(
+                        self.decode_reply_payload(&filename, dec_result_payload(reply)?)?,
+                    );
                     let count = pr.get_u64()? as usize;
                     if count != call_sels[k].len() {
                         return Err(H5Error::Format(format!(

@@ -84,4 +84,5 @@ pub use base::BaseVol;
 pub use dist::{DistMetadataVol, DistVolBuilder, Link, LinkDir, TransportProfile};
 pub use metadata::MetadataVol;
 pub use props::{glob_match, BackPressure, LowFiveProps};
+pub use protocol::WireCodec;
 pub use stream::{Step, StepPolicy, StepPublisher, StepSubscription};

@@ -30,8 +30,27 @@
 //!   covers every step below it), multicast to all producer ranks so the
 //!   bounded step queues retire entries in lockstep.
 //!
+//! One more method carries codec negotiation (see `## Codec prefix`):
+//!
+//! * `M_CODEC_OFFER` — a consumer rank advertises its codec capability
+//!   bitmask for a file to a producer rank it did not handshake with
+//!   (fire-and-forget; a lost offer merely leaves that pair on `Raw`).
+//!
 //! The index exchange among producers (Algorithm 1) uses a plain tagged
 //! message (`TAG_INDEX`) on the producer task's local communicator.
+//!
+//! ## Codec prefix
+//!
+//! The ok body of every data-bearing reply (`M_DATA`, `M_DATA_BATCH`,
+//! `M_STEP_NEXT`) is wrapped in a one-byte codec prefix: `[codec u8]`
+//! followed by the body, verbatim for [`CODEC_RAW`] or compressed for
+//! [`CODEC_RLE`] / [`CODEC_DELTA_RLE`]. Which codecs a sender may use
+//! toward a given consumer is negotiated at open/subscribe time as a
+//! capability bitmask (`CAP_*`) intersected across both sides; an
+//! unnegotiated pair falls through to `Raw`. Encoding walks a reply's
+//! borrowed parts in place and keeps the raw lent parts whenever
+//! compression would not shrink the body, so the zero-copy lend path
+//! survives incompressible payloads untouched.
 //!
 //! ## Generation tags
 //!
@@ -84,29 +103,296 @@ pub const M_STEP_SUB: u32 = 7;
 pub const M_STEP_NEXT: u32 = 8;
 /// Cumulative step-consumption acknowledgement (multicast to producers).
 pub const M_STEP_ACK: u32 = 9;
+/// Consumer → producer codec-capability advertisement (no reply).
+pub const M_CODEC_OFFER: u32 = 10;
 
 /// Tag for the producer-local index exchange (Algorithm 1).
 pub const TAG_INDEX: u32 = 0x7F10_0001;
 
 // ---------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------
+
+/// Codec id: body ships verbatim after the prefix byte.
+pub const CODEC_RAW: u8 = 0;
+/// Codec id: byte run-length encoding (`[raw_len u64][(count, byte)*]`).
+pub const CODEC_RLE: u8 = 1;
+/// Codec id: wrapping byte-delta transform at an 8-byte element lag
+/// (see `DELTA_LAG`), then RLE over the deltas — smooth grid fields of
+/// `u64`/`f64` elements turn into long zero runs.
+pub const CODEC_DELTA_RLE: u8 = 2;
+
+/// Capability bit: can receive [`CODEC_RAW`] (always set in practice).
+pub const CAP_RAW: u64 = 1 << CODEC_RAW;
+/// Capability bit: can receive [`CODEC_RLE`].
+pub const CAP_RLE: u64 = 1 << CODEC_RLE;
+/// Capability bit: can receive [`CODEC_DELTA_RLE`].
+pub const CAP_DELTA_RLE: u64 = 1 << CODEC_DELTA_RLE;
+/// Every capability this build understands.
+pub const CAP_ALL: u64 = CAP_RAW | CAP_RLE | CAP_DELTA_RLE;
+
+/// Sender-side wire-codec policy for data-bearing reply bodies, set per
+/// file pattern via `LowFiveProps::set_wire_codec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Let the sender's cost model decide per frame: compress only when
+    /// the modeled link cost of the saved bytes exceeds the modeled
+    /// codec cost (in-proc transport therefore always ships raw).
+    #[default]
+    Auto,
+    /// Never compress; bodies ship through the zero-copy lend path.
+    Raw,
+    /// Prefer byte run-length encoding when it shrinks the body.
+    Rle,
+    /// Prefer delta-then-RLE when it shrinks the body.
+    DeltaRle,
+}
+
+impl WireCodec {
+    /// The capability bitmask this policy advertises in the metadata /
+    /// step-subscribe handshake (raw is always acceptable).
+    pub fn caps(self) -> u64 {
+        match self {
+            WireCodec::Auto => CAP_ALL,
+            WireCodec::Raw => CAP_RAW,
+            WireCodec::Rle => CAP_RAW | CAP_RLE,
+            WireCodec::DeltaRle => CAP_RAW | CAP_DELTA_RLE,
+        }
+    }
+}
+
+/// The compressing codec a sender should try under a negotiated `mask`
+/// ([`CODEC_RAW`] when the mask permits nothing better).
+pub fn preferred_codec(mask: u64) -> u8 {
+    if mask & CAP_DELTA_RLE != 0 {
+        CODEC_DELTA_RLE
+    } else if mask & CAP_RLE != 0 {
+        CODEC_RLE
+    } else {
+        CODEC_RAW
+    }
+}
+
+/// Wrap a reply body in the one-byte codec prefix, compressing with
+/// `codec` when that actually shrinks the frame. The raw fallback keeps
+/// the body's borrowed parts untouched (the prefix is its own tiny
+/// part), so lent slices stay zero-copy end to end.
+///
+/// ```
+/// use bytes::Bytes;
+/// use lowfive::protocol::{decode_coded_payload, encode_coded, CAP_ALL, CODEC_RLE};
+/// use simmpi::Payload;
+/// let body = Payload::from(vec![7u8; 100]);
+/// let coded = encode_coded(body, CODEC_RLE);
+/// assert!(coded.len() < 101, "100 repeated bytes must compress");
+/// let back = decode_coded_payload(coded, CAP_ALL).unwrap();
+/// assert_eq!(&back.to_bytes()[..], &[7u8; 100][..]);
+/// ```
+pub fn encode_coded(body: Payload, codec: u8) -> Payload {
+    let compressed = match codec {
+        CODEC_RLE => rle_encode(body.parts(), false, CODEC_RLE),
+        CODEC_DELTA_RLE => rle_encode(body.parts(), true, CODEC_DELTA_RLE),
+        _ => None,
+    };
+    match compressed {
+        Some(out) => Payload::from(out),
+        None => {
+            let mut p = Payload::from(vec![CODEC_RAW]);
+            p.extend(body);
+            p
+        }
+    }
+}
+
+/// Strip the codec prefix off a contiguous coded body, expanding
+/// compressed frames. `allowed` is the receiver's own advertised
+/// capability mask — a codec outside it is a framing error, since the
+/// sender may only use what this receiver offered.
+pub fn dec_coded(b: &Bytes, allowed: u64) -> H5Result<Bytes> {
+    let Some(&codec) = b.first() else {
+        return Err(H5Error::Format("empty coded frame".into()));
+    };
+    check_codec_allowed(codec, allowed)?;
+    match codec {
+        CODEC_RAW => Ok(b.slice(1..)),
+        codec => rle_decode(&[b.slice(1..)], codec == CODEC_DELTA_RLE),
+    }
+}
+
+/// Parts-preserving [`dec_coded`]: a raw body just sheds its prefix byte
+/// (in-place `advance`, borrowed parts intact); a compressed body is
+/// expanded into a single fresh part.
+pub fn decode_coded_payload(mut p: Payload, allowed: u64) -> H5Result<Payload> {
+    let mut d = [0u8; 1];
+    if !p.copy_prefix(&mut d) {
+        return Err(H5Error::Format("empty coded frame".into()));
+    }
+    check_codec_allowed(d[0], allowed)?;
+    p.advance(1);
+    match d[0] {
+        CODEC_RAW => Ok(p),
+        codec => Ok(Payload::from(rle_decode(p.parts(), codec == CODEC_DELTA_RLE)?)),
+    }
+}
+
+fn check_codec_allowed(codec: u8, allowed: u64) -> H5Result<()> {
+    if codec > CODEC_DELTA_RLE {
+        return Err(H5Error::Format(format!("unknown wire codec {codec}")));
+    }
+    if allowed & (1u64 << codec) == 0 {
+        return Err(H5Error::Format(format!("codec {codec} was not negotiated")));
+    }
+    Ok(())
+}
+
+/// The delta transform's lag: each byte is differenced against the byte
+/// one *element* back, not its immediate neighbor. The transport's
+/// dataset bodies are dominated by 8-byte (`u64`/`f64`) elements, and a
+/// smooth field — consecutive elements near-equal — then deltas to long
+/// zero runs, which a lag-1 byte delta would destroy (the element
+/// period re-introduces a nonzero delta every 8 bytes). The same trick
+/// as PNG's `Sub` filter at bpp stride, or HDF5's shuffle+delta.
+const DELTA_LAG: usize = 8;
+
+/// Run-length encode the concatenation of `parts` (after a wrapping
+/// lag-[`DELTA_LAG`] delta transform when `delta`), prefix byte and
+/// `raw_len` header included. Returns `None` unless the result is
+/// strictly smaller than the raw alternative (`1 + raw_len` bytes) — the
+/// caller then ships the original parts untouched.
+fn rle_encode(parts: &[Bytes], delta: bool, codec: u8) -> Option<Vec<u8>> {
+    let raw_len: usize = parts.iter().map(|p| p.len()).sum();
+    let limit = raw_len + 1;
+    let mut out = Vec::with_capacity(64.min(limit));
+    out.push(codec);
+    out.extend_from_slice(&(raw_len as u64).to_le_bytes());
+    let mut ring = [0u8; DELTA_LAG];
+    let mut pos = 0usize;
+    let mut run: Option<(u8, usize)> = None;
+    for &b in parts.iter().flat_map(|p| p.iter()) {
+        let v = if delta {
+            let d = b.wrapping_sub(ring[pos]);
+            ring[pos] = b;
+            pos = (pos + 1) % DELTA_LAG;
+            d
+        } else {
+            b
+        };
+        match &mut run {
+            Some((val, count)) if *val == v && *count < 255 => *count += 1,
+            _ => {
+                if let Some((val, count)) = run.take() {
+                    out.push(count as u8);
+                    out.push(val);
+                    // Incompressible input can only grow from here; bail
+                    // before ballooning to 2x the raw body.
+                    if out.len() + 2 >= limit {
+                        return None;
+                    }
+                }
+                run = Some((v, 1));
+            }
+        }
+    }
+    if let Some((val, count)) = run {
+        out.push(count as u8);
+        out.push(val);
+    }
+    (out.len() < limit).then_some(out)
+}
+
+/// Expand an RLE (or delta-RLE) body. Every declared quantity is checked
+/// against the bytes actually present before allocating: the pair stream
+/// must be even, runs must be non-empty, and the expansion must land on
+/// `raw_len` exactly.
+fn rle_decode(parts: &[Bytes], delta: bool) -> H5Result<Bytes> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    if total < 8 || !(total - 8).is_multiple_of(2) {
+        return Err(H5Error::Format(format!("malformed rle frame: {total} bytes")));
+    }
+    let mut it = parts.iter().flat_map(|p| p.iter().copied());
+    let mut hdr = [0u8; 8];
+    for b in hdr.iter_mut() {
+        *b = it.next().expect("length checked above");
+    }
+    let raw_len = u64::from_le_bytes(hdr);
+    let pairs = (total - 8) / 2;
+    if raw_len as u128 > (pairs as u128) * 255 {
+        return Err(H5Error::Format(format!(
+            "rle declared length {raw_len} exceeds {pairs} run pairs"
+        )));
+    }
+    let mut out = Vec::with_capacity(raw_len as usize);
+    let mut ring = [0u8; DELTA_LAG];
+    let mut pos = 0usize;
+    for _ in 0..pairs {
+        let count = it.next().expect("length checked above");
+        let byte = it.next().expect("length checked above");
+        if count == 0 {
+            return Err(H5Error::Format("zero-length rle run".into()));
+        }
+        if out.len() + count as usize > raw_len as usize {
+            return Err(H5Error::Format(format!("rle runs overflow declared length {raw_len}")));
+        }
+        if delta {
+            for _ in 0..count {
+                let b = byte.wrapping_add(ring[pos]);
+                ring[pos] = b;
+                pos = (pos + 1) % DELTA_LAG;
+                out.push(b);
+            }
+        } else {
+            out.extend(std::iter::repeat_n(byte, count as usize));
+        }
+    }
+    if out.len() as u64 != raw_len {
+        return Err(H5Error::Format(format!(
+            "rle expanded to {} bytes, declared {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(Bytes::from(out))
+}
+
+// ---------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------
 
-/// Encode a metadata request (`M_METADATA`): just the file name.
+/// Encode a metadata request (`M_METADATA`): the file name plus the
+/// consumer's codec-capability bitmask (`CAP_*` bits) — the producer
+/// intersects it with its own and replies with the negotiated mask.
 ///
 /// ```
-/// use lowfive::protocol::{enc_metadata_req, dec_metadata_req};
-/// assert_eq!(dec_metadata_req(&enc_metadata_req("a.h5")).unwrap(), "a.h5");
+/// use lowfive::protocol::{enc_metadata_req, dec_metadata_req, CAP_ALL};
+/// let frame = enc_metadata_req("a.h5", CAP_ALL);
+/// assert_eq!(dec_metadata_req(&frame).unwrap(), ("a.h5".into(), CAP_ALL));
 /// ```
-pub fn enc_metadata_req(file: &str) -> Bytes {
+pub fn enc_metadata_req(file: &str, caps: u64) -> Bytes {
     let mut w = Writer::new();
     w.put_str(file);
+    w.put_u64(caps);
     w.finish()
 }
 
-/// Decode a metadata request.
-pub fn dec_metadata_req(b: &[u8]) -> H5Result<String> {
-    Reader::new(b).get_str()
+/// Decode a metadata request into `(file, consumer codec caps)`.
+pub fn dec_metadata_req(b: &[u8]) -> H5Result<(String, u64)> {
+    let mut r = Reader::new(b);
+    let file = r.get_str()?;
+    let caps = r.get_u64()?;
+    expect_eof(&r)?;
+    Ok((file, caps))
+}
+
+/// Encode a codec offer (`M_CODEC_OFFER`): a consumer rank advertising
+/// its capability bitmask for `file` to a producer it did not handshake
+/// with directly. Same body as a metadata request; sent as a
+/// fire-and-forget notification.
+pub fn enc_codec_offer(file: &str, caps: u64) -> Bytes {
+    enc_metadata_req(file, caps)
+}
+
+/// Decode a codec offer into `(file, consumer codec caps)`.
+pub fn dec_codec_offer(b: &[u8]) -> H5Result<(String, u64)> {
+    dec_metadata_req(b)
 }
 
 /// Encode a redirect query (`M_INTERSECT`): which producer ranks hold
@@ -130,7 +416,9 @@ pub fn enc_intersect_req(file: &str, dset: &str, bb: &BBox) -> Bytes {
 /// Decode a redirect query into `(file, dataset path, bbox)`.
 pub fn dec_intersect_req(b: &[u8]) -> H5Result<(String, String, BBox)> {
     let mut r = Reader::new(b);
-    Ok((r.get_str()?, r.get_str()?, r.get()?))
+    let out = (r.get_str()?, r.get_str()?, r.get()?);
+    expect_eof(&r)?;
+    Ok(out)
 }
 
 /// Encode a single data query (`M_DATA`): one selection of one dataset.
@@ -154,7 +442,9 @@ pub fn enc_data_req(file: &str, dset: &str, sel: &Selection) -> Bytes {
 /// Decode a single data query into `(file, dataset path, selection)`.
 pub fn dec_data_req(b: &[u8]) -> H5Result<(String, String, Selection)> {
     let mut r = Reader::new(b);
-    Ok((r.get_str()?, r.get_str()?, r.get()?))
+    let out = (r.get_str()?, r.get_str()?, r.get()?);
+    expect_eof(&r)?;
+    Ok(out)
 }
 
 /// Encode a batched data query (`M_DATA_BATCH`): every `(dataset,
@@ -199,18 +489,23 @@ pub fn dec_data_req_batch(b: &[u8]) -> H5Result<(String, Vec<(String, Selection)
     for _ in 0..n {
         entries.push((r.get_str()?, r.get()?));
     }
+    expect_eof(&r)?;
     Ok((file, entries))
 }
 
-/// Encode an `M_DONE` notification: just the filename (same body as
-/// [`enc_metadata_req`]).
+/// Encode an `M_DONE` notification: just the filename.
 pub fn enc_done_req(file: &str) -> Bytes {
-    enc_metadata_req(file)
+    let mut w = Writer::new();
+    w.put_str(file);
+    w.finish()
 }
 
 /// Decode an `M_DONE` notification into the filename.
 pub fn dec_done_req(b: &[u8]) -> H5Result<String> {
-    dec_metadata_req(b)
+    let mut r = Reader::new(b);
+    let file = r.get_str()?;
+    expect_eof(&r)?;
+    Ok(file)
 }
 
 /// Guard a wire-declared element count against the bytes actually left
@@ -224,6 +519,15 @@ fn checked_count(n: u64, unit: usize, r: &Reader) -> H5Result<usize> {
         )));
     }
     Ok(n as usize)
+}
+
+/// Assert a decoder consumed its whole frame: leftover bytes mean a
+/// mis-framed (or padded) message that must not decode silently.
+fn expect_eof(r: &Reader) -> H5Result<()> {
+    if r.remaining() != 0 {
+        return Err(H5Error::Format(format!("{} trailing bytes", r.remaining())));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -327,24 +631,26 @@ pub fn dec_result_payload(mut p: Payload) -> H5Result<Payload> {
     }
 }
 
-/// Encode a metadata reply: the file's generation followed by its
-/// serialized [`FileMeta`] tree.
-pub fn enc_metadata_reply(gen: u64, meta: &FileMeta) -> Bytes {
+/// Encode a metadata reply: the file's generation, the negotiated codec
+/// mask (consumer caps ∩ producer caps), then the serialized
+/// [`FileMeta`] tree.
+pub fn enc_metadata_reply(gen: u64, codec_mask: u64, meta: &FileMeta) -> Bytes {
     let mut w = Writer::new();
     w.put_u64(gen);
+    w.put_u64(codec_mask);
     w.put(meta);
     w.finish()
 }
 
-/// Decode a metadata reply into `(generation, tree)`.
-pub fn dec_metadata_reply(b: &[u8]) -> H5Result<(u64, FileMeta)> {
+/// Decode a metadata reply into `(generation, negotiated codec mask,
+/// tree)`.
+pub fn dec_metadata_reply(b: &[u8]) -> H5Result<(u64, u64, FileMeta)> {
     let mut r = Reader::new(b);
     let gen = r.get_u64()?;
+    let mask = r.get_u64()?;
     let meta = r.get()?;
-    if r.remaining() != 0 {
-        return Err(H5Error::Format(format!("{} trailing bytes", r.remaining())));
-    }
-    Ok((gen, meta))
+    expect_eof(&r)?;
+    Ok((gen, mask, meta))
 }
 
 /// Encode a redirect reply: the file's generation, then the world ranks
@@ -364,7 +670,9 @@ pub fn enc_intersect_reply(gen: u64, ranks: &[u64]) -> Bytes {
 /// Decode a redirect reply into `(generation, owner world ranks)`.
 pub fn dec_intersect_reply(b: &[u8]) -> H5Result<(u64, Vec<u64>)> {
     let mut r = Reader::new(b);
-    Ok((r.get_u64()?, r.get_u64s()?))
+    let out = (r.get_u64()?, r.get_u64s()?);
+    expect_eof(&r)?;
+    Ok(out)
 }
 
 /// A data reply: `segs` are `(element offset in the consumer's packed
@@ -402,7 +710,9 @@ pub fn enc_data_reply(gen: u64, segs: &[(u64, u64)], blob: &[u8]) -> Bytes {
 /// in the frame is rejected up front.
 pub fn dec_data_reply(b: &[u8]) -> H5Result<DataReply> {
     let mut r = Reader::new(b);
-    get_data_reply(&mut r)
+    let reply = get_data_reply(&mut r)?;
+    expect_eof(&r)?;
+    Ok(reply)
 }
 
 fn put_data_reply(w: &mut Writer, gen: u64, segs: &[(u64, u64)], blob: &[u8]) {
@@ -463,6 +773,7 @@ pub fn dec_data_reply_batch(b: &[u8]) -> H5Result<Vec<DataReply>> {
     for _ in 0..n {
         out.push(get_data_reply(&mut r)?);
     }
+    expect_eof(&r)?;
     Ok(out)
 }
 
@@ -682,6 +993,7 @@ pub fn dec_index_bundle(b: &[u8]) -> H5Result<Vec<(String, String, u64, BBox)>> 
     for _ in 0..n {
         out.push((r.get_str()?, r.get_str()?, r.get_u64()?, r.get()?));
     }
+    expect_eof(&r)?;
     Ok(out)
 }
 
@@ -698,44 +1010,57 @@ pub const STEP_POLICY_LATEST: u8 = 1;
 /// Wire code: deliver in order but allow skipping up to `n` steps ahead.
 pub const STEP_POLICY_SKIP_OK: u8 = 2;
 
-/// Encode a step-subscribe request (`M_STEP_SUB`): just the series name.
+/// Encode a step-subscribe request (`M_STEP_SUB`): the series name plus
+/// the subscriber's codec-capability bitmask (`CAP_*` bits).
 ///
 /// ```
-/// use lowfive::protocol::{enc_step_sub_req, dec_step_sub_req};
-/// assert_eq!(dec_step_sub_req(&enc_step_sub_req("sim.h5")).unwrap(), "sim.h5");
+/// use lowfive::protocol::{enc_step_sub_req, dec_step_sub_req, CAP_RAW};
+/// let frame = enc_step_sub_req("sim.h5", CAP_RAW);
+/// assert_eq!(dec_step_sub_req(&frame).unwrap(), ("sim.h5".into(), CAP_RAW));
 /// ```
-pub fn enc_step_sub_req(series: &str) -> Bytes {
+pub fn enc_step_sub_req(series: &str, caps: u64) -> Bytes {
     let mut w = Writer::new();
     w.put_str(series);
+    w.put_u64(caps);
     w.finish()
 }
 
-/// Decode a step-subscribe request into the series name.
-pub fn dec_step_sub_req(b: &[u8]) -> H5Result<String> {
-    Reader::new(b).get_str()
+/// Decode a step-subscribe request into `(series, subscriber caps)`.
+pub fn dec_step_sub_req(b: &[u8]) -> H5Result<(String, u64)> {
+    let mut r = Reader::new(b);
+    let series = r.get_str()?;
+    let caps = r.get_u64()?;
+    expect_eof(&r)?;
+    Ok((series, caps))
 }
 
 /// Encode a step-subscribe reply: the retained window start (the oldest
 /// step a late joiner can still catch up from), the next sequence number
-/// the producer will publish, and whether the series has ended.
+/// the producer will publish, whether the series has ended, and the
+/// negotiated codec mask (subscriber caps ∩ producer caps) governing
+/// this pair's step-next reply bodies.
 ///
 /// ```
-/// use lowfive::protocol::{enc_step_sub_reply, dec_step_sub_reply};
-/// assert_eq!(dec_step_sub_reply(&enc_step_sub_reply(3, 7, false)).unwrap(), (3, 7, false));
-/// assert_eq!(dec_step_sub_reply(&enc_step_sub_reply(9, 9, true)).unwrap(), (9, 9, true));
+/// use lowfive::protocol::{enc_step_sub_reply, dec_step_sub_reply, CAP_RAW};
+/// let frame = enc_step_sub_reply(3, 7, false, CAP_RAW);
+/// assert_eq!(dec_step_sub_reply(&frame).unwrap(), (3, 7, false, CAP_RAW));
 /// ```
-pub fn enc_step_sub_reply(window_start: u64, next_seq: u64, ended: bool) -> Bytes {
+pub fn enc_step_sub_reply(window_start: u64, next_seq: u64, ended: bool, codec_mask: u64) -> Bytes {
     let mut w = Writer::new();
     w.put_u64(window_start);
     w.put_u64(next_seq);
     w.put_u8(ended as u8);
+    w.put_u64(codec_mask);
     w.finish()
 }
 
-/// Decode a step-subscribe reply into `(window_start, next_seq, ended)`.
-pub fn dec_step_sub_reply(b: &[u8]) -> H5Result<(u64, u64, bool)> {
+/// Decode a step-subscribe reply into `(window_start, next_seq, ended,
+/// negotiated codec mask)`.
+pub fn dec_step_sub_reply(b: &[u8]) -> H5Result<(u64, u64, bool, u64)> {
     let mut r = Reader::new(b);
-    Ok((r.get_u64()?, r.get_u64()?, r.get_u8()? != 0))
+    let out = (r.get_u64()?, r.get_u64()?, r.get_u8()? != 0, r.get_u64()?);
+    expect_eof(&r)?;
+    Ok(out)
 }
 
 /// Encode a step-next request (`M_STEP_NEXT`): the series, the caller's
@@ -760,7 +1085,9 @@ pub fn enc_step_next_req(series: &str, cursor: u64, policy: u8, skip: u64) -> By
 /// Decode a step-next request into `(series, cursor, policy code, skip)`.
 pub fn dec_step_next_req(b: &[u8]) -> H5Result<(String, u64, u8, u64)> {
     let mut r = Reader::new(b);
-    Ok((r.get_str()?, r.get_u64()?, r.get_u8()?, r.get_u64()?))
+    let out = (r.get_str()?, r.get_u64()?, r.get_u8()?, r.get_u64()?);
+    expect_eof(&r)?;
+    Ok(out)
 }
 
 /// One `M_STEP_NEXT` reply.
@@ -829,18 +1156,20 @@ pub fn enc_step_next_reply(reply: &StepNextReply) -> Bytes {
 /// Decode a step-next reply.
 pub fn dec_step_next_reply(b: &[u8]) -> H5Result<StepNextReply> {
     let mut r = Reader::new(b);
-    match r.get_u8()? {
-        STEP_NEXT_PENDING => Ok(StepNextReply::Pending),
+    let reply = match r.get_u8()? {
+        STEP_NEXT_PENDING => StepNextReply::Pending,
         STEP_NEXT_STEP => {
             let seq = r.get_u64()?;
             let file = r.get_str()?;
             let gen = r.get_u64()?;
             let pub_ns = r.get_u64()?;
-            Ok(StepNextReply::Step { seq, file, gen, pub_ns })
+            StepNextReply::Step { seq, file, gen, pub_ns }
         }
-        STEP_NEXT_ENDED => Ok(StepNextReply::Ended { head: r.get_u64()? }),
-        t => Err(H5Error::Format(format!("bad step-next discriminant {t}"))),
-    }
+        STEP_NEXT_ENDED => StepNextReply::Ended { head: r.get_u64()? },
+        t => return Err(H5Error::Format(format!("bad step-next discriminant {t}"))),
+    };
+    expect_eof(&r)?;
+    Ok(reply)
 }
 
 /// Encode a step-ack request (`M_STEP_ACK`): the series and the caller's
@@ -861,7 +1190,9 @@ pub fn enc_step_ack_req(series: &str, cursor: u64) -> Bytes {
 /// Decode a step-ack request into `(series, cursor)`.
 pub fn dec_step_ack_req(b: &[u8]) -> H5Result<(String, u64)> {
     let mut r = Reader::new(b);
-    Ok((r.get_str()?, r.get_u64()?))
+    let out = (r.get_str()?, r.get_u64()?);
+    expect_eof(&r)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -870,7 +1201,9 @@ mod tests {
 
     #[test]
     fn request_roundtrips() {
-        assert_eq!(dec_metadata_req(&enc_metadata_req("a.h5")).unwrap(), "a.h5");
+        let frame = enc_metadata_req("a.h5", CAP_ALL);
+        assert_eq!(dec_metadata_req(&frame).unwrap(), ("a.h5".into(), CAP_ALL));
+        assert_eq!(dec_done_req(&enc_done_req("a.h5")).unwrap(), "a.h5");
         let bb = BBox::new(vec![1, 2], vec![3, 4]);
         let (f, d, b2) = dec_intersect_req(&enc_intersect_req("f", "g/d", &bb)).unwrap();
         assert_eq!((f.as_str(), d.as_str()), ("f", "g/d"));
@@ -1102,5 +1435,114 @@ mod tests {
         w.put_u64(4); // blob length prefix
         w.put_raw(&[0xAB]); // but only one byte present
         assert!(dec_data_reply_batch(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn decoders_reject_trailing_garbage() {
+        let mut padded = enc_step_ack_req("s", 3).to_vec();
+        padded.push(0xFF);
+        let e = dec_step_ack_req(&padded).unwrap_err();
+        assert!(matches!(&e, H5Error::Format(m) if m.contains("trailing")), "{e}");
+
+        let mut padded = enc_step_next_reply(&StepNextReply::Pending).to_vec();
+        padded.extend_from_slice(&[1, 2, 3]);
+        assert!(dec_step_next_reply(&padded).is_err());
+
+        let mut padded = enc_data_reply(1, &[(0, 1)], &[9]).to_vec();
+        padded.push(0);
+        assert!(dec_data_reply(&padded).is_err());
+    }
+
+    #[test]
+    fn codec_roundtrips_preserve_bytes() {
+        // Grid-like data: monotone u64 little-endian values — long zero
+        // runs in the delta stream.
+        let grid: Vec<u8> = (0u64..512).flat_map(|v| v.to_le_bytes()).collect();
+        for codec in [CODEC_RAW, CODEC_RLE, CODEC_DELTA_RLE] {
+            let coded = encode_coded(Payload::from(grid.clone()), codec);
+            let back = decode_coded_payload(coded.clone(), CAP_ALL).unwrap();
+            assert_eq!(&back.to_bytes()[..], &grid[..], "codec {codec}");
+            let back = dec_coded(&coded.to_bytes(), CAP_ALL).unwrap();
+            assert_eq!(&back[..], &grid[..], "codec {codec} contiguous");
+        }
+        // Little-endian position encoding leaves 6-7 high zero bytes per
+        // element, which fold into single runs: plain RLE must beat raw
+        // by a clear margin on this shape.
+        let rle = encode_coded(Payload::from(grid.clone()), CODEC_RLE);
+        assert!(rle.len() <= grid.len() * 2 / 3, "rle {} of {}", rle.len(), grid.len());
+        // Delta-RLE earns its keep on *smooth* fields — consecutive
+        // elements near-equal, so the delta stream is almost all zeros —
+        // where plain RLE sees no runs at all.
+        let smooth: Vec<u8> = (0u64..512).flat_map(|v| (1000 + v / 16).to_le_bytes()).collect();
+        let delta = encode_coded(Payload::from(smooth.clone()), CODEC_DELTA_RLE);
+        assert!(delta.len() < smooth.len() / 4, "delta {} of {}", delta.len(), smooth.len());
+        let back = decode_coded_payload(delta, CAP_ALL).unwrap();
+        assert_eq!(&back.to_bytes()[..], &smooth[..]);
+    }
+
+    #[test]
+    fn incompressible_bodies_keep_their_lent_parts() {
+        // A pseudo-random body cannot shrink under RLE: the encoder must
+        // fall back to raw and ship the original borrowed parts.
+        let mut v = Vec::with_capacity(1024);
+        let mut x = 0x9E3779B9u32;
+        for _ in 0..1024 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            v.push((x >> 24) as u8);
+        }
+        let region = Bytes::from(v);
+        let mut body = Payload::new();
+        body.push(region.slice(0..512));
+        body.push(region.slice(512..1024));
+        let coded = encode_coded(body, CODEC_RLE);
+        assert_eq!(coded.num_parts(), 3, "prefix + the two original parts");
+        assert_eq!(coded.parts()[1].as_ptr(), region.as_ptr(), "part still borrowed");
+        let back = decode_coded_payload(coded, CAP_RAW).unwrap();
+        assert_eq!(back.parts()[0].as_ptr(), region.as_ptr(), "raw decode is in-place");
+    }
+
+    #[test]
+    fn codec_decoders_reject_malformed_frames() {
+        // Codec id outside the negotiated mask.
+        let coded = encode_coded(Payload::from(vec![7u8; 100]), CODEC_RLE);
+        assert!(coded.len() < 100, "compresses");
+        assert!(dec_coded(&coded.to_bytes(), CAP_RAW).is_err(), "unnegotiated codec");
+        // Unknown codec id.
+        assert!(dec_coded(&Bytes::from_static(&[9, 0, 0]), CAP_ALL).is_err());
+        // Empty frame.
+        assert!(dec_coded(&Bytes::new(), CAP_ALL).is_err());
+        assert!(decode_coded_payload(Payload::new(), CAP_ALL).is_err());
+        // Odd pair stream.
+        let mut bad = vec![CODEC_RLE];
+        bad.extend_from_slice(&5u64.to_le_bytes());
+        bad.extend_from_slice(&[5, 1, 7]); // one and a half pairs
+        assert!(dec_coded(&Bytes::from(bad), CAP_ALL).is_err());
+        // Declared length no run set can reach (balloon guard).
+        let mut bad = vec![CODEC_RLE];
+        bad.extend_from_slice(&u64::MAX.to_le_bytes());
+        bad.extend_from_slice(&[255, 1]);
+        assert!(dec_coded(&Bytes::from(bad), CAP_ALL).is_err());
+        // Zero-length run.
+        let mut bad = vec![CODEC_RLE];
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.extend_from_slice(&[0, 1, 1, 2]);
+        assert!(dec_coded(&Bytes::from(bad), CAP_ALL).is_err());
+        // Runs that do not land exactly on the declared length.
+        let mut bad = vec![CODEC_RLE];
+        bad.extend_from_slice(&3u64.to_le_bytes());
+        bad.extend_from_slice(&[2, 1]);
+        assert!(dec_coded(&Bytes::from(bad), CAP_ALL).is_err());
+    }
+
+    #[test]
+    fn preferred_codec_follows_mask() {
+        assert_eq!(preferred_codec(CAP_ALL), CODEC_DELTA_RLE);
+        assert_eq!(preferred_codec(CAP_RAW | CAP_RLE), CODEC_RLE);
+        assert_eq!(preferred_codec(CAP_RAW), CODEC_RAW);
+        assert_eq!(preferred_codec(0), CODEC_RAW);
+        assert_eq!(WireCodec::Auto.caps(), CAP_ALL);
+        assert_eq!(WireCodec::Raw.caps(), CAP_RAW);
+        assert_eq!(WireCodec::Rle.caps(), CAP_RAW | CAP_RLE);
+        assert_eq!(WireCodec::DeltaRle.caps(), CAP_RAW | CAP_DELTA_RLE);
     }
 }

@@ -417,10 +417,25 @@ impl StepSubscription {
             .remote_ranks
             .clone();
         let home = producers[vol.local_comm().rank() % producers.len()];
+        // The subscribe doubles as the codec handshake for this series:
+        // announce replies from `home` arrive codec-prefixed under the
+        // returned mask. Only `home` ever sends us announces, so no
+        // offers fan out to the other producer ranks here.
+        let caps = vol.props().wire_codec_for(series).caps();
         let window_start = loop {
-            let reply = vol.call_producer(series, home, M_STEP_SUB, &enc_step_sub_req(series))?;
+            let reply =
+                vol.call_producer(series, home, M_STEP_SUB, &enc_step_sub_req(series, caps))?;
             match dec_result(&reply) {
-                Ok(body) => break dec_step_sub_reply(&body)?.0,
+                Ok(body) => {
+                    let (window_start, _, _, mask) = dec_step_sub_reply(&body)?;
+                    if mask & !caps != 0 {
+                        return Err(H5Error::Format(format!(
+                            "producer negotiated codec mask {mask:#x} \
+                             outside our advertised caps {caps:#x}"
+                        )));
+                    }
+                    break window_start;
+                }
                 // Not registered yet: the producer task is still starting.
                 Err(H5Error::NotFound(_)) => std::thread::sleep(Duration::from_millis(1)),
                 Err(e) => return Err(e),
@@ -476,7 +491,8 @@ impl StepSubscription {
                 M_STEP_NEXT,
                 &enc_step_next_req(&self.series, self.cursor, code, skip),
             )?;
-            match dec_step_next_reply(&dec_result(&reply)?)? {
+            let body = self.vol.decode_reply_body(&self.series, &dec_result(&reply)?)?;
+            match dec_step_next_reply(&body)? {
                 StepNextReply::Pending => std::thread::sleep(Duration::from_millis(1)),
                 StepNextReply::Step { seq, file, gen, pub_ns } => {
                     obsv::counter_add(obsv::Ctr::StepsLagged, seq.saturating_sub(self.cursor));
@@ -557,11 +573,20 @@ impl StepSubscription {
 /// Answer `M_STEP_SUB`: the series' retained window bounds, or
 /// `NotFound` while the series is not registered yet (the consumer
 /// retries).
-pub(crate) fn serve_step_sub(vol: &DistMetadataVol, args: &Bytes) -> Bytes {
-    let reply = dec_step_sub_req(args).and_then(|series| {
+pub(crate) fn serve_step_sub(vol: &DistMetadataVol, rank: usize, args: &Bytes) -> Bytes {
+    let reply = dec_step_sub_req(args).and_then(|(series, caps)| {
+        // Record the negotiation even while the series is still
+        // unregistered: the consumer's retries re-send the same caps, but
+        // an early record costs nothing and keeps the paths uniform.
+        vol.record_consumer_caps(&series, rank, caps);
         let st = vol.stream_state().lock();
         match st.series.get(&series) {
-            Some(s) => Ok(enc_step_sub_reply(s.window_start(), s.next_seq, s.ended)),
+            Some(s) => Ok(enc_step_sub_reply(
+                s.window_start(),
+                s.next_seq,
+                s.ended,
+                vol.negotiated_mask(&series, rank),
+            )),
             None => Err(H5Error::NotFound(series)),
         }
     });
@@ -592,9 +617,12 @@ pub(crate) fn serve_step_next(vol: &DistMetadataVol, rank: usize, args: &Bytes) 
             None if s.ended => StepNextReply::Ended { head: s.next_seq },
             None => StepNextReply::Pending,
         };
-        Ok(enc_step_next_reply(&chosen))
+        Ok((series.clone(), enc_step_next_reply(&chosen)))
     });
-    enc_result(reply)
+    // Announce bodies ride the negotiated codec like data replies do —
+    // they are small, so `Auto` virtually always ships them raw, but a
+    // forced policy compresses them too and the framing stays uniform.
+    enc_result(reply.map(|(series, body)| vol.encode_reply_bytes(&series, rank, body)))
 }
 
 /// Apply `M_STEP_ACK` from consumer world rank `rank`: max-merge its

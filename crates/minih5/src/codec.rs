@@ -135,8 +135,26 @@ impl<'a> Reader<'a> {
     }
 
     pub fn get_u64s(&mut self) -> H5Result<Vec<u64>> {
-        let n = self.get_u64()? as usize;
+        let n = self.get_count(8)?;
         (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Read a `u64` element count and verify that `count * unit` bytes
+    /// (the smallest possible encoding of that many elements) are
+    /// actually present. Decoders must call this before sizing any
+    /// allocation from a wire-declared count — a corrupt or hostile
+    /// frame can otherwise declare petabytes and abort the process in
+    /// `Vec::with_capacity` before the per-element reads ever fail.
+    pub fn get_count(&mut self, unit: usize) -> H5Result<usize> {
+        let n = self.get_u64()?;
+        let need = n.checked_mul(unit.max(1) as u64);
+        if need.is_none_or(|need| need > self.remaining() as u64) {
+            return Err(H5Error::Format(format!(
+                "declared count {n} (x{unit} bytes) exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
     }
 
     pub fn get<T: Decode>(&mut self) -> H5Result<T> {

@@ -204,7 +204,7 @@ impl Decode for Datatype {
             T_F64 => Datatype::Float64,
             T_STR => Datatype::FixedString(r.get_u64()? as usize),
             T_COMPOUND => {
-                let n = r.get_u64()? as usize;
+                let n = r.get_count(9)?; // name length prefix + dtype tag
                 let mut fields = Vec::with_capacity(n);
                 for _ in 0..n {
                     let name = r.get_str()?;

@@ -113,9 +113,9 @@ impl Encode for FileMeta {
 
 impl Decode for FileMeta {
     fn decode(r: &mut Reader<'_>) -> H5Result<Self> {
-        let ng = r.get_u64()? as usize;
+        let ng = r.get_count(8)?; // a string is at least its length prefix
         let groups = (0..ng).map(|_| r.get_str()).collect::<H5Result<Vec<_>>>()?;
-        let nd = r.get_u64()? as usize;
+        let nd = r.get_count(8)?;
         let mut datasets = Vec::with_capacity(nd);
         for _ in 0..nd {
             let path = r.get_str()?;
@@ -126,7 +126,7 @@ impl Decode for FileMeta {
                 0 => None,
                 1 => {
                     let chunk = r.get_u64s()?;
-                    let n = r.get_u64()? as usize;
+                    let n = r.get_count(16)?; // coord length prefix + offset
                     let mut offsets = Vec::with_capacity(n);
                     for _ in 0..n {
                         let coord = r.get_u64s()?;
@@ -139,7 +139,7 @@ impl Decode for FileMeta {
             };
             datasets.push(DatasetEntry { path, dtype, space, offset, chunks });
         }
-        let na = r.get_u64()? as usize;
+        let na = r.get_count(8)?;
         let mut attrs = Vec::with_capacity(na);
         for _ in 0..na {
             attrs.push(AttrEntry {

@@ -434,7 +434,7 @@ impl Decode for Selection {
         Ok(match r.get_u8()? {
             0 => Selection::All,
             1 => {
-                let n = r.get_u64()? as usize;
+                let n = r.get_count(32)?; // 4 u64s per slab dim
                 let mut dims = Vec::with_capacity(n);
                 for _ in 0..n {
                     dims.push(SlabDim {
@@ -455,7 +455,7 @@ impl Decode for Selection {
                 Selection::Points { rank, coords }
             }
             3 => {
-                let n = r.get_u64()? as usize;
+                let n = r.get_count(1)?; // a member is at least its tag byte
                 if n > 1 << 20 {
                     return Err(H5Error::Format("union too large".into()));
                 }

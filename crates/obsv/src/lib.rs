@@ -234,10 +234,18 @@ pub enum Ctr {
     /// delivered step, how many sequence numbers past the consumer's
     /// cursor it was (0 for an in-order `EveryStep` consumer).
     StepsLagged,
+    /// Data-reply body bytes actually shipped over the wire, after codec
+    /// encoding (the one-byte codec prefix excluded). Equal to
+    /// `bytes_pre_codec` when every frame goes raw; strictly smaller when
+    /// compression wins.
+    BytesOnWire,
+    /// Data-reply body bytes *before* codec encoding — the raw size the
+    /// wire would have carried without the codec layer.
+    BytesPreCodec,
 }
 
 /// Number of [`Ctr`] variants (the fixed width of every counter array).
-pub const NUM_CTRS: usize = 34;
+pub const NUM_CTRS: usize = 36;
 
 impl Ctr {
     /// Every counter, in declaration order.
@@ -276,6 +284,8 @@ impl Ctr {
         Ctr::StepsPublished,
         Ctr::StepsDropped,
         Ctr::StepsLagged,
+        Ctr::BytesOnWire,
+        Ctr::BytesPreCodec,
     ];
 
     /// Stable metrics-JSON key for this counter.
@@ -315,6 +325,8 @@ impl Ctr {
             Ctr::StepsPublished => "steps_published",
             Ctr::StepsDropped => "steps_dropped",
             Ctr::StepsLagged => "steps_lagged",
+            Ctr::BytesOnWire => "bytes_on_wire",
+            Ctr::BytesPreCodec => "bytes_pre_codec",
         }
     }
 }
@@ -350,10 +362,13 @@ pub enum Hist {
     /// (consumer receipt of the announce minus the producer's publish
     /// stamp; both sides share the process clock).
     StepLatencyNs,
+    /// Wall time spent inside wire-codec encode and decode passes,
+    /// nanoseconds (one sample per pass, both directions).
+    CodecLatencyNs,
 }
 
 /// Number of [`Hist`] variants (the fixed width of every histogram array).
-pub const NUM_HISTS: usize = 11;
+pub const NUM_HISTS: usize = 12;
 
 impl Hist {
     /// Every histogram, in declaration order.
@@ -369,6 +384,7 @@ impl Hist {
         Hist::CollBytes,
         Hist::CollLatencyNs,
         Hist::StepLatencyNs,
+        Hist::CodecLatencyNs,
     ];
 
     /// Stable metrics-JSON key for this histogram.
@@ -385,6 +401,7 @@ impl Hist {
             Hist::CollBytes => "coll_bytes",
             Hist::CollLatencyNs => "coll_latency_ns",
             Hist::StepLatencyNs => "step_latency_ns",
+            Hist::CodecLatencyNs => "codec_latency_ns",
         }
     }
 }

@@ -86,8 +86,10 @@ impl Comm {
         self.inner.coll_algo
     }
 
-    /// The attached cost model, if any (drives size-aware selection).
-    pub(crate) fn cost_model(&self) -> Option<CostModel> {
+    /// The attached cost model, if any. Drives size-aware collective
+    /// selection internally, and lets upper layers (the LowFive wire
+    /// codecs) weigh modeled link cost against codec cost.
+    pub fn cost_model(&self) -> Option<CostModel> {
         self.inner.cost
     }
 

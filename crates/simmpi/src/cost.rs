@@ -45,6 +45,16 @@ pub enum CollectiveAlgo {
 const SEGMENT_FLOOR: usize = 64;
 const SEGMENT_CEIL: usize = 1 << 20;
 
+/// Fraction of the raw body the wire codecs are assumed to ship for
+/// compressible data — the planning estimate [`CostModel::compression_worthwhile`]
+/// weighs against the codec's CPU cost (actual ratios are measured, not
+/// assumed: the encoder falls back to raw when it fails to shrink).
+pub const CODEC_ASSUMED_RATIO: f64 = 0.5;
+/// Modeled encoder cost, ns per raw body byte (one streaming RLE pass).
+pub const CODEC_ENCODE_NS_PER_BYTE: f64 = 0.15;
+/// Modeled decoder cost, ns per raw body byte (one expansion pass).
+pub const CODEC_DECODE_NS_PER_BYTE: f64 = 0.15;
+
 /// Linear latency/bandwidth message cost: `latency + bytes * per_byte_ns`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
@@ -89,6 +99,26 @@ impl CostModel {
     /// the classic pipelining sweet spot), clamped to a sane range.
     pub fn segment_bytes(&self) -> usize {
         self.large_payload_threshold().clamp(SEGMENT_FLOOR, SEGMENT_CEIL)
+    }
+
+    /// Modeled CPU cost of compressing *and* decompressing a body of
+    /// `bytes` raw bytes, in ns (both ends sit on the transfer's critical
+    /// path).
+    pub fn codec_ns(&self, bytes: usize) -> f64 {
+        (CODEC_ENCODE_NS_PER_BYTE + CODEC_DECODE_NS_PER_BYTE) * bytes as f64
+    }
+
+    /// Should a sender bother compressing a body of `bytes` raw bytes
+    /// under this link model? Yes iff the payload is bandwidth-bound
+    /// (at or past [`CostModel::large_payload_threshold`]) and the
+    /// modeled wire time saved — `per_byte_ns × (1 − ratio) × bytes`,
+    /// with the planning ratio [`CODEC_ASSUMED_RATIO`] — exceeds the
+    /// modeled codec CPU cost. A fast interconnect (0.1 ns/B) never
+    /// clears the bar, so in-proc and interconnect-modeled transports
+    /// keep the zero-copy raw path; a ~1 GB/s staging link does.
+    pub fn compression_worthwhile(&self, bytes: usize) -> bool {
+        bytes >= self.large_payload_threshold()
+            && self.per_byte_ns * (1.0 - CODEC_ASSUMED_RATIO) * bytes as f64 > self.codec_ns(bytes)
     }
 
     /// Modeled cost of one delivered message of `bytes` payload, in ns.
@@ -322,6 +352,22 @@ mod tests {
             let tree = allgather_messages(CollectiveAlgo::LogTime, n);
             assert!(tree <= 2 * n as u64 * u64::from(ceil_log2(n)));
         }
+    }
+
+    #[test]
+    fn compression_pays_only_on_slow_links() {
+        // Fast interconnect: 0.1 ns/B × 0.5 saved < 0.3 ns/B codec cost —
+        // never compress, the zero-copy raw path stays untouched.
+        let fast = CostModel::interconnect();
+        assert!(!fast.compression_worthwhile(1 << 20));
+        // ~1 GB/s staging-grade link: 1.0 ns/B × 0.5 saved > 0.3 ns/B.
+        let slow = CostModel { latency: Duration::from_micros(2), per_byte_ns: 1.0 };
+        assert!(slow.compression_worthwhile(1 << 20));
+        // Latency-bound payloads below the crossover never compress.
+        assert!(!slow.compression_worthwhile(1000));
+        // A pure-latency model (in-proc-like) never compresses anything.
+        let pure = CostModel { latency: Duration::from_micros(5), per_byte_ns: 0.0 };
+        assert!(!pure.compression_worthwhile(1 << 30));
     }
 
     #[test]

@@ -59,11 +59,16 @@ impl Mailbox {
     }
 
     /// Wake every blocked receiver so it can re-check external conditions
-    /// (a peer death, a deadline). Taking the lock first guarantees no
-    /// receiver misses the wakeup between its check and its wait.
+    /// (a peer death, a deadline, shutdown). Taking the lock first
+    /// guarantees no receiver misses the wakeup between its check and its
+    /// wait. Both condvars are notified: a reader parked in
+    /// [`Mailbox::wait_below`] waits on `drained`, and its `closed` flag
+    /// flips without any queue operation — without this notify its exit
+    /// would be quantized to the bounded-wait tick.
     pub fn wake(&self) {
         let _q = self.queue.lock();
         self.available.notify_all();
+        self.drained.notify_all();
     }
 
     /// Block until an envelope matching `m` is available and remove it.

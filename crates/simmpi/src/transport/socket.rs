@@ -259,6 +259,15 @@ impl Transport for SocketTransport {
         for mb in &self.shared.mailboxes {
             mb.wake();
         }
+        // Senders parked on a full link queue and writers parked on an
+        // empty one re-check external conditions (death, shutdown) that
+        // flip without any queue operation — notify them too, so their
+        // exit is not quantized to the bounded-wait tick.
+        for link in &self.shared.links {
+            let _q = link.q.lock();
+            link.space.notify_all();
+            link.ready.notify_all();
+        }
     }
 
     fn in_flight(&self, world_src: usize, world_dest: usize) -> bool {
@@ -471,15 +480,26 @@ mod tests {
         t.shutdown();
     }
 
+    /// Wait until every frame from rank 0 to rank 1 has been pushed into
+    /// the destination mailbox. `in_flight` turning false happens-after
+    /// the mailbox push (Release store in the reader), so this makes the
+    /// landed-before-overtake ordering deterministic — no wall-clock
+    /// sleeps, which flaked under CI scheduling jitter.
+    fn drain_in_flight(t: &SocketTransport) {
+        while t.in_flight(0, 1) {
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn front_delivery_overtakes_queued_frames() {
         let t = SocketTransport::new(2, SocketConfig::default());
         t.deliver(1, env(0, 1, b"first"), false);
         t.deliver(1, env(0, 1, b"second"), false);
-        // Give both frames time to land, then overtake them.
-        std::thread::sleep(Duration::from_millis(50));
+        // Let both frames land, then overtake them.
+        drain_in_flight(&t);
         t.deliver(1, env(0, 1, b"urgent"), true);
-        std::thread::sleep(Duration::from_millis(50));
+        drain_in_flight(&t);
         assert_eq!(pop(&t, 1, 0, 1), b"urgent");
         assert_eq!(pop(&t, 1, 0, 1), b"first");
         assert_eq!(pop(&t, 1, 0, 1), b"second");
