@@ -31,13 +31,14 @@
 //! write *generation*, which consumers use to invalidate their fetch
 //! caches when a producer rewrites a file in place.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use diyblk::rpc::{Call, Caller, RpcClient, RpcError, RpcServer, ServeOutcome};
+use diyblk::rpc::{Call, Caller, RpcClient, RpcError, RpcServer, ServeOutcome, ServeStep};
 use diyblk::{RegularDecomposer, RetryPolicy};
 use minih5::format::{import_meta, FileMeta};
 use minih5::selection::overlap_runs;
@@ -45,7 +46,7 @@ use minih5::{
     BBox, Dataspace, Datatype, H5Error, H5Result, Hierarchy, NodeId, ObjId, ObjKind, Ownership,
     Selection, Vol,
 };
-use simmpi::{Comm, Payload};
+use simmpi::{Comm, Payload, RatioEwma};
 
 use crate::metadata::MetadataVol;
 use crate::props::{glob_match, LowFiveProps};
@@ -154,11 +155,78 @@ struct AsyncSessions {
     draining: bool,
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct ServeIndex {
     /// `(file, dataset) → [(bounding box, producer local rank)]` — the
     /// paper's `boxes[file, dset]` of Algorithm 1 line 11.
     boxes: HashMap<(String, String), Vec<(BBox, usize)>>,
+}
+
+/// Number of [`HotStripe`] cells the hot serve counters are split over.
+/// Eight covers the dispatcher plus any realistic worker-pool size
+/// without two threads hashing to the same cache line very often.
+const HOT_STRIPES: usize = 8;
+
+/// One cache-line-aligned stripe of the hot serve-path counters: the
+/// request/byte tallies every `M_METADATA`/`M_INTERSECT`/`M_DATA`/
+/// `M_DATA_BATCH` handler bumps. Alignment keeps stripes on distinct
+/// cache lines so concurrent workers never false-share.
+#[derive(Default)]
+#[repr(align(64))]
+struct HotStripe {
+    metadata_requests: AtomicU64,
+    intersect_requests: AtomicU64,
+    data_requests: AtomicU64,
+    bytes_served: AtomicU64,
+}
+
+/// The serve path's hot counters, sharded per thread so concurrent serve
+/// workers bump relaxed atomics in their own stripe instead of
+/// serializing on the `TransportProfile` mutex. Merged into the profile
+/// snapshot at [`DistMetadataVol::profile`] time (cold fields — the
+/// per-phase seconds — stay in the mutex; they are touched a handful of
+/// times per session).
+#[derive(Default)]
+struct HotProfile {
+    stripes: [HotStripe; HOT_STRIPES],
+}
+
+/// The stripe this thread writes to: a cached hash of the thread id.
+fn hot_stripe_index() -> usize {
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static IDX: usize = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish() as usize % HOT_STRIPES
+        };
+    }
+    IDX.with(|i| *i)
+}
+
+impl HotProfile {
+    fn stripe(&self) -> &HotStripe {
+        &self.stripes[hot_stripe_index()]
+    }
+
+    /// Fold every stripe into a profile snapshot.
+    fn merge_into(&self, p: &mut TransportProfile) {
+        for s in &self.stripes {
+            p.metadata_requests += s.metadata_requests.load(Ordering::Relaxed);
+            p.intersect_requests += s.intersect_requests.load(Ordering::Relaxed);
+            p.data_requests += s.data_requests.load(Ordering::Relaxed);
+            p.bytes_served += s.bytes_served.load(Ordering::Relaxed);
+        }
+    }
+
+    fn reset(&self) {
+        for s in &self.stripes {
+            s.metadata_requests.store(0, Ordering::Relaxed);
+            s.intersect_requests.store(0, Ordering::Relaxed);
+            s.data_requests.store(0, Ordering::Relaxed);
+            s.bytes_served.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Consumer-side cache of remote lookups, so repeated reads of the same
@@ -190,8 +258,15 @@ pub struct DistMetadataVol {
     local: Comm,
     links: Vec<Link>,
     remote: Mutex<RemoteState>,
-    serve_index: Mutex<ServeIndex>,
+    /// The queryable index, published as an immutable snapshot: `index()`
+    /// builds a fresh [`ServeIndex`] and swaps the `Arc` in one store, so
+    /// serve workers clone the handle and read entirely lock-free while
+    /// the next generation is being built.
+    serve_index: Mutex<Arc<ServeIndex>>,
     profile: Mutex<TransportProfile>,
+    /// Per-thread stripes for the serve path's hot counters (see
+    /// [`HotProfile`]); merged into [`Self::profile`] snapshots.
+    hot: HotProfile,
     /// Overlap mode (paper §V-C: "consume data as soon as it is
     /// available, and overlap reading and writing"): file_close returns
     /// immediately and a single background thread serves all sessions.
@@ -211,6 +286,12 @@ pub struct DistMetadataVol {
     /// handshake and `M_CODEC_OFFER` notifications; a pair with no entry
     /// falls through to raw.
     codec_masks: Mutex<HashMap<(String, usize), u64>>,
+    /// Producer-side EWMA of *realized* compression ratios per consumer
+    /// world rank (this producer task is the other half of the pair).
+    /// Observed on every reply we attempted to compress; consulted by
+    /// `Auto` codec planning in place of the static
+    /// [`simmpi::CODEC_ASSUMED_RATIO`] once real frames have flowed.
+    codec_ratio: Mutex<HashMap<usize, RatioEwma>>,
     /// Step-streaming state: registered series and their announce
     /// windows (see [`crate::stream`]). Slot files of a series bypass
     /// the DONE-counted session map entirely.
@@ -301,6 +382,7 @@ impl DistVolBuilder {
             remote: Mutex::default(),
             serve_index: Mutex::default(),
             profile: Mutex::default(),
+            hot: HotProfile::default(),
             async_serve: self.async_serve,
             sessions: Mutex::default(),
             serve_thread: Mutex::default(),
@@ -308,6 +390,7 @@ impl DistVolBuilder {
             pending_meta: Mutex::default(),
             fetch_cache: Mutex::default(),
             codec_masks: Mutex::default(),
+            codec_ratio: Mutex::default(),
             stream: Mutex::default(),
         })
     }
@@ -319,14 +402,19 @@ impl DistMetadataVol {
         &self.meta
     }
 
-    /// Snapshot the accumulated transport profile.
+    /// Snapshot the accumulated transport profile. Hot request/byte
+    /// counters live in per-thread stripes on the serve path; they are
+    /// folded into the snapshot here.
     pub fn profile(&self) -> TransportProfile {
-        self.profile.lock().clone()
+        let mut p = self.profile.lock().clone();
+        self.hot.merge_into(&mut p);
+        p
     }
 
     /// Zero the transport profile (e.g. between timesteps).
     pub fn reset_profile(&self) {
         *self.profile.lock() = TransportProfile::default();
+        self.hot.reset();
     }
 
     /// The transport properties this VOL was built with.
@@ -370,19 +458,32 @@ impl DistMetadataVol {
         self.codec_masks.lock().get(&(file.to_string(), rank)).copied().unwrap_or(CAP_RAW)
     }
 
-    /// Pick the codec for one reply body of `len` bytes toward a
-    /// consumer negotiated at `mask`. `Auto` compresses only when the
-    /// attached cost model says the modeled wire saving beats the
-    /// modeled codec cost (no cost model — in-proc transport — means
+    /// Pick the codec for one reply body of `len` bytes toward the
+    /// consumer `caller` negotiated at `mask`. `Auto` compresses only
+    /// when the attached cost model says the modeled wire saving beats
+    /// the modeled codec cost (no cost model — in-proc transport — means
     /// raw); a forced `Rle`/`DeltaRle` policy skips the cost check.
-    fn pick_codec(&self, file: &str, mask: u64, len: usize) -> u8 {
+    ///
+    /// The saving term uses the *realized* compression ratio toward this
+    /// consumer — an EWMA over frames we actually encoded (see
+    /// [`RatioEwma`]) — falling back to the static planning assumption
+    /// until the first frame has flowed.
+    fn pick_codec(&self, file: &str, caller: usize, mask: u64, len: usize) -> u8 {
         let preferred = preferred_codec(mask);
         if preferred == CODEC_RAW {
             return CODEC_RAW;
         }
         match self.props.wire_codec_for(file) {
             WireCodec::Auto => match self.world.cost_model() {
-                Some(cm) if cm.compression_worthwhile(len) => preferred,
+                Some(cm) => {
+                    let ratio =
+                        self.codec_ratio.lock().get(&caller).copied().unwrap_or_default().ratio();
+                    if cm.compression_worthwhile_with_ratio(len, ratio) {
+                        preferred
+                    } else {
+                        CODEC_RAW
+                    }
+                }
                 _ => CODEC_RAW,
             },
             WireCodec::Raw => CODEC_RAW,
@@ -395,14 +496,23 @@ impl DistMetadataVol {
     /// path (and the not-smaller fallback inside [`encode_coded`]) keeps
     /// the body's lent parts untouched.
     fn encode_reply_body(&self, file: &str, caller: usize, body: Payload) -> Payload {
-        obsv::counter_add(obsv::Ctr::BytesPreCodec, body.len() as u64);
-        let codec = self.pick_codec(file, self.negotiated_mask(file, caller), body.len());
+        let pre_len = body.len();
+        obsv::counter_add(obsv::Ctr::BytesPreCodec, pre_len as u64);
+        let codec = self.pick_codec(file, caller, self.negotiated_mask(file, caller), pre_len);
         let coded = if codec == CODEC_RAW {
             encode_coded(body, CODEC_RAW)
         } else {
             let t0 = obsv::clock::now_ns();
             let coded = encode_coded(body, codec);
             obsv::hist_record(obsv::Hist::CodecLatencyNs, obsv::clock::now_ns() - t0);
+            // Feed the realized on-wire ratio of this *attempted*
+            // compression back into planning for the next frame toward
+            // the same consumer (the not-smaller raw fallback inside
+            // `encode_coded` is observed too — as a ratio near 1 — which
+            // is exactly what teaches the EWMA to stop compressing
+            // incompressible streams).
+            let realized = (coded.len() - 1) as f64 / pre_len.max(1) as f64;
+            self.codec_ratio.lock().entry(caller).or_default().observe(realized);
             coded
         };
         obsv::counter_add(obsv::Ctr::BytesOnWire, (coded.len() - 1) as u64);
@@ -502,8 +612,13 @@ impl DistMetadataVol {
         // personalized all-to-all.
         let parts: Vec<bytes::Bytes> = bundles.iter().map(|b| enc_index_bundle(b)).collect();
         let received = self.local.alltoall_bytes(parts);
-        let mut idx = self.serve_index.lock();
-        idx.boxes.retain(|(f, _), _| f != filename);
+        // Build the next index generation off to the side, then publish
+        // it as a single `Arc` swap. Serve workers clone the handle once
+        // per request and read it without any lock held; a worker racing
+        // this publish keeps answering from the previous snapshot, which
+        // is exactly the pre-swap serve behavior.
+        let mut next: ServeIndex = (**self.serve_index.lock()).clone();
+        next.boxes.retain(|(f, _), _| f != filename);
         let mut nboxes = 0u64;
         for (src, payload) in received.iter().enumerate() {
             // The bundle's generation tag records which snapshot the
@@ -511,11 +626,11 @@ impl DistMetadataVol {
             // generation, so a consumer that cached owners from this
             // index notices any later in-place rewrite.
             for (f, d, _gen, bb) in dec_index_bundle(payload)? {
-                idx.boxes.entry((f, d)).or_default().push((bb, src));
+                next.boxes.entry((f, d)).or_default().push((bb, src));
                 nboxes += 1;
             }
         }
-        drop(idx);
+        *self.serve_index.lock() = Arc::new(next);
         // The all-to-all alone is not a barrier: a rank can complete it
         // (everyone has *sent*) while a peer has yet to fold the received
         // bundles into its serve index. Anything that makes the file
@@ -561,22 +676,30 @@ impl DistMetadataVol {
         // stop the serve loop early, stranding the rest — so we count
         // distinct caller ranks instead.
         let mut dones = std::collections::HashSet::new();
-        server.serve(|caller, method, args| match method {
+        // Control plane (metadata, negotiation, DONE counting, step
+        // errors) stays on the dispatcher; the data plane (intersect,
+        // data, batch) is offloaded to the worker pool when one is
+        // configured. Replies are matched by call id, so completion
+        // order never matters to the consumer.
+        let workers = self.props.serve_workers_for(filename);
+        server.serve_concurrent(workers, |caller, method, args| match method {
             M_METADATA => {
-                self.profile.lock().metadata_requests += 1;
+                self.hot.stripe().metadata_requests.fetch_add(1, Ordering::Relaxed);
                 let (file, caps) = match dec_metadata_req(&args) {
                     Ok(fc) => fc,
-                    Err(e) => return ServeOutcome::Reply(enc_result(Err(e))),
+                    Err(e) => return ServeStep::Inline(ServeOutcome::Reply(enc_result(Err(e)))),
                 };
                 // Record the negotiation before any parking, so a flush
                 // from a later serve session already knows the mask.
                 self.record_consumer_caps(&file, caller.rank, caps);
                 match self.meta.file_meta(&file) {
-                    Ok(meta) => ServeOutcome::Reply(enc_result(Ok(enc_metadata_reply(
-                        self.meta.generation(&file),
-                        self.negotiated_mask(&file, caller.rank),
-                        &meta,
-                    )))),
+                    Ok(meta) => {
+                        ServeStep::Inline(ServeOutcome::Reply(enc_result(Ok(enc_metadata_reply(
+                            self.meta.generation(&file),
+                            self.negotiated_mask(&file, caller.rank),
+                            &meta,
+                        )))))
+                    }
                     Err(H5Error::NotFound(_))
                         if self.links.iter().any(|l| {
                             l.dir == LinkDir::Produce && glob_match(&l.pattern, &file)
@@ -585,20 +708,24 @@ impl DistMetadataVol {
                         // A future snapshot of ours: hold the request until
                         // its serve session opens.
                         self.pending_meta.lock().push((caller, file));
-                        ServeOutcome::Continue
+                        ServeStep::Inline(ServeOutcome::Continue)
                     }
-                    Err(e) => ServeOutcome::Reply(enc_result(Err(e))),
+                    Err(e) => ServeStep::Inline(ServeOutcome::Reply(enc_result(Err(e)))),
                 }
             }
             M_CODEC_OFFER => {
                 if let Ok((file, caps)) = dec_codec_offer(&args) {
                     self.record_consumer_caps(&file, caller.rank, caps);
                 }
-                ServeOutcome::Continue
+                ServeStep::Inline(ServeOutcome::Continue)
             }
-            M_INTERSECT => ServeOutcome::Reply(self.serve_intersect(&args)),
-            M_DATA => ServeOutcome::ReplyParts(self.serve_data(&args, caller.rank)),
-            M_DATA_BATCH => ServeOutcome::ReplyParts(self.serve_data_batch(&args, caller.rank)),
+            M_INTERSECT => {
+                ServeStep::Offload(Box::new(move || Payload::from(self.serve_intersect(&args))))
+            }
+            M_DATA => ServeStep::Offload(Box::new(move || self.serve_data(&args, caller.rank))),
+            M_DATA_BATCH => {
+                ServeStep::Offload(Box::new(move || self.serve_data_batch(&args, caller.rank)))
+            }
             M_DONE => {
                 let file = dec_done_req(&args).unwrap_or_default();
                 if file == filename {
@@ -608,22 +735,22 @@ impl DistMetadataVol {
                 // policy resends) it, so a dropped notification can no
                 // longer starve the serve loop.
                 let ack = enc_result(Ok(Bytes::new()));
-                if dones.len() == expected_dones {
+                ServeStep::Inline(if dones.len() == expected_dones {
                     ServeOutcome::Stop(Some(ack))
                 } else {
                     ServeOutcome::Reply(ack)
-                }
+                })
             }
             M_STEP_SUB | M_STEP_NEXT | M_STEP_ACK => {
                 // A producer blocked in this synchronous loop could never
                 // publish another step, so streaming refuses to start.
-                ServeOutcome::Reply(enc_result(Err(H5Error::Vol(
+                ServeStep::Inline(ServeOutcome::Reply(enc_result(Err(H5Error::Vol(
                     "step streaming requires overlap mode (DistVolBuilder::async_serve)".into(),
-                ))))
+                )))))
             }
-            m => ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
+            m => ServeStep::Inline(ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
                 "unknown RPC method {m}"
-            ))))),
+            )))))),
         });
         let mut p = self.profile.lock();
         p.serve_seconds += sp.finish();
@@ -672,14 +799,28 @@ impl DistMetadataVol {
             frame.put_u64(len);
         }
         frame.put_blob_len(blob_len);
+        let mut deep_bytes = 0u64;
         for (b, own) in slices {
             match own {
                 Ownership::Shallow => frame.lend(b),
                 Ownership::Deep => {
+                    deep_bytes += b.len() as u64;
                     obsv::counter_add(obsv::Ctr::BytesCopied, b.len() as u64);
                     frame.lend(Bytes::copy_from_slice(&b));
                 }
             }
+        }
+        // Modeled per-byte gather cost (`set_gather_cost`): a real sleep
+        // on the producer side of the deep-copy path, standing in for
+        // the strided gathers and NUMA traffic a production-size rank
+        // would pay. The shallow lend path pays nothing by construction
+        // — which is what the serve-concurrency figure exploits: worker
+        // pools overlap these stalls across consumers.
+        let ns_per_byte = self.props.gather_cost_for(file);
+        if ns_per_byte > 0.0 && deep_bytes > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(
+                (ns_per_byte * deep_bytes as f64) as u64,
+            ));
         }
         Ok(())
     }
@@ -688,42 +829,53 @@ impl DistMetadataVol {
     /// loops): which producer-local ranks indexed data of `(file, dset)`
     /// intersecting the query box.
     fn serve_intersect(&self, args: &Bytes) -> Bytes {
-        self.profile.lock().intersect_requests += 1;
+        let t0 = obsv::clock::now_ns();
+        self.hot.stripe().intersect_requests.fetch_add(1, Ordering::Relaxed);
         let reply = dec_intersect_req(args).map(|(file, dset, qbb)| {
             let gen = self.meta.generation(&file);
-            let idx = self.serve_index.lock();
+            let idx = Arc::clone(&self.serve_index.lock());
+            // Dedup through a set (a fine decomposition can hold many
+            // boxes per rank) while keeping the historical first-hit
+            // order of the reply.
             let mut ranks: Vec<u64> = Vec::new();
+            let mut seen: HashSet<usize> = HashSet::new();
             if let Some(list) = idx.boxes.get(&(file, dset)) {
                 for (bb, rank) in list {
-                    if bb.intersects(&qbb) && !ranks.contains(&(*rank as u64)) {
+                    if bb.intersects(&qbb) && seen.insert(*rank) {
                         ranks.push(*rank as u64);
                     }
                 }
             }
             enc_intersect_reply(gen, &ranks)
         });
-        enc_result(reply)
+        let out = enc_result(reply);
+        obsv::hist_record(obsv::Hist::ServeIntersectNs, obsv::clock::now_ns().saturating_sub(t0));
+        out
     }
 
     /// Answer a single `M_DATA` query (shared by both serve loops) as a
     /// multi-part frame lending shallow region bytes.
     fn serve_data(&self, args: &Bytes, caller: usize) -> Payload {
+        let t0 = obsv::clock::now_ns();
         let reply = dec_data_req(args).and_then(|(file, dset, sel)| {
             let gen = self.meta.generation(&file);
             let mut frame = ReplyFrame::new();
             self.answer_data_query_into(&mut frame, gen, &file, &dset, &sel)?;
             Ok((file, frame.finish()))
         });
-        let mut p = self.profile.lock();
-        p.data_requests += 1;
+        let hot = self.hot.stripe();
+        hot.data_requests.fetch_add(1, Ordering::Relaxed);
         if let Ok((_, b)) = &reply {
             // Profiled at the pre-codec length: `bytes_served` counts what
             // the consumer receives after decode, not what crossed the wire.
-            p.bytes_served += b.len() as u64;
+            hot.bytes_served.fetch_add(b.len() as u64, Ordering::Relaxed);
             obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
         }
-        drop(p);
-        enc_result_payload(reply.map(|(file, body)| self.encode_reply_body(&file, caller, body)))
+        let out = enc_result_payload(
+            reply.map(|(file, body)| self.encode_reply_body(&file, caller, body)),
+        );
+        obsv::hist_record(obsv::Hist::ServeDataNs, obsv::clock::now_ns().saturating_sub(t0));
+        out
     }
 
     /// Answer a batched `M_DATA_BATCH` query (shared by both serve
@@ -732,6 +884,7 @@ impl DistMetadataVol {
     /// answered exactly as a lone `M_DATA` would be, so batching never
     /// changes the bytes a consumer sees.
     fn serve_data_batch(&self, args: &Bytes, caller: usize) -> Payload {
+        let t0 = obsv::clock::now_ns();
         let reply = dec_data_req_batch(args).and_then(|(file, entries)| {
             let gen = self.meta.generation(&file);
             let mut frame = ReplyFrame::new();
@@ -739,16 +892,18 @@ impl DistMetadataVol {
             for (dset, sel) in &entries {
                 self.answer_data_query_into(&mut frame, gen, &file, dset, sel)?;
             }
-            self.profile.lock().data_requests += entries.len() as u64;
+            self.hot.stripe().data_requests.fetch_add(entries.len() as u64, Ordering::Relaxed);
             Ok((file, frame.finish()))
         });
-        let mut p = self.profile.lock();
         if let Ok((_, b)) = &reply {
-            p.bytes_served += b.len() as u64;
+            self.hot.stripe().bytes_served.fetch_add(b.len() as u64, Ordering::Relaxed);
             obsv::hist_record(obsv::Hist::BytesServed, b.len() as u64);
         }
-        drop(p);
-        enc_result_payload(reply.map(|(file, body)| self.encode_reply_body(&file, caller, body)))
+        let out = enc_result_payload(
+            reply.map(|(file, body)| self.encode_reply_body(&file, caller, body)),
+        );
+        obsv::hist_record(obsv::Hist::ServeBatchNs, obsv::clock::now_ns().saturating_sub(t0));
+        out
     }
 
     fn producer_close(&self, filename: &str) -> H5Result<()> {
@@ -854,19 +1009,34 @@ impl DistMetadataVol {
     fn serve_async_loop(&self) {
         let sp = obsv::span(obsv::Phase::Serve);
         let server = RpcServer::new(&self.world);
-        server.serve(|caller, method, args| match method {
+        // One loop multiplexes every produced file, so the pool is sized
+        // to the widest `set_serve_workers` rule across our Produce link
+        // patterns. Control plane — metadata parking, session/DONE
+        // bookkeeping, drains, and the whole step-streaming window state
+        // — stays on the dispatcher thread, which is what keeps the
+        // shutdown-ordering invariant (drain only fires with no session
+        // open) and the per-subscriber step cursors race-free. Only the
+        // read-mostly data plane fans out.
+        let workers = self
+            .links
+            .iter()
+            .filter(|l| l.dir == LinkDir::Produce)
+            .map(|l| self.props.serve_workers_for(&l.pattern))
+            .max()
+            .unwrap_or(1);
+        server.serve_concurrent(workers, |caller, method, args| match method {
             M_METADATA => {
-                self.profile.lock().metadata_requests += 1;
+                self.hot.stripe().metadata_requests.fetch_add(1, Ordering::Relaxed);
                 let (file, caps) = match dec_metadata_req(&args) {
                     Ok(fc) => fc,
-                    Err(e) => return ServeOutcome::Reply(enc_result(Err(e))),
+                    Err(e) => return ServeStep::Inline(ServeOutcome::Reply(enc_result(Err(e)))),
                 };
                 self.record_consumer_caps(&file, caller.rank, caps);
                 let known = {
                     let s = self.sessions.lock();
                     s.open.contains_key(&file) || s.completed.contains(&file)
                 } || self.stream.lock().serveable.contains(&file);
-                if known {
+                ServeStep::Inline(if known {
                     let mask = self.negotiated_mask(&file, caller.rank);
                     let reply = self
                         .meta
@@ -883,17 +1053,21 @@ impl DistMetadataVol {
                     ServeOutcome::Continue
                 } else {
                     ServeOutcome::Reply(enc_result(Err(H5Error::NotFound(file))))
-                }
+                })
             }
             M_CODEC_OFFER => {
                 if let Ok((file, caps)) = dec_codec_offer(&args) {
                     self.record_consumer_caps(&file, caller.rank, caps);
                 }
-                ServeOutcome::Continue
+                ServeStep::Inline(ServeOutcome::Continue)
             }
-            M_INTERSECT => ServeOutcome::Reply(self.serve_intersect(&args)),
-            M_DATA => ServeOutcome::ReplyParts(self.serve_data(&args, caller.rank)),
-            M_DATA_BATCH => ServeOutcome::ReplyParts(self.serve_data_batch(&args, caller.rank)),
+            M_INTERSECT => {
+                ServeStep::Offload(Box::new(move || Payload::from(self.serve_intersect(&args))))
+            }
+            M_DATA => ServeStep::Offload(Box::new(move || self.serve_data(&args, caller.rank))),
+            M_DATA_BATCH => {
+                ServeStep::Offload(Box::new(move || self.serve_data_batch(&args, caller.rank)))
+            }
             M_DONE => {
                 let file = dec_done_req(&args).unwrap_or_default();
                 let mut s = self.sessions.lock();
@@ -907,33 +1081,39 @@ impl DistMetadataVol {
                     }
                 }
                 let ack = enc_result(Ok(Bytes::new()));
-                if s.draining && s.open.is_empty() {
+                ServeStep::Inline(if s.draining && s.open.is_empty() {
                     ServeOutcome::Stop(Some(ack))
                 } else {
                     ServeOutcome::Reply(ack)
-                }
+                })
             }
             M_SHUTDOWN => {
                 let mut s = self.sessions.lock();
                 s.draining = true;
-                if s.open.is_empty() {
+                ServeStep::Inline(if s.open.is_empty() {
                     ServeOutcome::Stop(None)
                 } else {
                     ServeOutcome::Continue
-                }
+                })
             }
-            M_STEP_SUB => {
-                ServeOutcome::Reply(crate::stream::serve_step_sub(self, caller.rank, &args))
-            }
-            M_STEP_NEXT => {
-                ServeOutcome::Reply(crate::stream::serve_step_next(self, caller.rank, &args))
-            }
-            M_STEP_ACK => {
-                ServeOutcome::Reply(crate::stream::serve_step_ack(self, caller.rank, &args))
-            }
-            m => ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
+            M_STEP_SUB => ServeStep::Inline(ServeOutcome::Reply(crate::stream::serve_step_sub(
+                self,
+                caller.rank,
+                &args,
+            ))),
+            M_STEP_NEXT => ServeStep::Inline(ServeOutcome::Reply(crate::stream::serve_step_next(
+                self,
+                caller.rank,
+                &args,
+            ))),
+            M_STEP_ACK => ServeStep::Inline(ServeOutcome::Reply(crate::stream::serve_step_ack(
+                self,
+                caller.rank,
+                &args,
+            ))),
+            m => ServeStep::Inline(ServeOutcome::Reply(enc_result(Err(H5Error::Vol(format!(
                 "unknown RPC method {m}"
-            ))))),
+            )))))),
         });
         // The loop has stopped: any metadata request still parked here
         // (a consumer running ahead to a snapshot we will never close)

@@ -83,6 +83,6 @@ pub mod stream;
 pub use base::BaseVol;
 pub use dist::{DistMetadataVol, DistVolBuilder, Link, LinkDir, TransportProfile};
 pub use metadata::MetadataVol;
-pub use props::{glob_match, BackPressure, LowFiveProps};
+pub use props::{glob_match, BackPressure, LowFiveProps, ServeWorkers};
 pub use protocol::WireCodec;
 pub use stream::{Step, StepPolicy, StepPublisher, StepSubscription};

@@ -27,6 +27,34 @@ pub enum BackPressure {
     DropOldest,
 }
 
+/// Size of the producer-side serve worker pool (see
+/// [`LowFiveProps::set_serve_workers`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeWorkers {
+    /// Exactly this many worker threads; `Fixed(1)` (or `Fixed(0)`) is
+    /// the serial dispatcher-only loop — today's behavior.
+    Fixed(usize),
+    /// One worker per available core
+    /// (`std::thread::available_parallelism`), minimum 1.
+    Auto,
+    /// Serial serve loop (the default): equivalent to `Fixed(1)`.
+    #[default]
+    Serial,
+}
+
+impl ServeWorkers {
+    /// Resolve to a concrete worker count (>= 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            ServeWorkers::Fixed(n) => n.max(1),
+            ServeWorkers::Auto => {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+            ServeWorkers::Serial => 1,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Action {
     Memory(bool),
@@ -39,6 +67,8 @@ enum Action {
     StreamQueueDepth(usize),
     StreamBackpressure(BackPressure),
     WireCodecPolicy(WireCodec),
+    ServeWorkersPolicy(ServeWorkers),
+    GatherCost(f64),
 }
 
 #[derive(Debug, Clone)]
@@ -194,6 +224,65 @@ impl LowFiveProps {
             action: Action::WireCodecPolicy(codec),
         });
         self
+    }
+
+    /// Size the serve engine's worker pool for files matching `file_pat`
+    /// (default [`ServeWorkers::Serial`]: the single-threaded dispatcher
+    /// loop, exactly the pre-pool behavior). With two or more workers,
+    /// data-plane requests (`M_INTERSECT`/`M_DATA`/`M_DATA_BATCH`) are
+    /// executed and replied from a bounded worker pool while control-plane
+    /// requests stay on the dispatcher; replies are matched by call id, so
+    /// consumers observe no semantic difference — only less queueing
+    /// behind other consumers' gather/encode time.
+    pub fn set_serve_workers(&mut self, file_pat: &str, workers: ServeWorkers) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::ServeWorkersPolicy(workers),
+        });
+        self
+    }
+
+    /// Model the producer-side cost of gathering a deep-copy region as
+    /// `ns_per_byte` nanoseconds per gathered byte (default `0.0`: no
+    /// modeled cost). Like the interconnect [`simmpi::CostModel`], this
+    /// injects real sleeps so fan-in contention on the serve path shows up
+    /// in wall-clock measurements; the shallow zero-copy lend path never
+    /// pays it. Bench scenarios use it to emulate expensive gathers
+    /// (strided/compressed source layouts) on fast development hardware.
+    pub fn set_gather_cost(&mut self, file_pat: &str, ns_per_byte: f64) -> &mut Self {
+        self.rules.push(Rule {
+            file_pat: file_pat.to_string(),
+            dset_pat: "*".to_string(),
+            action: Action::GatherCost(ns_per_byte),
+        });
+        self
+    }
+
+    /// Effective serve worker-pool size for `file` (resolved to >= 1).
+    pub fn serve_workers_for(&self, file: &str) -> usize {
+        let mut policy = ServeWorkers::Serial;
+        for r in &self.rules {
+            if let Action::ServeWorkersPolicy(v) = r.action {
+                if glob_match(&r.file_pat, file) {
+                    policy = v;
+                }
+            }
+        }
+        policy.resolve()
+    }
+
+    /// Effective modeled gather cost for `file`, ns per deep-copied byte.
+    pub fn gather_cost_for(&self, file: &str) -> f64 {
+        let mut ns_per_byte = 0.0;
+        for r in &self.rules {
+            if let Action::GatherCost(v) = r.action {
+                if glob_match(&r.file_pat, file) {
+                    ns_per_byte = v;
+                }
+            }
+        }
+        ns_per_byte
     }
 
     /// Effective wire-codec policy for `file`.
@@ -438,6 +527,37 @@ mod tests {
         // Last matching rule wins.
         p.set_wire_codec("*", WireCodec::Rle);
         assert_eq!(p.wire_codec_for("grid/step1.h5"), WireCodec::Rle);
+    }
+
+    #[test]
+    fn serve_workers_default_serial_and_pattern_scoped() {
+        let p = LowFiveProps::new();
+        assert_eq!(p.serve_workers_for("f.h5"), 1);
+
+        let mut p = LowFiveProps::new();
+        p.set_serve_workers("grid/*", ServeWorkers::Fixed(4));
+        assert_eq!(p.serve_workers_for("grid/step1.h5"), 4);
+        assert_eq!(p.serve_workers_for("other.h5"), 1);
+        // Fixed(0) clamps to the serial loop; Auto resolves to >= 1.
+        p.set_serve_workers("grid/*", ServeWorkers::Fixed(0));
+        assert_eq!(p.serve_workers_for("grid/step1.h5"), 1);
+        p.set_serve_workers("grid/*", ServeWorkers::Auto);
+        assert!(p.serve_workers_for("grid/step1.h5") >= 1);
+        // Last matching rule wins.
+        p.set_serve_workers("*", ServeWorkers::Fixed(2));
+        assert_eq!(p.serve_workers_for("grid/step1.h5"), 2);
+    }
+
+    #[test]
+    fn gather_cost_defaults_to_zero_and_is_pattern_scoped() {
+        let p = LowFiveProps::new();
+        assert_eq!(p.gather_cost_for("f.h5"), 0.0);
+        let mut p = LowFiveProps::new();
+        p.set_gather_cost("deep/*", 12.5);
+        assert_eq!(p.gather_cost_for("deep/step1.h5"), 12.5);
+        assert_eq!(p.gather_cost_for("other.h5"), 0.0);
+        p.set_gather_cost("deep/*", 0.0);
+        assert_eq!(p.gather_cost_for("deep/step1.h5"), 0.0);
     }
 
     #[test]

@@ -242,10 +242,17 @@ pub enum Ctr {
     /// Data-reply body bytes *before* codec encoding — the raw size the
     /// wire would have carried without the codec layer.
     BytesPreCodec,
+    /// Data-plane requests (`M_INTERSECT`/`M_DATA`/`M_DATA_BATCH`)
+    /// executed and replied by serve-pool worker threads rather than the
+    /// dispatcher. Zero on the serial (`workers = 1`) path.
+    ServeWorkerJobs,
+    /// Nanoseconds serve-pool workers spent executing offloaded jobs
+    /// (sum over all workers; excludes time the job waited in the queue).
+    ServeWorkerBusyNs,
 }
 
 /// Number of [`Ctr`] variants (the fixed width of every counter array).
-pub const NUM_CTRS: usize = 36;
+pub const NUM_CTRS: usize = 38;
 
 impl Ctr {
     /// Every counter, in declaration order.
@@ -286,6 +293,8 @@ impl Ctr {
         Ctr::StepsLagged,
         Ctr::BytesOnWire,
         Ctr::BytesPreCodec,
+        Ctr::ServeWorkerJobs,
+        Ctr::ServeWorkerBusyNs,
     ];
 
     /// Stable metrics-JSON key for this counter.
@@ -327,6 +336,8 @@ impl Ctr {
             Ctr::StepsLagged => "steps_lagged",
             Ctr::BytesOnWire => "bytes_on_wire",
             Ctr::BytesPreCodec => "bytes_pre_codec",
+            Ctr::ServeWorkerJobs => "serve_worker_jobs",
+            Ctr::ServeWorkerBusyNs => "serve_worker_busy_ns",
         }
     }
 }
@@ -365,10 +376,23 @@ pub enum Hist {
     /// Wall time spent inside wire-codec encode and decode passes,
     /// nanoseconds (one sample per pass, both directions).
     CodecLatencyNs,
+    /// Depth of the concurrent serve engine's job queue, sampled at each
+    /// enqueue (including the job being enqueued). Always 1 when the
+    /// dispatcher executes inline (`workers = 1` never enqueues).
+    ServeQueueDepth,
+    /// Wall time executing one `M_INTERSECT` request, nanoseconds
+    /// (handler body only, queue wait excluded).
+    ServeIntersectNs,
+    /// Wall time executing one `M_DATA` request, nanoseconds
+    /// (gather + codec encode, queue wait excluded).
+    ServeDataNs,
+    /// Wall time executing one `M_DATA_BATCH` request, nanoseconds
+    /// (all entries of the batch, queue wait excluded).
+    ServeBatchNs,
 }
 
 /// Number of [`Hist`] variants (the fixed width of every histogram array).
-pub const NUM_HISTS: usize = 12;
+pub const NUM_HISTS: usize = 16;
 
 impl Hist {
     /// Every histogram, in declaration order.
@@ -385,6 +409,10 @@ impl Hist {
         Hist::CollLatencyNs,
         Hist::StepLatencyNs,
         Hist::CodecLatencyNs,
+        Hist::ServeQueueDepth,
+        Hist::ServeIntersectNs,
+        Hist::ServeDataNs,
+        Hist::ServeBatchNs,
     ];
 
     /// Stable metrics-JSON key for this histogram.
@@ -402,6 +430,10 @@ impl Hist {
             Hist::CollLatencyNs => "coll_latency_ns",
             Hist::StepLatencyNs => "step_latency_ns",
             Hist::CodecLatencyNs => "codec_latency_ns",
+            Hist::ServeQueueDepth => "serve_queue_depth",
+            Hist::ServeIntersectNs => "serve_intersect_ns",
+            Hist::ServeDataNs => "serve_data_ns",
+            Hist::ServeBatchNs => "serve_batch_ns",
         }
     }
 }

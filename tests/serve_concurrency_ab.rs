@@ -1,0 +1,275 @@
+//! A/B property and chaos tests for the concurrent serve engine.
+//!
+//! 1. **Byte identity.** For any small geometry (producer/consumer
+//!    counts, slab size), region ownership (shallow lend or deep copy
+//!    with a modeled gather cost), fetch shape (per-chunk or batched),
+//!    and benign fault seed (delays, reordering), an exchange served by
+//!    a worker pool must deliver bytes identical to the strictly serial
+//!    engine's fault-free run. The pool only changes *when* replies are
+//!    computed and sent — call-id matching means it can never change
+//!    what a consumer reads.
+//!
+//! 2. **Dead consumers.** A consumer killed mid-flight — with its
+//!    requests potentially queued in the pool — must neither wedge the
+//!    producer nor corrupt another consumer's replies, and the kill
+//!    trace must be identical between the serial and concurrent
+//!    engines (fault injection counts only the victim's own sends, so
+//!    producer-side concurrency must not move the kill point).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lowfive::{
+    BackPressure, DistVolBuilder, LowFiveProps, ServeWorkers, StepPolicy, StepPublisher,
+    StepSubscription,
+};
+use minih5::{Dataspace, Datatype, Selection, Vol, H5};
+use proptest::prelude::*;
+use simmpi::{FaultKind, FaultPlan, TaskComm, TaskSpec, TaskWorld};
+
+fn world_ranks(tc: &TaskComm, task_id: usize) -> Vec<usize> {
+    (0..tc.task_size(task_id)).map(|r| tc.world_rank_of(task_id, r)).collect()
+}
+
+/// Smooth field value (compresses under delta-RLE, exercises the codec
+/// planning path inside the workers too).
+fn smooth(i: u64) -> u64 {
+    1_000_000 + i / 7
+}
+
+/// Incompressible value: a full-width LCG scramble of the index.
+fn noisy(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ 0xA5A5_5A5A_DEAD_BEEF
+}
+
+/// One exchange with `workers` serve workers; returns each consumer
+/// rank's `(smooth, noisy)` reads (None for producer slots).
+fn run_exchange(
+    producers: usize,
+    consumers: usize,
+    elems: u64,
+    workers: usize,
+    deep: bool,
+    pipelined: bool,
+    plan: FaultPlan,
+) -> Vec<Option<(Vec<u64>, Vec<u64>)>> {
+    let specs = [TaskSpec::new("producer", producers), TaskSpec::new("consumer", consumers)];
+    let np = producers as u64;
+    let out = TaskWorld::run_chaos(&specs, None, plan, move |tc| {
+        let mut props = LowFiveProps::new();
+        props
+            .set_serve_workers("*.h5", ServeWorkers::Fixed(workers))
+            .set_zerocopy("*", "*", !deep)
+            .set_fetch_pipeline("*", pipelined);
+        if deep {
+            // A small modeled gather stall keeps several requests
+            // genuinely in flight inside the pool at once.
+            props.set_gather_cost("*.h5", 10.0);
+        }
+        if tc.task_id == 0 {
+            let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .produce("*.h5", world_ranks(&tc, 1))
+                .build();
+            let h5 = H5::with_vol(vol);
+            let f = h5.create_file("ab.h5").expect("create");
+            let total = np * elems;
+            let base = tc.local.rank() as u64 * elems;
+            for (name, gen) in [("smooth", smooth as fn(u64) -> u64), ("noisy", noisy)] {
+                let d = f
+                    .create_dataset(name, Datatype::UInt64, Dataspace::simple(&[total]))
+                    .expect("dataset");
+                let vals: Vec<u64> = (base..base + elems).map(gen).collect();
+                d.write_selection(&Selection::block(&[base], &[elems]), &vals).expect("write");
+            }
+            f.close().expect("index + serve");
+            None
+        } else {
+            let vol: Arc<dyn Vol> = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("*.h5", world_ranks(&tc, 0))
+                .build();
+            let h5 = H5::with_vol(vol);
+            let f = h5.open_file("ab.h5").expect("open");
+            let s = f.open_dataset("smooth").expect("smooth").read_all::<u64>().expect("read");
+            let n = f.open_dataset("noisy").expect("noisy").read_all::<u64>().expect("read");
+            f.close().expect("release");
+            Some((s, n))
+        }
+    });
+    out.results.into_iter().map(|r| r.expect("rank survived benign faults")).collect()
+}
+
+fn plan_for(seed: u64, fault: u8) -> FaultPlan {
+    match fault {
+        0 => FaultPlan::new(seed),
+        1 => FaultPlan::new(seed).delay(0.3, Duration::from_millis(1)),
+        _ => FaultPlan::new(seed).delay(0.2, Duration::from_millis(1)).reorder(0.5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_serve_delivers_serial_identical_bytes(
+        producers in 1usize..=2,
+        consumers in 1usize..=3,
+        elems in 16u64..=64,
+        deep in any::<bool>(),
+        pipelined in any::<bool>(),
+        seed in any::<u64>(),
+        fault in 0u8..3,
+    ) {
+        // Ground truth: today's strictly serial engine, shallow regions,
+        // unbatched fetch, no faults.
+        let want = run_exchange(
+            producers, consumers, elems, 1, false, false, FaultPlan::new(0),
+        );
+        for workers in [2usize, 4] {
+            let got = run_exchange(
+                producers, consumers, elems, workers, deep, pipelined,
+                plan_for(seed, fault),
+            );
+            for c in 0..consumers {
+                prop_assert_eq!(
+                    &got[producers + c], &want[producers + c],
+                    "consumer {} with {} workers (deep={}, pipelined={}, \
+                     geometry {}x{}, {} elems, fault {})",
+                    c, workers, deep, pipelined, producers, consumers, elems, fault
+                );
+            }
+        }
+        // Sanity on the ground truth itself.
+        let (s, n) = want[producers].as_ref().expect("consumer result");
+        let total = producers as u64 * elems;
+        prop_assert_eq!(s, &(0..total).map(smooth).collect::<Vec<u64>>());
+        prop_assert_eq!(n, &(0..total).map(noisy).collect::<Vec<u64>>());
+    }
+}
+
+/// Outcome of one kill run: the surviving consumer's delivered step
+/// sequence and the fault trace's kill record.
+struct KillRun {
+    survivor_steps: Vec<u64>,
+    victim_rank: usize,
+    deaths: usize,
+    producer_finished: bool,
+}
+
+/// One streaming session over the overlap-mode serve loop — the only
+/// serve path whose lifetime does not count the dead consumer's DONE —
+/// with consumer world rank 2 killed at its `kill_at`-th send, i.e.
+/// mid-flight with data requests potentially queued in the pool. The
+/// producer publishes deep steps under a modeled gather cost so the
+/// workers really do hold jobs when the kill lands.
+fn run_kill(workers: usize, kill_at: u64) -> KillRun {
+    const STEPS: u64 = 6;
+    let specs = [TaskSpec::new("producer", 1), TaskSpec::new("consumer", 2)];
+    let plan = FaultPlan::new(0xC0_FFEE).kill_rank(2, kill_at);
+    let out = TaskWorld::run_chaos(&specs, None, plan, move |tc| -> (Vec<u64>, bool) {
+        let mut props = LowFiveProps::new();
+        props
+            .set_stream_queue_depth("sim.h5", 2)
+            .set_stream_backpressure("sim.h5", BackPressure::DropOldest)
+            .set_serve_workers("sim.h5*", ServeWorkers::Fixed(workers))
+            .set_zerocopy("*", "*", false)
+            .set_gather_cost("sim.h5*", 50.0);
+        if tc.task_id == 0 {
+            let vol = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .produce("sim.h5@s*", vec![1, 2])
+                .async_serve(true)
+                .build();
+            let h5 = H5::with_vol(vol.clone() as Arc<dyn Vol>);
+            let publisher = StepPublisher::new(vol.clone(), "sim.h5").expect("publisher");
+            for n in 0..STEPS {
+                let f = h5.create_file(&publisher.step_file()).expect("create slot");
+                let d = f
+                    .create_dataset("x", Datatype::UInt64, Dataspace::simple(&[512]))
+                    .expect("dataset");
+                d.write_selection(&Selection::block(&[0], &[512]), &[n; 512]).expect("write");
+                f.close().expect("close slot");
+                publisher.publish().expect("DropOldest publish never blocks");
+                // Give the followers a moment per step so the survivor
+                // sees most of the series even at depth 2.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // The victim never acks its outstanding steps: the bounded
+            // drain must time out cleanly, never hang on the pool.
+            let drained = publisher.finish(Some(Duration::from_millis(100)));
+            vol.drain();
+            (Vec::new(), !drained)
+        } else {
+            let vol = DistVolBuilder::new(tc.world.clone(), tc.local.clone())
+                .props(props)
+                .consume("sim.h5@s*", vec![0])
+                .build();
+            let h5 = H5::with_vol(vol.clone() as Arc<dyn Vol>);
+            let mut sub =
+                StepSubscription::new(vol, "sim.h5", StepPolicy::EveryStep).expect("subscribe");
+            let mut seen = Vec::new();
+            while let Some(step) = sub.next_step().expect("next step") {
+                let f = h5.open_file(&step.file).expect("open step");
+                let got = f.open_dataset("x").expect("dataset").read_all::<u64>().expect("read");
+                f.close().expect("close step");
+                if !sub.is_torn(&step) {
+                    assert_eq!(
+                        got,
+                        vec![step.seq; 512],
+                        "step {} payload corrupted by a concurrent reply",
+                        step.seq
+                    );
+                    seen.push(step.seq);
+                }
+            }
+            (seen, true)
+        }
+    });
+    assert_eq!(out.deaths.len(), 1, "exactly one injected death: {:?}", out.deaths);
+    assert!(out.deaths[0].injected);
+    assert_eq!(out.trace.len(), 1);
+    assert_eq!(out.trace[0].kind, FaultKind::Killed);
+    assert!(out.results[2].is_none(), "the victim never returns");
+    let (survivor_steps, _) = out.results[1].clone().expect("survivor finished");
+    let (_, producer_finished) = out.results[0].clone().expect("producer finished");
+    KillRun {
+        survivor_steps,
+        victim_rank: out.deaths[0].rank,
+        deaths: out.deaths.len(),
+        producer_finished,
+    }
+}
+
+#[test]
+fn killed_consumer_with_queued_requests_is_contained() {
+    // Send 8 lands mid-stream: after the subscribe and the first slot
+    // reads, with data requests plausibly sitting in the worker queue.
+    let t0 = std::time::Instant::now();
+    let serial = run_kill(1, 8);
+    let pooled = run_kill(4, 8);
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "took {:?} — a dead consumer wedged a serve engine?",
+        t0.elapsed()
+    );
+    for (name, run) in [("serial", &serial), ("pooled", &pooled)] {
+        assert_eq!(run.deaths, 1, "{name}");
+        assert_eq!(run.victim_rank, 2, "{name}: the kill must land on the victim");
+        assert!(run.producer_finished, "{name}: producer must exit via drain timeout");
+        assert!(
+            !run.survivor_steps.is_empty(),
+            "{name}: the surviving consumer must keep receiving steps"
+        );
+        let sorted = {
+            let mut s = run.survivor_steps.clone();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        assert_eq!(sorted, run.survivor_steps, "{name}: steps arrive in order, no duplicates");
+    }
+    // The kill point is a pure function of the victim's own sends, so
+    // producer-side concurrency must not move it.
+    assert_eq!(serial.victim_rank, pooled.victim_rank, "kill trace differs across engines");
+}
